@@ -1,0 +1,296 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every experiment table E1-E14 (the paper has no
+   measured tables/figures of its own — see DESIGN.md — so each theorem's
+   prediction is the "table" being reproduced).
+
+   Part 2 runs Bechamel micro-benchmarks: one Test.make per experiment's
+   computational core, plus the ablations DESIGN.md calls out (WHT vs naive
+   Fourier, bit-packed vs naive rank, exact vs sampled transcript
+   distributions, simulator round cost).
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- tables  # only the experiment tables
+     dune exec bench/main.exe -- micro   # only the micro-benchmarks
+*)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------- tables *)
+
+let run_tables () =
+  Format.printf "=====================================================@.";
+  Format.printf " Experiment tables (one per theorem; see EXPERIMENTS.md)@.";
+  Format.printf "=====================================================@.";
+  List.iter (Experiments.print Format.std_formatter) (Experiments.all ~seed:42 ());
+  Format.printf "@."
+
+(* ------------------------------------------------------- micro bench *)
+
+(* Naive O(4^n) Fourier transform, the ablation baseline for the WHT. *)
+let naive_transform f =
+  let n = Boolfun.arity f in
+  Array.init (1 lsl n) (fun s -> Fourier.coefficient f s)
+
+(* Naive rank over bool matrices, the ablation baseline for the
+   bit-packed Gaussian elimination. *)
+let naive_rank rows cols get =
+  let work = Array.init rows (fun i -> Array.init cols (fun j -> get i j)) in
+  let rank = ref 0 in
+  let col = ref 0 in
+  while !rank < rows && !col < cols do
+    let pivot = ref (-1) in
+    (try
+       for i = !rank to rows - 1 do
+         if work.(i).(!col) then begin
+           pivot := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !pivot >= 0 then begin
+      let tmp = work.(!rank) in
+      work.(!rank) <- work.(!pivot);
+      work.(!pivot) <- tmp;
+      for i = 0 to rows - 1 do
+        if i <> !rank && work.(i).(!col) then
+          for j = 0 to cols - 1 do
+            work.(i).(j) <- work.(i).(j) <> work.(!rank).(j)
+          done
+      done;
+      incr rank
+    end;
+    incr col
+  done;
+  !rank
+
+let micro_tests () =
+  let g = Prng.create 99 in
+  let f12 = Boolfun.random g 12 in
+  let mat128 = Gf2_matrix.random g ~rows:128 ~cols:128 in
+  let prg_params = { Full_prg.n = 64; k = 24; m = 64 } in
+  let secret = Full_prg.sample_secret g prg_params in
+  let seed24 = Prng.bitvec g 24 in
+  let graph256 = Planted.sample_rand g 256 in
+  let turn_proto =
+    Turn_model.of_round_protocol ~n:4 ~rounds:1 (fun ~id:_ ~input ~history:_ ->
+        Bitvec.popcount input * 2 > 4)
+  in
+  let e4_input_dist = Progress.enumerate_rand ~n:4 in
+  let fr_proto = Full_rank.truncated_protocol ~n:48 ~rounds:4 in
+  let fr_inputs =
+    let m = Full_rank.sample_uniform ~n:48 g in
+    Array.init 48 (Gf2_matrix.row m)
+  in
+  let pc_graph, _ = Planted.sample_planted g ~n:128 ~k:60 in
+  let pc_inputs = Array.init 128 (Digraph.out_row pc_graph) in
+  let eq_inputs = Array.make 12 (Prng.bitvec g 16) in
+  let eq_proto = Equality.fingerprint_protocol ~m:16 ~repetitions:2 in
+  let derand_proto =
+    Derandomize.transform { Full_prg.n = 12; k = 12; m = 40 } eq_proto
+  in
+  Test.make_grouped ~name:"bcclique" ~fmt:"%s/%s"
+    [
+      (* One Test.make per experiment core. *)
+      Test.make ~name:"e1-e2:lemma-1.10-exact"
+        (Staged.stage (fun () -> Lemma_verify.lemma_1_10 f12));
+      Test.make ~name:"e3:lemma-4.4-restricted"
+        (Staged.stage
+           (let d = Restriction.random_of_deficit (Prng.create 1) ~n:12 ~t:2.0 in
+            fun () -> Lemma_verify.lemma_4_4 d f12));
+      Test.make ~name:"e4:exact-transcript-dist"
+        (Staged.stage (fun () ->
+             Turn_model.exact_transcript_dist turn_proto e4_input_dist));
+      Test.make ~name:"e5:degree-distinguisher"
+        (Staged.stage (fun () ->
+             Distinguishers.max_out_degree.Distinguishers.statistic g graph256));
+      Test.make ~name:"e6:lemma-5.2-wht"
+        (Staged.stage (fun () -> Lemma_verify.lemma_5_2 f12));
+      Test.make ~name:"e7:lemma-7.3-sampled"
+        (Staged.stage
+           (let f9 = Boolfun.random (Prng.create 2) 9 in
+            fun () -> Lemma_verify.lemma_7_3 ~max_secrets:512 (Prng.create 3) f9 ~k:5));
+      Test.make ~name:"e8-e9:prg-expand"
+        (Staged.stage (fun () -> Full_prg.expand secret seed24));
+      Test.make ~name:"e10-e11:full-rank-protocol-run"
+        (Staged.stage (fun () -> Bcast.run_deterministic fr_proto ~inputs:fr_inputs));
+      Test.make ~name:"e12:planted-clique-B1-run"
+        (Staged.stage (fun () ->
+             let proto = Planted_clique_algo.protocol ~n:128 ~k:60 in
+             Bcast.run proto ~inputs:pc_inputs ~rand:(Prng.create 5)));
+      Test.make ~name:"e13:newman-sampled-run"
+        (Staged.stage
+           (let s =
+              Newman.make_sampled (Prng.create 6)
+                (Equality.fingerprint_public_coin ~n:12 ~m:16 ~repetitions:2)
+                ~t_count:64
+            in
+            fun () -> Newman.run_sampled s ~rand:g ~inputs:eq_inputs));
+      Test.make ~name:"e14:derandomized-protocol-run"
+        (Staged.stage (fun () ->
+             Bcast.run derand_proto ~inputs:eq_inputs ~rand:(Prng.create 7)));
+      Test.make ~name:"e15:consistency-sets"
+        (Staged.stage
+           (let proto =
+              Turn_model.of_round_protocol ~n:3 ~rounds:2
+                (fun ~id:_ ~input ~history -> Bitvec.get input (Array.length history / 3))
+            in
+            let sample g = Array.init 3 (fun _ -> Prng.bitvec g 10) in
+            fun () ->
+              Consistency.measure proto ~sample ~input_bits:10 ~id:0 ~turns:6 ~trials:5
+                (Prng.create 11)));
+      Test.make ~name:"e16:framework-progress"
+        (Staged.stage
+           (let d = Framework.toy_prg ~n:5 ~k:4 in
+            let proto =
+              Turn_model.of_round_protocol ~n:5 ~rounds:1
+                (fun ~id:_ ~input ~history:_ -> Bitvec.popcount input * 2 > 5)
+            in
+            fun () -> Framework.progress_sampled d proto ~indices:2 ~samples:500
+                (Prng.create 12)));
+      Test.make ~name:"e17:triangle-count-128"
+        (Staged.stage (fun () -> Triangles.count pc_graph));
+      Test.make ~name:"e18:sbm-recovery"
+        (Staged.stage
+           (let graph, _ = Sbm.sample (Prng.create 13) ~n:64 ~p_in:0.8 ~p_out:0.2 in
+            fun () -> Sbm.degree_profile_recover graph));
+      Test.make ~name:"e19:unicast-committee-run"
+        (Staged.stage
+           (let n = 48 in
+            let graph, _ = Planted.sample_planted (Prng.create 14) ~n ~k:20 in
+            let inputs = Array.init n (Digraph.out_row graph) in
+            fun () ->
+              let proto =
+                Unicast_clique.protocol ~n
+                  ~seed_size:(Unicast_clique.recommended_seed_size n)
+              in
+              Unicast.run proto ~inputs ~rand:(Prng.create 15)));
+      (* Ablations. *)
+      Test.make ~name:"ablation:wht-fast"
+        (Staged.stage (fun () -> Fourier.transform f12));
+      Test.make ~name:"ablation:fourier-naive"
+        (Staged.stage
+           (let f8 = Boolfun.random (Prng.create 8) 8 in
+            fun () -> naive_transform f8));
+      Test.make ~name:"ablation:rank-bitpacked"
+        (Staged.stage (fun () -> Gf2_matrix.rank mat128));
+      Test.make ~name:"ablation:rank-naive"
+        (Staged.stage (fun () -> naive_rank 128 128 (Gf2_matrix.get mat128)));
+      Test.make ~name:"ablation:transcript-sampled"
+        (Staged.stage (fun () ->
+             Turn_model.sampled_transcript_dist turn_proto
+               ~sample:(Progress.sample_rand_rows ~n:4)
+               ~samples:4096 (Prng.create 9)));
+      Test.make ~name:"ablation:simulator-round-cost"
+        (Staged.stage
+           (let proto = Equality.deterministic_protocol ~m:16 in
+            let inputs = Array.make 64 (Prng.bitvec (Prng.create 10) 16) in
+            fun () -> Bcast.run_deterministic proto ~inputs));
+      Test.make ~name:"e20:claim-7-exact"
+        (Staged.stage
+           (let f = Boolfun.random (Prng.create 16) 8 in
+            fun () -> Lemma_verify.claim_7 (Prng.create 17) f ~k:4 ~j:1));
+      Test.make ~name:"e21-e23:gnp-diameter"
+        (Staged.stage
+           (let graph = Gnp.sample (Prng.create 18) ~n:128 ~p:0.08 in
+            fun () -> Gnp.diameter graph));
+      Test.make ~name:"e22:mst-prim-128"
+        (Staged.stage
+           (let t = Wgraph.random (Prng.create 19) 128 in
+            fun () -> Wgraph.mst_weight t));
+      Test.make ~name:"e24:agm-sketch-encode"
+        (Staged.stage
+           (let params = { Agm_sketch.universe = 4096; seed = 20 } in
+            let s = Agm_sketch.create params in
+            let g = Prng.create 21 in
+            for _ = 1 to 64 do
+              Agm_sketch.add s (Prng.int g 4096)
+            done;
+            fun () -> Agm_sketch.to_bitvec s));
+      Test.make ~name:"e26:twoparty-log-rank"
+        (Staged.stage
+           (let eq = Twoparty.equality 6 in
+            fun () -> Twoparty.deterministic_lower_bound eq));
+      Test.make ~name:"e27:f2-protocol-run"
+        (Staged.stage
+           (let d = 64 in
+            let inputs = Array.init 16 (fun i -> Prng.bitvec (Prng.create (30 + i)) d) in
+            let cfg = { F2_moment.d; repetitions = 8; seed = 22 } in
+            fun () -> Bcast.run (F2_moment.protocol cfg) ~inputs ~rand:(Prng.create 23)));
+      Test.make ~name:"e28:toy-prg-exact-distance"
+        (Staged.stage
+           (let proto =
+              Turn_model.of_round_protocol ~n:3 ~rounds:1
+                (fun ~id:_ ~input ~history:_ -> Bitvec.get input 3)
+            in
+            fun () -> Prg_progress.expected_distance_exact proto ~n:3 ~k:3 ~turns:3));
+      (* Bron-Kerbosch pivoting ablation: a pivotless expansion for
+         comparison. *)
+      Test.make ~name:"ablation:bron-kerbosch-pivot"
+        (Staged.stage
+           (let graph, _ = Planted.sample_planted (Prng.create 24) ~n:64 ~k:16 in
+            fun () -> Clique.max_clique graph));
+      Test.make ~name:"ablation:bron-kerbosch-no-pivot"
+        (Staged.stage
+           (let graph, _ = Planted.sample_planted (Prng.create 24) ~n:64 ~k:16 in
+            let adj = Clique.bidirectional_core graph in
+            let n = 64 in
+            fun () ->
+              (* Pivotless Bron-Kerbosch. *)
+              let best = ref 0 in
+              let rec expand r p x =
+                if Bitvec.is_zero p && Bitvec.is_zero x then begin
+                  if r > !best then best := r
+                end
+                else begin
+                  let p = Bitvec.copy p and x = Bitvec.copy x in
+                  Bitvec.iter_set
+                    (fun v ->
+                      expand (r + 1)
+                        (Bitvec.logand p adj.(v))
+                        (Bitvec.logand x adj.(v));
+                      Bitvec.set p v false;
+                      Bitvec.set x v true)
+                    (Bitvec.copy p)
+                end
+              in
+              expand 0 (Bitvec.ones n) (Bitvec.create n);
+              !best));
+    ]
+
+let run_micro () =
+  Format.printf "=====================================================@.";
+  Format.printf " Micro-benchmarks (Bechamel OLS, monotonic clock)@.";
+  Format.printf "=====================================================@.";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 500) () in
+  let raw = Benchmark.all cfg instances (micro_tests ()) in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold (fun name r acc -> (name, r) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Format.printf "%-45s %s@." "benchmark" "ns/run (OLS estimate)";
+  Format.printf "%s@." (String.make 75 '-');
+  List.iter
+    (fun (name, r) ->
+      match Analyze.OLS.estimates r with
+      | Some [ est ] -> Format.printf "%-45s %14.1f@." name est
+      | Some ests ->
+          Format.printf "%-45s %s@." name
+            (String.concat " " (List.map (Printf.sprintf "%.1f") ests))
+      | None -> Format.printf "%-45s (no estimate)@." name)
+    rows;
+  Format.printf "@."
+
+let () =
+  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (match what with
+  | "tables" -> run_tables ()
+  | "micro" -> run_micro ()
+  | _ ->
+      run_tables ();
+      run_micro ());
+  Format.printf "done.@."

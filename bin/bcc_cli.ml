@@ -1,0 +1,63 @@
+(* Command-line driver: run any experiment from DESIGN.md's index. *)
+
+open Cmdliner
+
+let run_experiments list_only csv ids seed =
+  if list_only then begin
+    List.iter
+      (fun id ->
+        match Experiments.by_id id with
+        | Some f ->
+            (* Titles are cheap to compute only for table-free lookup; print
+               id and let the table carry its own description when run. *)
+            ignore f;
+            Format.printf "%s@." id
+        | None -> ())
+      Experiments.ids;
+    Ok ()
+  end
+  else begin
+    let targets =
+      match ids with
+      | [] -> Experiments.ids
+      | ids -> ids
+    in
+    let ok = ref true in
+    List.iter
+      (fun id ->
+        match Experiments.by_id id with
+        | Some f ->
+            let table = f ~seed () in
+            if csv then print_string (Experiments.to_csv table)
+            else Experiments.print Format.std_formatter table
+        | None ->
+            Format.eprintf "unknown experiment %S (known: %s)@." id
+              (String.concat ", " Experiments.ids);
+            ok := false)
+      targets;
+    if !ok then Ok () else Error (`Msg "unknown experiment id")
+  end
+
+let list_arg =
+  let doc = "List the known experiment ids and exit." in
+  Arg.(value & flag & info [ "list" ] ~doc)
+
+let csv_arg =
+  let doc = "Emit tables as CSV instead of aligned text." in
+  Arg.(value & flag & info [ "csv" ] ~doc)
+
+let ids_arg =
+  let doc = "Experiment ids to run (e1..e25); all when omitted." in
+  Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed shared by all experiments." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let cmd =
+  let doc = "Reproduce the experiments for Chen-Grossman PODC'19 (Broadcast Congested Clique)" in
+  let info = Cmd.info "bcc_cli" ~doc in
+  Cmd.v info
+    Term.(term_result (const run_experiments $ list_arg $ csv_arg $ ids_arg $ seed_arg))
+
+let () = exit (Cmd.eval cmd)

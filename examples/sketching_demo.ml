@@ -1,0 +1,63 @@
+(* Linear sketches in the Broadcast Congested Clique.
+
+   Two §9-adjacent workloads built on sketching: exact connectivity via
+   AGM XOR sketches (Boruvka over component cuts), and F2 frequency-moment
+   estimation via the AMS sketch — the [AMS99] streaming connection the
+   paper's related-work section cites.
+
+     dune exec examples/sketching_demo.exe
+*)
+
+let () = Format.printf "== linear sketches in BCAST ==@.@."
+
+(* 1. AGM sketch mechanics: linearity and 1-sparse recovery. *)
+let () =
+  let params = { Agm_sketch.universe = 100; seed = 7 } in
+  let a = Agm_sketch.create params and b = Agm_sketch.create params in
+  Agm_sketch.add a 13;
+  Agm_sketch.add a 42;
+  Agm_sketch.add b 42;
+  (* xor cancels the shared coordinate 42, leaving {13}. *)
+  Agm_sketch.xor_inplace a b;
+  Format.printf "1. sketch linearity: {13,42} xor {42} sketches to {13};@.";
+  Format.printf "   recover -> %s (sketch is %d bits)@.@."
+    (match Agm_sketch.recover a with Some c -> string_of_int c | None -> "failed")
+    (Agm_sketch.bit_size params)
+
+(* 2. Connectivity: Boruvka over broadcast sketches. *)
+let () =
+  let g = Prng.create 8 in
+  let n = 32 in
+  Format.printf "2. connectivity across the ln n / n = %.4f threshold:@."
+    (Gnp.connectivity_threshold n);
+  List.iter
+    (fun p ->
+      let graph = Gnp.sample g ~n ~p in
+      let cfg = Connectivity.default_config ~n ~seed:99 in
+      let got = Connectivity.run_on cfg graph g in
+      let want = Connectivity.exact_components graph in
+      Format.printf "   p = %.3f: protocol says %d component(s), BFS truth %d %s@." p got
+        want
+        (if got = want then "(exact)" else "(missed a merge)"))
+    [ 0.02; 0.08; 0.25 ];
+  let cfg = Connectivity.default_config ~n ~seed:99 in
+  Format.printf "   cost: %d BCAST(%d) rounds = %d bits per processor@.@."
+    (Connectivity.rounds cfg) cfg.Connectivity.msg_bits
+    (Connectivity.rounds cfg * cfg.Connectivity.msg_bits)
+
+(* 3. F2 estimation: the AMS sketch as a protocol. *)
+let () =
+  let g = Prng.create 9 in
+  let n = 12 and d = 48 in
+  let inputs = Array.init n (fun i -> Prng.bitvec (Prng.split g i) d) in
+  Format.printf "3. F2 of the global frequency vector (n=%d processors, universe %d):@." n d;
+  Format.printf "   exact F2 = %.0f@." (F2_moment.exact_f2 inputs);
+  List.iter
+    (fun repetitions ->
+      let cfg = { F2_moment.d; repetitions; seed = 17 } in
+      let result = Bcast.run (F2_moment.protocol cfg) ~inputs ~rand:g in
+      Format.printf "   r = %3d sketches: estimate %8.0f  (%d rounds, %d bits/proc)@."
+        repetitions result.Bcast.outputs.(0) result.Bcast.rounds_used
+        (result.Bcast.rounds_used * (F2_moment.protocol cfg).Bcast.msg_bits))
+    [ 4; 32; 256 ];
+  Format.printf "   one O(log d)-bit broadcast per sketch: streaming inside the clique.@."

@@ -1,0 +1,190 @@
+module Rand_counter = struct
+  type source = Stream of Prng.t | Deterministic | Tape of Bitvec.t * int ref
+
+  type t = { source : source; mutable used : int }
+
+  let make g = { source = Stream g; used = 0 }
+  let deterministic () = { source = Deterministic; used = 0 }
+  let of_tape tape = { source = Tape (tape, ref 0); used = 0 }
+
+  let bits_used r = r.used
+
+  let tape_bit tape pos =
+    if !pos >= Bitvec.length tape then failwith "Rand_counter: tape exhausted";
+    let b = Bitvec.get tape !pos in
+    incr pos;
+    b
+
+  let bool r =
+    r.used <- r.used + 1;
+    match r.source with
+    | Stream g -> Prng.bool g
+    | Tape (tape, pos) -> tape_bit tape pos
+    | Deterministic -> failwith "Rand_counter: deterministic processor drew randomness"
+
+  let bool_uncounted r =
+    match r.source with
+    | Stream g -> Prng.bool g
+    | Tape (tape, pos) -> tape_bit tape pos
+    | Deterministic -> failwith "Rand_counter: deterministic processor drew randomness"
+
+  let bits r w =
+    if w < 0 || w > 30 then invalid_arg "Rand_counter.bits: width in [0,30]";
+    r.used <- r.used + w;
+    let v = ref 0 in
+    for i = 0 to w - 1 do
+      if bool_uncounted r then v := !v lor (1 lsl i)
+    done;
+    !v
+
+  let bitvec r len =
+    r.used <- r.used + len;
+    Bitvec.init len (fun _ -> bool_uncounted r)
+
+  let int_below r bound =
+    if bound <= 0 then invalid_arg "Rand_counter.int_below";
+    if bound = 1 then 0
+    else begin
+      let w =
+        let rec width acc v = if v = 0 then acc else width (acc + 1) (v lsr 1) in
+        width 0 (bound - 1)
+      in
+      let rec draw () =
+        let v = bits r w in
+        if v < bound then v else draw ()
+      in
+      draw ()
+    end
+
+  let bernoulli r p =
+    (* Fixed-precision threshold comparison on 30 fresh bits. *)
+    let v = bits r 30 in
+    float_of_int v /. float_of_int (1 lsl 30) < p
+end
+
+type 'out processor = {
+  send : round:int -> int;
+  receive : round:int -> int array -> unit;
+  finish : unit -> 'out;
+}
+
+type 'out protocol = {
+  name : string;
+  msg_bits : int;
+  rounds : int;
+  spawn : id:int -> n:int -> input:Bitvec.t -> rand:Rand_counter.t -> 'out processor;
+}
+
+type 'out result = {
+  transcript : Transcript.t;
+  outputs : 'out array;
+  rounds_used : int;
+  broadcast_bits : int;
+  random_bits : int array;
+}
+
+let run_with_sources proto ~inputs ~sources =
+  let n = Array.length inputs in
+  if n = 0 then invalid_arg "Bcast.run: no processors";
+  if Array.length sources <> n then invalid_arg "Bcast.run: sources/inputs mismatch";
+  let procs =
+    Array.init n (fun id -> proto.spawn ~id ~n ~input:inputs.(id) ~rand:sources.(id))
+  in
+  let transcript = ref (Transcript.empty ~msg_bits:proto.msg_bits) in
+  let turn = ref 0 in
+  for round = 0 to proto.rounds - 1 do
+    let messages = Array.map (fun p -> p.send ~round) procs in
+    Array.iteri
+      (fun sender value ->
+        transcript :=
+          Transcript.append !transcript { Transcript.turn = !turn; round; sender; value };
+        incr turn)
+      messages;
+    Array.iter (fun p -> p.receive ~round messages) procs
+  done;
+  {
+    transcript = !transcript;
+    outputs = Array.map (fun p -> p.finish ()) procs;
+    rounds_used = proto.rounds;
+    broadcast_bits = proto.rounds * n * proto.msg_bits;
+    random_bits = Array.map Rand_counter.bits_used sources;
+  }
+
+let run proto ~inputs ~rand =
+  let n = Array.length inputs in
+  let sources = Array.init n (fun i -> Rand_counter.make (Prng.split rand i)) in
+  run_with_sources proto ~inputs ~sources
+
+let run_deterministic proto ~inputs =
+  let n = Array.length inputs in
+  let sources = Array.init n (fun _ -> Rand_counter.deterministic ()) in
+  run_with_sources proto ~inputs ~sources
+
+let msg_bits_for_log_n n =
+  if n < 2 then 1
+  else begin
+    let rec width acc v = if v = 0 then acc else width (acc + 1) (v lsr 1) in
+    width 0 (n - 1)
+  end
+
+let map_output f proto =
+  {
+    proto with
+    spawn =
+      (fun ~id ~n ~input ~rand ->
+        let p = proto.spawn ~id ~n ~input ~rand in
+        { p with finish = (fun () -> f (p.finish ())) });
+  }
+
+let with_rounds rounds proto = { proto with rounds }
+
+let sequential p1 p2 =
+  if p1.msg_bits <> p2.msg_bits then invalid_arg "Bcast.sequential: msg_bits mismatch";
+  {
+    name = Printf.sprintf "%s; %s" p1.name p2.name;
+    msg_bits = p1.msg_bits;
+    rounds = p1.rounds + p2.rounds;
+    spawn =
+      (fun ~id ~n ~input ~rand ->
+        let a = p1.spawn ~id ~n ~input ~rand in
+        let b = p2.spawn ~id ~n ~input ~rand in
+        {
+          send =
+            (fun ~round ->
+              if round < p1.rounds then a.send ~round
+              else b.send ~round:(round - p1.rounds));
+          receive =
+            (fun ~round messages ->
+              if round < p1.rounds then a.receive ~round messages
+              else b.receive ~round:(round - p1.rounds) messages);
+          finish = (fun () -> (a.finish (), b.finish ()));
+        });
+  }
+
+let parallel_pair p1 p2 =
+  let b1 = p1.msg_bits in
+  if b1 + p2.msg_bits > 30 then invalid_arg "Bcast.parallel_pair: combined width > 30";
+  {
+    name = Printf.sprintf "%s || %s" p1.name p2.name;
+    msg_bits = b1 + p2.msg_bits;
+    rounds = max p1.rounds p2.rounds;
+    spawn =
+      (fun ~id ~n ~input ~rand ->
+        let a = p1.spawn ~id ~n ~input ~rand in
+        let b = p2.spawn ~id ~n ~input ~rand in
+        let mask1 = (1 lsl b1) - 1 in
+        {
+          send =
+            (fun ~round ->
+              let va = if round < p1.rounds then a.send ~round else 0 in
+              let vb = if round < p2.rounds then b.send ~round else 0 in
+              va lor (vb lsl b1));
+          receive =
+            (fun ~round messages ->
+              if round < p1.rounds then
+                a.receive ~round (Array.map (fun v -> v land mask1) messages);
+              if round < p2.rounds then
+                b.receive ~round (Array.map (fun v -> v lsr b1) messages));
+          finish = (fun () -> (a.finish (), b.finish ()));
+        });
+  }

@@ -1,0 +1,61 @@
+type entry = { turn : int; round : int; sender : int; value : int }
+
+(* Entries kept in reverse chronological order for O(1) append. *)
+type t = { msg_bits : int; rev_entries : entry list; len : int }
+
+let empty ~msg_bits =
+  if msg_bits < 1 || msg_bits > 30 then invalid_arg "Transcript.empty: msg_bits in [1,30]";
+  { msg_bits; rev_entries = []; len = 0 }
+
+let msg_bits t = t.msg_bits
+
+let append t e =
+  if e.value < 0 || e.value >= 1 lsl t.msg_bits then
+    invalid_arg "Transcript.append: message value out of range";
+  { t with rev_entries = e :: t.rev_entries; len = t.len + 1 }
+
+let length t = t.len
+
+let entries t = List.rev t.rev_entries
+
+let entry t i =
+  if i < 0 || i >= t.len then invalid_arg "Transcript.entry: index out of range";
+  List.nth t.rev_entries (t.len - 1 - i)
+
+let messages_of_round t r =
+  List.filter_map
+    (fun e -> if e.round = r then Some (e.sender, e.value) else None)
+    (entries t)
+
+let messages_of_sender t i =
+  List.filter_map
+    (fun e -> if e.sender = i then Some (e.turn, e.value) else None)
+    (entries t)
+
+let bit_length t = t.len * t.msg_bits
+
+let key t =
+  let buf = Buffer.create (16 + (t.len * 6)) in
+  Buffer.add_string buf (string_of_int t.msg_bits);
+  List.iter
+    (fun e ->
+      Buffer.add_char buf '|';
+      Buffer.add_string buf (string_of_int e.sender);
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (string_of_int e.value))
+    (entries t);
+  Buffer.contents buf
+
+let prefix t i =
+  if i < 0 || i > t.len then invalid_arg "Transcript.prefix";
+  let rec drop k l = if k = 0 then l else match l with [] -> [] | _ :: tl -> drop (k - 1) tl in
+  { t with rev_entries = drop (t.len - i) t.rev_entries; len = i }
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "turn %d (round %d): processor %d -> %d@ " e.turn e.round
+        e.sender e.value)
+    (entries t);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,76 @@
+type 'out processor = {
+  send : round:int -> int array;
+  receive : round:int -> int array -> unit;
+  finish : unit -> 'out;
+}
+
+type 'out protocol = {
+  name : string;
+  msg_bits : int;
+  rounds : int;
+  spawn : id:int -> n:int -> input:Bitvec.t -> rand:Bcast.Rand_counter.t -> 'out processor;
+}
+
+type 'out result = {
+  outputs : 'out array;
+  rounds_used : int;
+  channel_bits : int;
+  random_bits : int array;
+}
+
+let run_with_sources proto ~inputs ~sources =
+  let n = Array.length inputs in
+  if n = 0 then invalid_arg "Unicast.run: no processors";
+  let max_value = 1 lsl proto.msg_bits in
+  let procs =
+    Array.init n (fun id -> proto.spawn ~id ~n ~input:inputs.(id) ~rand:sources.(id))
+  in
+  for round = 0 to proto.rounds - 1 do
+    (* outboxes.(i).(j): i's message to j. *)
+    let outboxes = Array.map (fun p -> p.send ~round) procs in
+    Array.iteri
+      (fun i out ->
+        if Array.length out <> n then invalid_arg "Unicast.run: outbox size mismatch";
+        Array.iter
+          (fun v -> if v < 0 || v >= max_value then
+              invalid_arg "Unicast.run: message value out of range")
+          out;
+        ignore i)
+      outboxes;
+    Array.iteri
+      (fun j p ->
+        let inbox = Array.init n (fun i -> outboxes.(i).(j)) in
+        p.receive ~round inbox)
+      procs
+  done;
+  {
+    outputs = Array.map (fun p -> p.finish ()) procs;
+    rounds_used = proto.rounds;
+    channel_bits = proto.rounds * n * (n - 1) * proto.msg_bits;
+    random_bits = Array.map Bcast.Rand_counter.bits_used sources;
+  }
+
+let run proto ~inputs ~rand =
+  let n = Array.length inputs in
+  let sources = Array.init n (fun i -> Bcast.Rand_counter.make (Prng.split rand i)) in
+  run_with_sources proto ~inputs ~sources
+
+let run_deterministic proto ~inputs =
+  let n = Array.length inputs in
+  let sources = Array.init n (fun _ -> Bcast.Rand_counter.deterministic ()) in
+  run_with_sources proto ~inputs ~sources
+
+let lift_broadcast (bp : 'out Bcast.protocol) =
+  {
+    name = bp.Bcast.name ^ " (lifted to unicast)";
+    msg_bits = bp.Bcast.msg_bits;
+    rounds = bp.Bcast.rounds;
+    spawn =
+      (fun ~id ~n ~input ~rand ->
+        let p = bp.Bcast.spawn ~id ~n ~input ~rand in
+        {
+          send = (fun ~round -> Array.make n (p.Bcast.send ~round));
+          receive = (fun ~round inbox -> p.Bcast.receive ~round inbox);
+          finish = p.Bcast.finish;
+        });
+  }

@@ -1,0 +1,190 @@
+type t = { len : int; words : int64 array }
+
+let bits_per_word = 64
+
+let word_count len = (len + bits_per_word - 1) / bits_per_word
+
+let create len =
+  if len < 0 then invalid_arg "Bitvec.create: negative length";
+  { len; words = Array.make (word_count len) 0L }
+
+let length v = v.len
+
+let check_index v i =
+  if i < 0 || i >= v.len then invalid_arg "Bitvec: index out of bounds"
+
+let get v i =
+  check_index v i;
+  Int64.logand (Int64.shift_right_logical v.words.(i / 64) (i mod 64)) 1L = 1L
+
+let set v i b =
+  check_index v i;
+  let w = i / 64 and s = i mod 64 in
+  if b then v.words.(w) <- Int64.logor v.words.(w) (Int64.shift_left 1L s)
+  else v.words.(w) <- Int64.logand v.words.(w) (Int64.lognot (Int64.shift_left 1L s))
+
+let flip v i =
+  check_index v i;
+  let w = i / 64 and s = i mod 64 in
+  v.words.(w) <- Int64.logxor v.words.(w) (Int64.shift_left 1L s)
+
+let init len f =
+  let v = create len in
+  for i = 0 to len - 1 do
+    if f i then set v i true
+  done;
+  v
+
+let copy v = { len = v.len; words = Array.copy v.words }
+
+let of_bool_array a = init (Array.length a) (Array.get a)
+
+let to_bool_array v = Array.init v.len (get v)
+
+let of_int ~width x =
+  if width < 0 || width > 62 then invalid_arg "Bitvec.of_int: width out of range";
+  init width (fun i -> (x lsr i) land 1 = 1)
+
+let to_int v =
+  if v.len > 62 then invalid_arg "Bitvec.to_int: vector too long";
+  let r = ref 0 in
+  for i = v.len - 1 downto 0 do
+    r := (!r lsl 1) lor (if get v i then 1 else 0)
+  done;
+  !r
+
+let of_string s =
+  init (String.length s) (fun i ->
+      match s.[i] with
+      | '0' -> false
+      | '1' -> true
+      | _ -> invalid_arg "Bitvec.of_string: expected '0' or '1'")
+
+let to_string v = String.init v.len (fun i -> if get v i then '1' else '0')
+
+(* Clear any garbage bits above [len] in the last word; bulk operations such
+   as [lognot] can set them and popcount/equality must not see them. *)
+let normalize v =
+  let r = v.len mod 64 in
+  if r <> 0 && Array.length v.words > 0 then begin
+    let last = Array.length v.words - 1 in
+    let mask = Int64.sub (Int64.shift_left 1L r) 1L in
+    v.words.(last) <- Int64.logand v.words.(last) mask
+  end
+
+let ones len =
+  let v = { len; words = Array.make (word_count len) (-1L) } in
+  normalize v;
+  v
+
+let check_same_len a b op =
+  if a.len <> b.len then invalid_arg ("Bitvec." ^ op ^ ": length mismatch")
+
+let map2 op a b name =
+  check_same_len a b name;
+  let words = Array.init (Array.length a.words) (fun i -> op a.words.(i) b.words.(i)) in
+  let v = { len = a.len; words } in
+  normalize v;
+  v
+
+let xor a b = map2 Int64.logxor a b "xor"
+let logand a b = map2 Int64.logand a b "logand"
+let logor a b = map2 Int64.logor a b "logor"
+
+let xor_inplace dst src =
+  check_same_len dst src "xor_inplace";
+  for i = 0 to Array.length dst.words - 1 do
+    dst.words.(i) <- Int64.logxor dst.words.(i) src.words.(i)
+  done
+
+let lognot v =
+  let words = Array.map Int64.lognot v.words in
+  let r = { len = v.len; words } in
+  normalize r;
+  r
+
+let popcount_word w =
+  (* SWAR popcount on int64. *)
+  let w = Int64.sub w (Int64.logand (Int64.shift_right_logical w 1) 0x5555555555555555L) in
+  let w =
+    Int64.add
+      (Int64.logand w 0x3333333333333333L)
+      (Int64.logand (Int64.shift_right_logical w 2) 0x3333333333333333L)
+  in
+  let w = Int64.logand (Int64.add w (Int64.shift_right_logical w 4)) 0x0f0f0f0f0f0f0f0fL in
+  Int64.to_int (Int64.shift_right_logical (Int64.mul w 0x0101010101010101L) 56)
+
+let popcount v = Array.fold_left (fun acc w -> acc + popcount_word w) 0 v.words
+
+let is_zero v = Array.for_all (fun w -> w = 0L) v.words
+
+let dot a b =
+  check_same_len a b "dot";
+  let parity = ref 0 in
+  for i = 0 to Array.length a.words - 1 do
+    parity := !parity lxor (popcount_word (Int64.logand a.words.(i) b.words.(i)) land 1)
+  done;
+  !parity = 1
+
+let equal a b = a.len = b.len && Array.for_all2 Int64.equal a.words b.words
+
+let compare a b =
+  let c = Stdlib.compare a.len b.len in
+  if c <> 0 then c else Stdlib.compare a.words b.words
+
+let hash v = Hashtbl.hash (v.len, v.words)
+
+let blit ~src ~src_pos ~dst ~dst_pos ~len =
+  if len < 0 || src_pos < 0 || dst_pos < 0
+     || src_pos + len > src.len || dst_pos + len > dst.len
+  then invalid_arg "Bitvec.blit: range out of bounds";
+  for i = 0 to len - 1 do
+    set dst (dst_pos + i) (get src (src_pos + i))
+  done
+
+let sub v ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > v.len then invalid_arg "Bitvec.sub";
+  let r = create len in
+  blit ~src:v ~src_pos:pos ~dst:r ~dst_pos:0 ~len;
+  r
+
+let concat a b =
+  let r = create (a.len + b.len) in
+  blit ~src:a ~src_pos:0 ~dst:r ~dst_pos:0 ~len:a.len;
+  blit ~src:b ~src_pos:0 ~dst:r ~dst_pos:a.len ~len:b.len;
+  r
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i (get v i)
+  done
+
+let fold_left f acc v =
+  let acc = ref acc in
+  iteri (fun _ b -> acc := f !acc b) v;
+  !acc
+
+let iter_set f v =
+  for wi = 0 to Array.length v.words - 1 do
+    let w = ref v.words.(wi) in
+    while !w <> 0L do
+      (* Extract lowest set bit. *)
+      let low = Int64.logand !w (Int64.neg !w) in
+      let bit = popcount_word (Int64.sub low 1L) in
+      f ((wi * 64) + bit);
+      w := Int64.logxor !w low
+    done
+  done
+
+let indices_set v =
+  let acc = ref [] in
+  iter_set (fun i -> acc := i :: !acc) v;
+  List.rev !acc
+
+let map f v = init v.len (fun i -> f (get v i))
+
+let set_indices v is = List.iter (fun i -> set v i true) is
+
+let restrict_ones v is = List.for_all (get v) is
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)

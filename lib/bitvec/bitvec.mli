@@ -1,0 +1,98 @@
+(** Packed bit vectors over GF(2).
+
+    A [Bitvec.t] is a fixed-length sequence of bits stored in [int64] words.
+    It is the base currency of the whole library: processor inputs, rows of
+    adjacency matrices, broadcast messages, and PRG outputs are all bit
+    vectors.  Unless stated otherwise, operations on two vectors require the
+    vectors to have the same length and raise [Invalid_argument] otherwise.
+
+    Vectors are mutable; functions ending in [_inplace] mutate their first
+    argument, everything else returns a fresh vector. *)
+
+type t
+
+(** {1 Construction} *)
+
+val create : int -> t
+(** [create len] is the all-zeros vector of length [len].  [len >= 0]. *)
+
+val init : int -> (int -> bool) -> t
+(** [init len f] sets bit [i] to [f i]. *)
+
+val copy : t -> t
+
+val of_bool_array : bool array -> t
+val to_bool_array : t -> bool array
+
+val of_int : width:int -> int -> t
+(** [of_int ~width v] is the low [width] bits of [v], bit [i] being
+    [(v lsr i) land 1].  Requires [0 <= width <= 62]. *)
+
+val to_int : t -> int
+(** Inverse of [of_int]; requires [length <= 62]. *)
+
+val of_string : string -> t
+(** [of_string "0110"] has bit 0 = '0', bit 1 = '1', ... Raises
+    [Invalid_argument] on characters other than '0' and '1'. *)
+
+val to_string : t -> string
+
+val ones : int -> t
+(** [ones len] is the all-ones vector. *)
+
+(** {1 Access} *)
+
+val length : t -> int
+val get : t -> int -> bool
+val set : t -> int -> bool -> unit
+val flip : t -> int -> unit
+
+(** {1 Bulk operations} *)
+
+val xor : t -> t -> t
+val xor_inplace : t -> t -> unit
+(** [xor_inplace dst src] sets [dst <- dst xor src]. *)
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val lognot : t -> t
+
+val popcount : t -> int
+(** Number of set bits. *)
+
+val is_zero : t -> bool
+
+val dot : t -> t -> bool
+(** GF(2) inner product: parity of [popcount (logand a b)]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** {1 Slicing and concatenation} *)
+
+val sub : t -> pos:int -> len:int -> t
+val concat : t -> t -> t
+val blit : src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> unit
+
+(** {1 Iteration} *)
+
+val iteri : (int -> bool -> unit) -> t -> unit
+val fold_left : ('a -> bool -> 'a) -> 'a -> t -> 'a
+val iter_set : (int -> unit) -> t -> unit
+(** [iter_set f v] calls [f i] for every set bit [i], in increasing order. *)
+
+val indices_set : t -> int list
+(** Positions of set bits, increasing. *)
+
+val map : (bool -> bool) -> t -> t
+
+(** {1 Support operations} *)
+
+val set_indices : t -> int list -> unit
+(** Set the given positions to 1. *)
+
+val restrict_ones : t -> int list -> bool
+(** [restrict_ones v is] is [true] iff every position in [is] is set. *)
+
+val pp : Format.formatter -> t -> unit

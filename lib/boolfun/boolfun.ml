@@ -1,0 +1,136 @@
+type t = { n : int; table : Bytes.t }
+
+let max_arity = 24
+
+let check_arity n =
+  if n < 0 || n > max_arity then invalid_arg "Boolfun: arity out of range [0, 24]"
+
+let size n = 1 lsl n
+
+let of_table n tbl =
+  check_arity n;
+  if Array.length tbl <> size n then invalid_arg "Boolfun.of_table: wrong table size";
+  let bytes = Bytes.make (size n) '\000' in
+  Array.iteri (fun i b -> if b then Bytes.set bytes i '\001') tbl;
+  { n; table = bytes }
+
+let of_fun n f =
+  check_arity n;
+  let bytes = Bytes.make (size n) '\000' in
+  for x = 0 to size n - 1 do
+    if f (Bitvec.of_int ~width:n x) then Bytes.set bytes x '\001'
+  done;
+  { n; table = bytes }
+
+let arity f = f.n
+
+let eval_int f x =
+  if x < 0 || x >= size f.n then invalid_arg "Boolfun.eval_int: out of range";
+  Bytes.get f.table x = '\001'
+
+let eval f v =
+  if Bitvec.length v <> f.n then invalid_arg "Boolfun.eval: arity mismatch";
+  eval_int f (Bitvec.to_int v)
+
+let const n b =
+  check_arity n;
+  { n; table = Bytes.make (size n) (if b then '\001' else '\000') }
+
+let dictator n i =
+  if i < 0 || i >= n then invalid_arg "Boolfun.dictator";
+  of_fun n (fun x -> Bitvec.get x i)
+
+let parity n coords =
+  List.iter (fun i -> if i < 0 || i >= n then invalid_arg "Boolfun.parity") coords;
+  of_fun n (fun x -> List.fold_left (fun acc i -> acc <> Bitvec.get x i) false coords)
+
+let threshold n t = of_fun n (fun x -> Bitvec.popcount x >= t)
+
+let majority n = threshold n ((n / 2) + 1)
+
+let random g n =
+  check_arity n;
+  { n; table = Bytes.init (size n) (fun _ -> if Prng.bool g then '\001' else '\000') }
+
+let random_biased g n p =
+  check_arity n;
+  { n; table = Bytes.init (size n) (fun _ -> if Prng.bernoulli g p then '\001' else '\000') }
+
+let bias f =
+  let count = ref 0 in
+  for x = 0 to size f.n - 1 do
+    if eval_int f x then incr count
+  done;
+  float_of_int !count /. float_of_int (size f.n)
+
+(* Mask of coordinates forced to 1: iterate only over inputs containing the
+   mask by enumerating the complement sub-cube. *)
+let forced_mask n coords =
+  List.fold_left
+    (fun acc i ->
+      if i < 0 || i >= n then invalid_arg "Boolfun: coordinate out of range";
+      acc lor (1 lsl i))
+    0 coords
+
+(* Enumerate all x >= mask that contain mask, by iterating subsets of the
+   free coordinates. *)
+let iter_supercube n mask f =
+  let free = lnot mask land (size n - 1) in
+  (* Standard subset-enumeration trick over the free bits. *)
+  let s = ref free in
+  let continue = ref true in
+  while !continue do
+    f (mask lor !s);
+    if !s = 0 then continue := false else s := (!s - 1) land free
+  done
+
+let bias_forced_ones f coords =
+  let mask = forced_mask f.n coords in
+  let count = ref 0 and total = ref 0 in
+  iter_supercube f.n mask (fun x ->
+      incr total;
+      if eval_int f x then incr count);
+  float_of_int !count /. float_of_int !total
+
+let bias_on f mem =
+  let count = ref 0 and total = ref 0 in
+  for x = 0 to size f.n - 1 do
+    if mem x then begin
+      incr total;
+      if eval_int f x then incr count
+    end
+  done;
+  if !total = 0 then invalid_arg "Boolfun.bias_on: empty domain";
+  float_of_int !count /. float_of_int !total
+
+let bias_forced_ones_on f mem coords =
+  let mask = forced_mask f.n coords in
+  let count = ref 0 and total = ref 0 in
+  iter_supercube f.n mask (fun x ->
+      if mem x then begin
+        incr total;
+        if eval_int f x then incr count
+      end);
+  if !total = 0 then None else Some (float_of_int !count /. float_of_int !total)
+
+let output_distance f coords =
+  Float.abs (bias f -. bias_forced_ones f coords)
+
+let output_distance_on f mem coords =
+  match bias_forced_ones_on f mem coords with
+  | None -> 1.0
+  | Some restricted -> Float.abs (bias_on f mem -. restricted)
+
+let restrict f assigns =
+  let fixed_mask = List.fold_left (fun acc (i, _) -> acc lor (1 lsl i)) 0 assigns in
+  let fixed_val =
+    List.fold_left (fun acc (i, b) -> if b then acc lor (1 lsl i) else acc) 0 assigns
+  in
+  let free = List.filter (fun i -> fixed_mask land (1 lsl i) = 0)
+      (List.init f.n (fun i -> i)) in
+  let m = List.length free in
+  let free_arr = Array.of_list free in
+  of_fun m (fun y ->
+      let x = ref fixed_val in
+      Array.iteri (fun j i -> if Bitvec.get y j then x := !x lor (1 lsl i)) free_arr;
+      eval_int f !x)

@@ -1,0 +1,77 @@
+(** Boolean functions on the hypercube as explicit truth tables.
+
+    A {!t} represents [f : {0,1}^n -> {0,1}] (or, more generally, a real
+    valued function) as an array indexed by the integer encoding of the
+    input: input [x] corresponds to index [sum_i x_i 2^i], matching
+    {!Bitvec.to_int}.  Everything in Lemmas 1.8/1.10/4.3/4.4/5.2 is an
+    expectation over sub-cubes of such functions, which this module computes
+    exactly for [n] up to ~24. *)
+
+type t
+(** A Boolean function as a packed truth table with its arity. *)
+
+(** {1 Construction} *)
+
+val of_fun : int -> (Bitvec.t -> bool) -> t
+(** [of_fun n f] tabulates [f] on all [2^n] inputs.  [n <= 24]. *)
+
+val of_table : int -> bool array -> t
+(** [of_table n tbl] with [Array.length tbl = 2^n]. *)
+
+val const : int -> bool -> t
+val dictator : int -> int -> t
+(** [dictator n i] is [fun x -> x_i]. *)
+
+val parity : int -> int list -> t
+(** Parity of the given coordinates. *)
+
+val majority : int -> t
+(** 1 iff more than half the bits are set (ties broken to 0). *)
+
+val threshold : int -> int -> t
+(** [threshold n t] is 1 iff at least [t] bits are set. *)
+
+val random : Prng.t -> int -> t
+(** Uniformly random function: each output an independent fair bit. *)
+
+val random_biased : Prng.t -> int -> float -> t
+(** Each output 1 independently with probability [p]. *)
+
+(** {1 Access} *)
+
+val arity : t -> int
+val eval : t -> Bitvec.t -> bool
+val eval_int : t -> int -> bool
+
+(** {1 Expectations over sub-cubes} *)
+
+val bias : t -> float
+(** [E_{x ~ U_n} f(x)]. *)
+
+val bias_forced_ones : t -> int list -> float
+(** [bias_forced_ones f c] is [E[f(x)]] for [x ~ U_n^C]: uniform over inputs
+    with [x_i = 1] for every [i] in [c] — the planted-clique restriction. *)
+
+val bias_on : t -> (int -> bool) -> float
+(** [bias_on f mem] is [E[f(x)]] over the subdomain [D = { x : mem x }]
+    ([x] given by its integer encoding).  Raises [Invalid_argument] if [D]
+    is empty. *)
+
+val bias_forced_ones_on : t -> (int -> bool) -> int list -> float option
+(** Bias over [D ∩ {x : x_i = 1, i ∈ c}]; [None] if the set is empty
+    (the paper's convention then counts distance 1). *)
+
+val output_distance : t -> int list -> float
+(** [‖f(U_n) − f(U_n^C)‖] — for Boolean outputs this is
+    [|bias f − bias_forced_ones f c|] (the quantity bounded by Lemma 1.8). *)
+
+val output_distance_on : t -> (int -> bool) -> int list -> float
+(** Same over a subdomain [D] (Lemma 4.3); distance 1 when the restricted
+    set is empty, per the paper's convention. *)
+
+(** {1 Restrictions} *)
+
+val restrict : t -> (int * bool) list -> t
+(** [restrict f assigns] fixes the given coordinates and returns a function
+    of the remaining [n - |assigns|] coordinates (in increasing original
+    order). *)

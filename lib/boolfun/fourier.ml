@@ -1,0 +1,85 @@
+let real_table f =
+  let n = Boolfun.arity f in
+  Array.init (1 lsl n) (fun x -> if Boolfun.eval_int f x then 1.0 else 0.0)
+
+let wht_inplace a =
+  let n = Array.length a in
+  if n land (n - 1) <> 0 then invalid_arg "Fourier.wht_inplace: length not a power of two";
+  let h = ref 1 in
+  while !h < n do
+    let step = !h * 2 in
+    let i = ref 0 in
+    while !i < n do
+      for j = !i to !i + !h - 1 do
+        let x = a.(j) and y = a.(j + !h) in
+        a.(j) <- x +. y;
+        a.(j + !h) <- x -. y
+      done;
+      i := !i + step
+    done;
+    h := step
+  done
+
+let transform f =
+  let a = real_table f in
+  wht_inplace a;
+  let scale = 1.0 /. float_of_int (Array.length a) in
+  Array.map (fun v -> v *. scale) a
+
+let popcount_parity v =
+  let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc <> (v land 1 = 1)) in
+  go v false
+
+let coefficient f s =
+  let n = Boolfun.arity f in
+  let acc = ref 0.0 in
+  for x = 0 to (1 lsl n) - 1 do
+    if Boolfun.eval_int f x then begin
+      (* (-1)^{|S ∩ x|} *)
+      let sign = if popcount_parity (s land x) then -1.0 else 1.0 in
+      acc := !acc +. sign
+    end
+  done;
+  !acc /. float_of_int (1 lsl n)
+
+let parseval_gap f =
+  let coeffs = transform f in
+  let sum_sq = Array.fold_left (fun acc c -> acc +. (c *. c)) 0.0 coeffs in
+  (* f is Boolean so E[f^2] = E[f] = bias. *)
+  Float.abs (Boolfun.bias f -. sum_sq)
+
+let influence f i =
+  let n = Boolfun.arity f in
+  if i < 0 || i >= n then invalid_arg "Fourier.influence";
+  let flips = ref 0 in
+  for x = 0 to (1 lsl n) - 1 do
+    if Boolfun.eval_int f x <> Boolfun.eval_int f (x lxor (1 lsl i)) then incr flips
+  done;
+  float_of_int !flips /. float_of_int (1 lsl n)
+
+let total_influence f =
+  let n = Boolfun.arity f in
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    total := !total +. influence f i
+  done;
+  !total
+
+let spectral_total_influence f =
+  let coeffs = transform f in
+  let total = ref 0.0 in
+  Array.iteri
+    (fun s c ->
+      let weight =
+        let rec pop v acc = if v = 0 then acc else pop (v lsr 1) (acc + (v land 1)) in
+        pop s 0
+      in
+      total := !total +. (float_of_int weight *. (2.0 *. c) *. (2.0 *. c)))
+    coeffs;
+  !total
+
+let inverse n coeffs =
+  if Array.length coeffs <> 1 lsl n then invalid_arg "Fourier.inverse: wrong length";
+  let a = Array.copy coeffs in
+  wht_inplace a;
+  a

@@ -1,0 +1,74 @@
+(** Facade for the bcclique library: one entry point re-exporting every
+    public module, grouped the way DESIGN.md describes the system.
+
+    {1 Substrates}
+    - {!Bitvec}: packed GF(2) bit vectors
+    - {!Gf2_matrix}, {!Gf2_rank_dist}: GF(2) linear algebra and Kolchin rank
+      statistics
+    - {!Prng}: deterministic splittable randomness
+    - {!Dist}, {!Info}, {!Stats}: finite distributions, information theory,
+      concentration helpers
+    - {!Boolfun}, {!Fourier}, {!Restriction}: analysis of Boolean functions
+    - {!Digraph}, {!Planted}, {!Clique}: directed graphs and the planted
+      clique distributions
+
+    {1 The model}
+    - {!Bcast}: the Broadcast Congested Clique simulator
+    - {!Transcript}: broadcast histories
+    - {!Turn_model}: the paper's relaxed sequential-turn model
+
+    {1 The paper's contributions}
+    - {!Toy_prg}, {!Full_prg}, {!Derandomize}, {!Newman}: the PRG of
+      Theorem 1.3 and its applications
+    - {!Planted_clique_algo}: Theorem B.1
+    - {!Distinguishers}, {!Full_rank}, {!Seed_attack}, {!Equality}:
+      protocol suite
+    - {!Lemma_verify}, {!Progress}, {!Subset_tree}, {!Advantage}: the
+      lower-bound framework as executable mathematics
+    - {!Experiments}: the E1-E14 drivers behind the benchmark harness *)
+
+module Bitvec = Bitvec
+module Gf2_matrix = Gf2_matrix
+module Gf2_rank_dist = Gf2_rank_dist
+module Prng = Prng
+module Dist = Dist
+module Info = Info
+module Stats = Stats
+module Boolfun = Boolfun
+module Fourier = Fourier
+module Restriction = Restriction
+module Digraph = Digraph
+module Planted = Planted
+module Clique = Clique
+module Sbm = Sbm
+module Triangles = Triangles
+module Gnp = Gnp
+module Wgraph = Wgraph
+module Hamilton = Hamilton
+module Agm_sketch = Agm_sketch
+module Bcast = Bcast
+module Transcript = Transcript
+module Turn_model = Turn_model
+module Unicast = Unicast
+module Toy_prg = Toy_prg
+module Full_prg = Full_prg
+module Derandomize = Derandomize
+module Newman = Newman
+module Planted_clique_algo = Planted_clique_algo
+module Distinguishers = Distinguishers
+module Distinguisher_protocols = Distinguisher_protocols
+module Unicast_clique = Unicast_clique
+module Connectivity = Connectivity
+module F2_moment = F2_moment
+module Full_rank = Full_rank
+module Seed_attack = Seed_attack
+module Equality = Equality
+module Lemma_verify = Lemma_verify
+module Progress = Progress
+module Subset_tree = Subset_tree
+module Advantage = Advantage
+module Framework = Framework
+module Consistency = Consistency
+module Prg_progress = Prg_progress
+module Twoparty = Twoparty
+module Experiments = Experiments

@@ -1,0 +1,1302 @@
+type table = {
+  id : string;
+  title : string;
+  columns : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let foi = float_of_int
+
+let f4 x =
+  if Float.is_nan x then "nan"
+  else if Float.abs x >= 1000.0 then Printf.sprintf "%.3e" x
+  else Printf.sprintf "%.4f" x
+
+let print fmt t =
+  let widths =
+    List.mapi
+      (fun i c ->
+        List.fold_left (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length c) t.rows)
+      t.columns
+  in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let print_row cells =
+    Format.fprintf fmt "  %s@."
+      (String.concat "  " (List.map2 pad cells widths))
+  in
+  Format.fprintf fmt "@.== %s: %s ==@." (String.uppercase_ascii t.id) t.title;
+  print_row t.columns;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row t.rows;
+  List.iter (fun n -> Format.fprintf fmt "  note: %s@." n) t.notes
+
+let to_csv t =
+  let escape cell =
+    if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+      "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+    else cell
+  in
+  let line cells = String.concat "," (List.map escape cells) in
+  String.concat "\n" (line t.columns :: List.map line t.rows) ^ "\n"
+
+(* Shared function families for the lemma experiments. *)
+let function_family g n =
+  [
+    ("majority", Boolfun.majority n);
+    ("dictator0", Boolfun.dictator n 0);
+    ("parity-all", Boolfun.parity n (List.init n (fun i -> i)));
+    ("threshold-60%", Boolfun.threshold n (n * 3 / 5));
+    ("random", Boolfun.random g n);
+    ("random-biased-0.1", Boolfun.random_biased g n 0.1);
+  ]
+
+(* ------------------------------------------------------------------ E1 *)
+
+let e1_lemma_1_10 ?(seed = 42) () =
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      let g = Prng.create (seed + n) in
+      List.iter
+        (fun (name, f) ->
+          let c = Lemma_verify.lemma_1_10 f in
+          rows :=
+            [ string_of_int n; name; f4 c.measured; f4 c.bound;
+              (if Lemma_verify.holds c then "yes" else "NO") ]
+            :: !rows)
+        (function_family g n))
+    [ 8; 12; 16 ];
+  {
+    id = "e1";
+    title = "Lemma 1.10: E_i ||f(U) - f(U^[i])|| <= 2/sqrt(n), exact";
+    columns = [ "n"; "f"; "measured"; "bound"; "holds" ];
+    rows = List.rev !rows;
+    notes = [ "exact enumeration over all 2^n inputs and all n coordinates" ];
+  }
+
+(* ------------------------------------------------------------------ E2 *)
+
+let e2_lemma_1_8 ?(seed = 42) () =
+  let n = 16 in
+  let g = Prng.create seed in
+  let fams = function_family g n in
+  let rows = ref [] in
+  List.iter
+    (fun k ->
+      List.iter
+        (fun (name, f) ->
+          let c = Lemma_verify.lemma_1_8 (Prng.create (seed + k)) f ~k in
+          rows :=
+            [ string_of_int n; string_of_int k; name; f4 c.measured; f4 c.bound;
+              (if Lemma_verify.holds c then "yes" else "NO") ]
+            :: !rows)
+        fams)
+    [ 1; 2; 3; 4 ];
+  {
+    id = "e2";
+    title = "Lemma 1.8: E_C ||f(U) - f(U^C)|| <= 2k/sqrt(n-k), exact over cliques";
+    columns = [ "n"; "k"; "f"; "measured"; "bound"; "holds" ];
+    rows = List.rev !rows;
+    notes = [ "growth linear in k, as the hybrid proof predicts" ];
+  }
+
+(* ------------------------------------------------------------------ E3 *)
+
+let e3_restricted_lemmas ?(seed = 42) () =
+  let n = 14 in
+  let g = Prng.create seed in
+  let rows = ref [] in
+  List.iter
+    (fun t ->
+      let d = Restriction.random_of_deficit g ~n ~t:(foi t) in
+      let f = Boolfun.random g n in
+      let c44 = Lemma_verify.lemma_4_4 d f in
+      let c43 = Lemma_verify.lemma_4_3 g d f ~k:2 in
+      let st = Subset_tree.simulate g ~d ~k:3 ~trials:300 in
+      rows :=
+        [ string_of_int n; string_of_int t;
+          f4 c44.measured; f4 c44.bound;
+          f4 c43.measured; f4 c43.bound;
+          f4 st.Subset_tree.prob_z_exceeds_3t; f4 st.Subset_tree.bad_edge_rate ]
+        :: !rows)
+    [ 1; 2; 4 ];
+  {
+    id = "e3";
+    title = "Lemmas 4.3/4.4 on restricted domains |D| = 2^(n-t), plus Claim 3 walk";
+    columns =
+      [ "n"; "t"; "L4.4 meas"; "L4.4 bound"; "L4.3 meas"; "L4.3 bound";
+        "Pr[Z>3t]"; "bad-edge rate" ];
+    rows = List.rev !rows;
+    notes =
+      [ "Claim 3 predicts Pr[Z>3t] = O(t*k/n) and bad-edge rate O(t/n)";
+        "k = 2 for L4.3, walk length 3" ];
+  }
+
+(* ------------------------------------------------------------------ E4 *)
+
+(* Natural one-round turn-model protocols on n=4 planted clique inputs. *)
+let e4_protocols n =
+  let majority_bit input =
+    Bitvec.popcount input * 2 > Bitvec.length input
+  in
+  [
+    ( "first-bit",
+      Turn_model.of_round_protocol ~n ~rounds:1 (fun ~id:_ ~input ~history:_ ->
+          Bitvec.get input 0) );
+    ( "row-majority",
+      Turn_model.of_round_protocol ~n ~rounds:1 (fun ~id:_ ~input ~history:_ ->
+          majority_bit input) );
+    ( "adaptive-majority",
+      Turn_model.of_round_protocol ~n ~rounds:1 (fun ~id:_ ~input ~history ->
+          let seen = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 history in
+          Bitvec.popcount input + seen > Bitvec.length input) );
+    ( "two-round-parity",
+      Turn_model.of_round_protocol ~n ~rounds:2 (fun ~id:_ ~input ~history ->
+          if Array.length history < n then majority_bit input
+          else begin
+            let parity = Bitvec.popcount input land 1 = 1 in
+            parity <> history.(Array.length history mod n)
+          end) );
+  ]
+
+let e4_one_round_transcripts ?(seed = 42) () =
+  ignore seed;
+  let n = 4 and k = 2 in
+  let rows = ref [] in
+  List.iter
+    (fun (name, proto) ->
+      let turns = proto.Turn_model.turns in
+      let j = turns / n in
+      let progress = Progress.progress_exact proto ~n ~k ~turns in
+      let real = Progress.real_distance_exact proto ~n ~k ~turns in
+      let bound =
+        if j <= 1 then Progress.theorem_1_6_bound ~n ~k
+        else Progress.theorem_4_1_bound ~n ~k ~j
+      in
+      rows :=
+        [ name; string_of_int turns; f4 real; f4 progress; f4 bound ] :: !rows)
+    (e4_protocols n);
+  {
+    id = "e4";
+    title = "Theorems 1.6/4.1: exact transcript distance, n=4, k=2";
+    columns = [ "protocol"; "turns"; "||P_rand-P_k||"; "L_progress"; "bound" ];
+    rows = List.rev !rows;
+    notes =
+      [ "real distance <= progress <= bound must hold row by row";
+        "exact: all 2^12 matrices (and all 2^10 per clique) enumerated" ];
+  }
+
+(* ------------------------------------------------------------------ E5 *)
+
+let e5_distinguisher_advantage ?(seed = 42) ?(n = 256) () =
+  let g = Prng.create seed in
+  let quarter = int_of_float (foi n ** 0.25) in
+  let sqrtn = int_of_float (Float.sqrt (foi n)) in
+  let ks =
+    List.sort_uniq Int.compare
+      [ quarter; 2 * quarter; sqrtn / 2; sqrtn; 2 * sqrtn; 3 * sqrtn ]
+  in
+  let ds =
+    [
+      Distinguishers.max_out_degree;
+      Distinguishers.total_edges;
+      Distinguishers.degree_variance;
+      Distinguishers.sampled_subgraph_clique ~sample_size:(4 * sqrtn);
+      Distinguishers.common_neighbors ~pairs:64;
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun k ->
+        List.map
+          (fun d ->
+            let adv =
+              Distinguishers.advantage d ~n ~k ~calibration:60 ~trials:60 g
+            in
+            [ string_of_int n; string_of_int k; d.Distinguishers.name;
+              string_of_int d.Distinguishers.rounds; f4 adv ])
+          ds)
+      ks
+  in
+  (* Two of the tests run inside the simulator, with honest round costs:
+     the accept/reject gap of thresholded in-model protocols at the
+     extreme k values. *)
+  let in_model_rows =
+    let edge_threshold =
+      (foi (n * (n - 1)) /. 2.0) +. (1.2 *. foi n)
+    in
+    let proto =
+      Distinguisher_protocols.threshold_distinguisher
+        (Distinguisher_protocols.degree_protocol ~n)
+        ~statistic:(fun s -> foi s.Distinguisher_protocols.total_edges)
+        ~threshold:edge_threshold
+    in
+    List.map
+      (fun k ->
+        let gap = Distinguisher_protocols.measured_gap proto ~n ~k ~trials:40 g in
+        [ string_of_int n; string_of_int k; "edge-count (in-model)"; "1"; f4 gap ])
+      [ quarter; 3 * sqrtn ]
+  in
+  let rows = rows @ in_model_rows in
+  {
+    id = "e5";
+    title =
+      Printf.sprintf
+        "Theorem 4.1 shape: distinguisher advantage vs k (n=%d, n^1/4=%d, sqrt n=%d)"
+        n quarter sqrtn;
+    columns = [ "n"; "k"; "distinguisher"; "rounds"; "advantage" ];
+    rows;
+    notes =
+      [ "advantage ~ 0 for k near n^(1/4); rises toward 1 as k passes sqrt(n)" ];
+  }
+
+(* ------------------------------------------------------------------ E6 *)
+
+let e6_lemma_5_2 ?(seed = 42) () =
+  let rows = ref [] in
+  List.iter
+    (fun kp1 ->
+      let g = Prng.create (seed + kp1) in
+      List.iter
+        (fun (name, f) ->
+          let c = Lemma_verify.lemma_5_2 f in
+          (* The direct enumeration is O(4^k); cross-check only the small
+             arities. *)
+          let cd = if kp1 <= 11 then Lemma_verify.lemma_5_2_direct f else c in
+          rows :=
+            [ string_of_int (kp1 - 1); name; f4 c.measured; f4 cd.measured;
+              f4 c.bound; (if Lemma_verify.holds c then "yes" else "NO") ]
+            :: !rows)
+        [ ("random", Boolfun.random g kp1);
+          ("majority", Boolfun.majority kp1);
+          ("parity-all", Boolfun.parity kp1 (List.init kp1 (fun i -> i)));
+          ("dictator-last", Boolfun.dictator kp1 (kp1 - 1)) ])
+    [ 7; 11; 15 ];
+  {
+    id = "e6";
+    title = "Lemma 5.2: sum_b ||f(U_{k+1}) - f(U_[b])||^2 <= E[f], exact (WHT)";
+    columns = [ "k"; "f"; "sum (WHT)"; "sum (direct)"; "bound E[f]"; "holds" ];
+    rows = List.rev !rows;
+    notes =
+      [ "WHT and direct-enumeration columns must agree to float precision";
+        "dictator-last attains the bound direction maximally: its mass sits on the inner-product coefficient" ];
+  }
+
+(* ------------------------------------------------------------------ E7 *)
+
+let e7_hybrid_lemmas ?(seed = 42) () =
+  let g = Prng.create seed in
+  let rows = ref [] in
+  (* Lemma 7.3, exact for (k=5, m=8): 2^15 secrets. *)
+  List.iter
+    (fun (k, m) ->
+      let f = Boolfun.random g m in
+      let c = Lemma_verify.lemma_7_3 g f ~k in
+      rows :=
+        [ Printf.sprintf "L7.3 k=%d m=%d" k m; f4 c.measured; f4 c.bound;
+          (if Lemma_verify.holds c then "yes" else "NO") ]
+        :: !rows)
+    [ (5, 8); (6, 9); (4, 9) ];
+  (* Claim 8 on a random m-bit domain. *)
+  List.iter
+    (fun (k, m) ->
+      let d = Restriction.random_subset g ~n:m ~keep_prob:0.55 in
+      let viol = Lemma_verify.claim_8 d ~k ~samples:300 g in
+      rows :=
+        [ Printf.sprintf "C8 k=%d m=%d violation rate" k m; f4 viol;
+          f4 (2.0 ** (-.foi k /. 8.0)); "-" ]
+        :: !rows)
+    [ (8, 12); (10, 14) ];
+  (* Lemma 6.1 and Claim 5 on restricted domains. *)
+  List.iter
+    (fun kp1 ->
+      let d = Restriction.random_subset g ~n:kp1 ~keep_prob:0.6 in
+      let f = Boolfun.random g kp1 in
+      let c = Lemma_verify.lemma_6_1 d f in
+      let viol = Lemma_verify.claim_5 d ~samples:400 g in
+      rows :=
+        [ Printf.sprintf "L6.1 k=%d |D|=%d" (kp1 - 1) (Restriction.size d);
+          f4 c.measured; f4 c.bound; (if Lemma_verify.holds c then "yes" else "NO") ]
+        :: [ Printf.sprintf "C5 k=%d violation rate" (kp1 - 1); f4 viol;
+             f4 (2.0 ** (-.foi (kp1 - 1) /. 8.0)); "-" ]
+        :: !rows)
+    [ 11; 13 ];
+  {
+    id = "e7";
+    title = "Hybrid-argument lemmas: 7.3 exact, 6.1 and Claim 5 on random domains";
+    columns = [ "quantity"; "measured"; "bound"; "holds" ];
+    rows = List.rev !rows;
+    notes = [ "Lemma 6.1's 2^(-k/9) bound needs k large; small-k rows are informative only" ];
+  }
+
+(* ------------------------------------------------------------------ E8 *)
+
+let e8_prg_fooling ?(seed = 42) () =
+  let g = Prng.create seed in
+  let params = { Full_prg.n = 48; k = 16; m = 40 } in
+  let sample_pseudo g = fst (Full_prg.sample_inputs_pseudo g params) in
+  let sample_rand g = Full_prg.sample_inputs_rand g params in
+  let rows = ref [] in
+  List.iter
+    (fun rounds ->
+      let proto = Seed_attack.rank_test_protocol ~rounds in
+      let gap =
+        Advantage.protocol_gap proto ~sample_yes:sample_pseudo ~sample_no:sample_rand
+          ~trials:200 g
+      in
+      rows :=
+        [ string_of_int rounds;
+          (if rounds <= params.Full_prg.k then "<= k (fooled)" else "> k (broken)");
+          f4 gap ]
+        :: !rows)
+    [ 2; 8; 12; 16; 17; 20 ];
+  (* Construction cost, narrow vs wide messages (the footnote-1 remark). *)
+  let wide = Bcast.msg_bits_for_log_n params.Full_prg.n in
+  rows :=
+    [ "-"; "construction rounds, BCAST(1)";
+      string_of_int (Full_prg.construction_rounds params) ]
+    :: !rows;
+  rows :=
+    [ "-"; Printf.sprintf "construction rounds, BCAST(%d)" wide;
+      string_of_int (Full_prg.construction_rounds_wide params ~msg_bits:wide) ]
+    :: !rows;
+  {
+    id = "e8";
+    title =
+      Printf.sprintf
+        "Theorem 5.4 / 1.3: rank-test advantage vs round budget (n=%d, k=%d, m=%d)"
+        params.Full_prg.n params.Full_prg.k params.Full_prg.m;
+    columns = [ "rounds"; "regime"; "advantage" ];
+    rows = List.rev !rows;
+    notes =
+      [ "first k broadcast bits per processor are the uniform seed itself: provably zero advantage";
+        "at k+1 rounds the observed columns leave the seed space and the gap jumps to ~1" ];
+  }
+
+(* ------------------------------------------------------------------ E9 *)
+
+let e9_seed_attack ?(seed = 42) () =
+  let g = Prng.create seed in
+  let rows = ref [] in
+  List.iter
+    (fun (n, k, m) ->
+      let params = { Full_prg.n; k; m } in
+      let adv = Seed_attack.advantage ~params ~trials:150 g in
+      let fp = Seed_attack.false_positive_rate ~params ~trials:150 g in
+      rows :=
+        [ string_of_int n; string_of_int k; string_of_int m;
+          string_of_int (Seed_attack.rounds ~k); f4 adv; f4 fp ]
+        :: !rows)
+    [ (24, 8, 20); (48, 16, 40); (64, 20, 48) ];
+  {
+    id = "e9";
+    title = "Theorem 8.1: the (k+1)-round seed-length attack";
+    columns = [ "n"; "k"; "m"; "rounds"; "advantage"; "false-positive" ];
+    rows = List.rev !rows;
+    notes = [ "advantage ~ 1, false positives ~ 2^(k-n): the PRG's seed size is optimal" ];
+  }
+
+(* ----------------------------------------------------------------- E10 *)
+
+let e10_full_rank_average_case ?(seed = 42) () =
+  let g = Prng.create seed in
+  let n = 48 in
+  let trials = 200 in
+  (* Rank distribution check. *)
+  let empirical_full =
+    let hits = ref 0 in
+    for _ = 1 to trials do
+      if Gf2_matrix.is_full_rank (Full_rank.sample_uniform ~n g) then incr hits
+    done;
+    foi !hits /. foi trials
+  in
+  let rows = ref [] in
+  rows :=
+    [ "Q_0 (limit)"; f4 (Gf2_rank_dist.limit_q 0); "-"; "-" ] :: !rows;
+  rows :=
+    [ Printf.sprintf "P(full rank), n=%d exact" n; f4 (Gf2_rank_dist.prob_full_rank n);
+      Printf.sprintf "empirical(%d)" trials; f4 empirical_full ]
+    :: !rows;
+  (* Truncated-protocol accuracy on uniform inputs. *)
+  List.iter
+    (fun rounds ->
+      let proto = Full_rank.truncated_protocol ~n ~rounds in
+      let acc =
+        Full_rank.accuracy proto ~truth:Gf2_matrix.is_full_rank
+          ~sample:(Full_rank.sample_uniform ~n) ~trials g
+      in
+      rows :=
+        [ Printf.sprintf "truncated accuracy, %d/%d rounds" rounds n; f4 acc;
+          "0.99 barrier"; (if acc < 0.99 then "below" else "ABOVE") ]
+        :: !rows)
+    [ n / 20; n / 4; n / 2; n - 1; n ];
+  (* Theorem 1.4's engine: U_B vs uniform is invisible to a truncated test. *)
+  let proto = Full_rank.truncated_protocol ~n ~rounds:(n / 20) in
+  let gap =
+    Advantage.protocol_gap proto
+      ~sample_yes:(fun g ->
+        let m = Full_rank.sample_rank_deficient ~n g in
+        Array.init n (Gf2_matrix.row m))
+      ~sample_no:(fun g ->
+        let m = Full_rank.sample_uniform ~n g in
+        Array.init n (Gf2_matrix.row m))
+      ~trials:trials g
+  in
+  rows :=
+    [ Printf.sprintf "U_B vs uniform gap at n/20=%d rounds" (n / 20); f4 gap;
+      "~0 predicted"; "-" ]
+    :: !rows;
+  {
+    id = "e10";
+    title = Printf.sprintf "Theorem 1.4: average-case full rank, n=%d" n;
+    columns = [ "quantity"; "value"; "reference"; "status" ];
+    rows = List.rev !rows;
+    notes =
+      [ "accuracy is stuck near 1 - Q_0 ~ 0.711 until the final column arrives";
+        "Q_0 ~ 0.2887880950866 (Kolchin), reproduced exactly and empirically" ];
+  }
+
+(* ----------------------------------------------------------------- E11 *)
+
+let e11_time_hierarchy ?(seed = 42) () =
+  let g = Prng.create seed in
+  let n = 40 in
+  let trials = 200 in
+  let rows = ref [] in
+  List.iter
+    (fun k ->
+      let truth m = Gf2_matrix.rank_of_top_left m k = k in
+      let exact = Full_rank.top_k_protocol ~n ~k in
+      let acc_exact =
+        Full_rank.accuracy exact ~truth ~sample:(Full_rank.sample_uniform ~n) ~trials g
+      in
+      let short_rounds = max 1 (k / 20) in
+      let short = Full_rank.top_k_truncated ~n ~k ~rounds:short_rounds in
+      let acc_short =
+        Full_rank.accuracy short ~truth ~sample:(Full_rank.sample_uniform ~n) ~trials g
+      in
+      rows :=
+        [ string_of_int k; string_of_int k; f4 acc_exact;
+          string_of_int short_rounds; f4 acc_short;
+          (if acc_exact > 0.999 && acc_short < 0.99 then "separated" else "check") ]
+        :: !rows)
+    [ 20; 30; 40 ];
+  {
+    id = "e11";
+    title = Printf.sprintf "Theorem 1.5: average-case time hierarchy, n=%d" n;
+    columns =
+      [ "k"; "rounds(exact)"; "accuracy(exact)"; "rounds(k/20)"; "accuracy(k/20)";
+        "verdict" ];
+    rows = List.rev !rows;
+    notes = [ "F = full rank of the top k x k block; k rounds exact, k/20 rounds stuck < 0.99" ];
+  }
+
+(* ----------------------------------------------------------------- E12 *)
+
+let e12_planted_clique_algorithm ?(seed = 42) () =
+  let g = Prng.create seed in
+  let rows = ref [] in
+  List.iter
+    (fun (n, k) ->
+      let trials = 20 in
+      let successes = ref 0 in
+      let proto_rounds = Planted_clique_algo.round_budget ~n ~k in
+      for t = 1 to trials do
+        let gt = Prng.split g ((n * 1000) + (k * 10) + t) in
+        let graph, clique = Planted.sample_planted gt ~n ~k in
+        let inputs = Array.init n (Digraph.out_row graph) in
+        let proto = Planted_clique_algo.protocol ~n ~k in
+        let result = Bcast.run proto ~inputs ~rand:gt in
+        (match result.Bcast.outputs.(0) with
+        | Planted_clique_algo.Found found when found = clique -> incr successes
+        | _ -> ())
+      done;
+      rows :=
+        [ string_of_int n; string_of_int k;
+          f4 (foi !successes /. foi trials);
+          f4 (1.0 -. (1.0 /. (foi n *. foi n)));
+          string_of_int proto_rounds;
+          string_of_int (int_of_float (foi n /. foi k *.
+            (Float.log (foi n) /. Float.log 2.0) ** 2.0 *. 2.0)) ]
+        :: !rows)
+    [ (128, 60); (192, 70); (256, 110) ];
+  {
+    id = "e12";
+    title = "Theorem B.1: the O(n/k polylog n)-round planted clique finder";
+    columns = [ "n"; "k"; "success rate"; "1-1/n^2"; "rounds used"; "~2(n/k)log^2 n" ];
+    rows = List.rev !rows;
+    notes =
+      [ "success means the exact planted set is recovered by every processor";
+        "rounds = 2 + ceil(2 n log^2(n)/k), within the O(n/k polylog n) budget" ];
+  }
+
+(* ----------------------------------------------------------------- E13 *)
+
+let e13_newman ?(seed = 42) () =
+  let g = Prng.create seed in
+  let n = 8 and m = 32 in
+  let base = Equality.fingerprint_public_coin ~n ~m ~repetitions:2 in
+  let equal_inputs =
+    let x = Prng.bitvec g m in
+    Array.make n x
+  in
+  let unequal_inputs =
+    let x = Prng.bitvec g m in
+    let arr = Array.make n x in
+    let y = Bitvec.copy x in
+    Bitvec.flip y (m / 2);
+    arr.(n - 1) <- y;
+    arr
+  in
+  let rows = ref [] in
+  List.iter
+    (fun t_count ->
+      let s = Newman.make_sampled g base ~t_count in
+      let gap_eq =
+        Newman.acceptance_gap s ~inputs:equal_inputs ~value:(fun b -> b)
+          ~master:g ~trials:400
+      in
+      let gap_ne =
+        Newman.acceptance_gap s ~inputs:unequal_inputs ~value:(fun b -> b)
+          ~master:g ~trials:400
+      in
+      rows :=
+        [ string_of_int t_count; string_of_int (Newman.selection_bits s);
+          f4 gap_eq; f4 gap_ne ]
+        :: !rows)
+    [ 4; 16; 64; 256 ];
+  {
+    id = "e13";
+    title =
+      Printf.sprintf "Appendix A (Newman): equality with T hard-wired coin strings (n=%d, m=%d)" n m;
+    columns = [ "T"; "selection bits"; "gap on equal"; "gap on unequal" ];
+    rows = List.rev !rows;
+    notes =
+      [ Printf.sprintf "theoretical T for eps=0.1 is %s — astronomically conservative"
+          (f4 (Newman.theoretical_t ~n ~m ~k:1 ~eps:0.1));
+        "equal inputs are always accepted (one-sided error), so that gap is exactly 0" ];
+  }
+
+(* ----------------------------------------------------------------- E14 *)
+
+let e14_derandomization ?(seed = 42) () =
+  let g = Prng.create seed in
+  let n = 12 and m = 16 and repetitions = 2 in
+  let inner = Equality.fingerprint_protocol ~m ~repetitions in
+  let params = { Full_prg.n; k = 12; m = (repetitions * m) + 8 } in
+  let derand = Derandomize.transform params inner in
+  let equal_inputs =
+    let x = Prng.bitvec g m in
+    Array.make n x
+  in
+  let unequal_inputs =
+    let arr = Array.map Bitvec.copy equal_inputs in
+    Bitvec.flip arr.(1) 3;
+    arr
+  in
+  let accept_rate proto inputs trials =
+    let hits = ref 0 in
+    for t = 1 to trials do
+      let gt = Prng.split g (7000 + t) in
+      let result = Bcast.run proto ~inputs ~rand:gt in
+      if result.Bcast.outputs.(0) then incr hits
+    done;
+    foi !hits /. foi trials
+  in
+  let trials = 300 in
+  let rows =
+    [
+      [ "original"; "equal"; f4 (accept_rate inner equal_inputs trials);
+        string_of_int inner.Bcast.rounds; "-" ];
+      [ "original"; "unequal"; f4 (accept_rate inner unequal_inputs trials);
+        string_of_int inner.Bcast.rounds; "-" ];
+      [ "derandomized"; "equal"; f4 (accept_rate derand equal_inputs trials);
+        string_of_int derand.Bcast.rounds;
+        string_of_int (Full_prg.seed_bits_per_processor params) ];
+      [ "derandomized"; "unequal"; f4 (accept_rate derand unequal_inputs trials);
+        string_of_int derand.Bcast.rounds;
+        string_of_int (Full_prg.seed_bits_per_processor params) ];
+    ]
+  in
+  {
+    id = "e14";
+    title = "Corollary 7.1: derandomizing the fingerprint-equality protocol";
+    columns = [ "protocol"; "inputs"; "accept rate"; "rounds"; "seed bits/proc" ];
+    rows;
+    notes =
+      [ "acceptance probabilities match between original and transformed protocol";
+        "the transform trades O(k) extra rounds for an O(k)-bit seed" ];
+  }
+
+(* ----------------------------------------------------------------- E15 *)
+
+let e15_consistency_sets ?(seed = 42) () =
+  let g = Prng.create seed in
+  let n = 4 in
+  let input_bits = 10 in
+  (* A chatty protocol: processor i's round-r bit is the parity of a
+     sliding window of its input, xored with the previous broadcast. *)
+  let proto =
+    Turn_model.of_round_protocol ~n ~rounds:4 (fun ~id ~input ~history ->
+        let start = (Array.length history + id) mod (input_bits - 3) in
+        let w = ref false in
+        for b = start to start + 2 do
+          if Bitvec.get input b then w := not !w
+        done;
+        if Array.length history > 0 then w := !w <> history.(Array.length history - 1);
+        !w)
+  in
+  let sample g = Array.init n (fun _ -> Prng.bitvec g input_bits) in
+  let rows = ref [] in
+  List.iter
+    (fun turns ->
+      let st =
+        Consistency.measure proto ~sample ~input_bits ~id:0 ~turns ~trials:150 g
+      in
+      rows :=
+        [ string_of_int turns; string_of_int st.Consistency.speaks;
+          f4 st.Consistency.mean_deficit; f4 st.Consistency.max_deficit;
+          f4 st.Consistency.prob_deficit_exceeds ]
+        :: !rows)
+    [ 4; 8; 12; 16 ];
+  {
+    id = "e15";
+    title = "Claims 2/4: consistency-set sizes |D_p| (exact enumeration per run)";
+    columns = [ "turns"; "times spoken"; "mean deficit"; "max deficit"; "Pr[deficit > l + slack]" ];
+    rows = List.rev !rows;
+    notes =
+      [ "deficit = input_bits - log2 |D_p|; Claims 2/4 predict it stays near the number of broadcasts";
+        "the exceed probability (slack log2 trials) should be ~0" ];
+  }
+
+(* ----------------------------------------------------------------- E16 *)
+
+let e16_framework ?(seed = 42) () =
+  let g = Prng.create seed in
+  let rows = ref [] in
+  let run name d proto =
+    let real = Framework.real_distance_sampled d proto ~samples:4000 g in
+    let progress = Framework.progress_sampled d proto ~indices:8 ~samples:4000 g in
+    let noise = Framework.noise_floor d proto ~samples:4000 g in
+    rows := [ name; f4 real; f4 progress; f4 noise ] :: !rows
+  in
+  (* A common protocol shape: one round of per-processor input majority. *)
+  let majority_proto ~n ~bits =
+    Turn_model.of_round_protocol ~n ~rounds:1 (fun ~id:_ ~input ~history:_ ->
+        Bitvec.popcount input * 2 > bits)
+  in
+  let d1 = Framework.planted_clique ~n:6 ~k:3 in
+  run d1.Framework.name d1 (majority_proto ~n:6 ~bits:6);
+  let d2 = Framework.toy_prg ~n:6 ~k:5 in
+  run d2.Framework.name d2 (majority_proto ~n:6 ~bits:6);
+  let d3 = Framework.full_prg { Full_prg.n = 6; k = 4; m = 8 } in
+  run d3.Framework.name d3 (majority_proto ~n:6 ~bits:8);
+  {
+    id = "e16";
+    title = "Section 3 framework: one code path for all three decompositions";
+    columns = [ "decomposition"; "||P_pseudo - P_rand||"; "L_progress"; "noise floor" ];
+    rows = List.rev !rows;
+    notes =
+      [ "real distance <= progress up to the sampling noise floor, per the triangle inequality";
+        "all quantities Monte-Carlo (4000 transcripts per histogram)" ];
+  }
+
+(* ----------------------------------------------------------------- E17 *)
+
+let e17_triangles ?(seed = 42) () =
+  let g = Prng.create seed in
+  let n = 128 in
+  let trials = 30 in
+  let rows = ref [] in
+  (* Null calibration: measured mean/std vs closed form. *)
+  let null_counts =
+    Array.init trials (fun i ->
+        float_of_int (Triangles.count (Planted.sample_rand (Prng.split g i) n)))
+  in
+  rows :=
+    [ "null mean"; f4 (Stats.mean null_counts); f4 (Triangles.expected_random n); "-" ]
+    :: [ "null stddev"; f4 (Stats.stddev null_counts); f4 (Triangles.stddev_random n); "-" ]
+    :: !rows;
+  (* Detectability across k. *)
+  List.iter
+    (fun k ->
+      let planted_counts =
+        Array.init trials (fun i ->
+            let graph, _ =
+              Planted.sample_planted (Prng.split g (1000 + (k * 100) + i)) ~n ~k
+            in
+            float_of_int (Triangles.count graph))
+      in
+      let adv =
+        Advantage.best_threshold_advantage ~statistic_a:planted_counts
+          ~statistic_b:null_counts
+      in
+      rows :=
+        [ Printf.sprintf "advantage at k=%d" k; f4 adv;
+          Printf.sprintf "z=%0.2f" (Triangles.zscore ~n ~k); "-" ]
+        :: !rows)
+    [ 4; 8; 12; 16; 24; 32 ];
+  {
+    id = "e17";
+    title =
+      Printf.sprintf "Section 9 target: triangle counting on A_rand vs A_k (n=%d)" n;
+    columns = [ "quantity"; "measured"; "reference"; "-" ];
+    rows = List.rev !rows;
+    notes =
+      [ "sqrt(n) = 11.3: the triangle statistic's z-score crosses 1 near there, and so does the measured advantage";
+        "supports the paper's conjecture that hardness extends toward n^(1/2-eps)" ];
+  }
+
+(* ----------------------------------------------------------------- E18 *)
+
+let e18_sbm ?(seed = 42) () =
+  let g = Prng.create seed in
+  let n = 96 in
+  let trials = 25 in
+  let rows = ref [] in
+  List.iter
+    (fun gap ->
+      let p_in = 0.5 +. (gap /. 2.0) and p_out = 0.5 -. (gap /. 2.0) in
+      let alignments = ref 0.0 in
+      let stats_sbm =
+        Array.init trials (fun i ->
+            let gi = Prng.split g (2000 + i + int_of_float (gap *. 1000.0)) in
+            let graph, truth = Sbm.sample g ~n ~p_in ~p_out in
+            let recovered = Sbm.degree_profile_recover graph in
+            alignments := !alignments +. Sbm.alignment truth recovered;
+            Sbm.bisection_edge_statistic gi graph)
+      in
+      let stats_null =
+        Array.init trials (fun i ->
+            let gi = Prng.split g (3000 + i) in
+            Sbm.bisection_edge_statistic gi (Sbm.sample_null g ~n))
+      in
+      let adv =
+        Advantage.best_threshold_advantage ~statistic_a:stats_sbm ~statistic_b:stats_null
+      in
+      rows :=
+        [ f4 gap; f4 (!alignments /. float_of_int trials); f4 adv ] :: !rows)
+    [ 0.0; 0.1; 0.2; 0.3; 0.5 ];
+  {
+    id = "e18";
+    title =
+      Printf.sprintf
+        "Section 9 target: stochastic block model, recovery and detection (n=%d)" n;
+    columns = [ "p_in - p_out"; "recovery alignment"; "detection advantage" ];
+    rows = List.rev !rows;
+    notes =
+      [ "gap 0 is exactly A_rand: alignment ~0.5 (chance), advantage ~0";
+        "both rise smoothly with the community gap - the hardness dial the technique would quantify" ];
+  }
+
+(* ----------------------------------------------------------------- E19 *)
+
+let e19_unicast_baseline ?(seed = 42) () =
+  let g = Prng.create seed in
+  let rows = ref [] in
+  List.iter
+    (fun (n, k) ->
+      let seed_size = Unicast_clique.recommended_seed_size n in
+      let trials = 10 in
+      let uni_success = ref 0 in
+      for t = 1 to trials do
+        let gt = Prng.split g ((n * 100) + t) in
+        let graph, clique = Planted.sample_planted gt ~n ~k in
+        let inputs = Array.init n (Digraph.out_row graph) in
+        let proto = Unicast_clique.protocol ~n ~seed_size in
+        let result = Unicast.run proto ~inputs ~rand:gt in
+        if Unicast_clique.recovered_set result.Unicast.outputs = clique then
+          incr uni_success
+      done;
+      let uni_proto = Unicast_clique.protocol ~n ~seed_size in
+      let bcast_rounds = Planted_clique_algo.round_budget ~n ~k in
+      let w = Bcast.msg_bits_for_log_n n in
+      rows :=
+        [ string_of_int n; string_of_int k;
+          f4 (float_of_int !uni_success /. float_of_int trials);
+          string_of_int uni_proto.Unicast.rounds;
+          string_of_int (uni_proto.Unicast.rounds * n * (n - 1) * w);
+          string_of_int bcast_rounds;
+          string_of_int (bcast_rounds * n) ]
+        :: !rows)
+    [ (64, 24); (96, 36) ];
+  {
+    id = "e19";
+    title = "Section 1.2: unicast committee baseline vs Theorem B.1 (broadcast)";
+    columns =
+      [ "n"; "k"; "unicast success"; "uni rounds"; "uni channel bits"; "B.1 rounds";
+        "B.1 channel bits" ];
+    rows = List.rev !rows;
+    notes =
+      [ "the unicast model wins on rounds by brute bandwidth: Theta(n^2 log n) channel bits per run";
+        "broadcast pays rounds to stay at n bits per round - the tradeoff the two models embody" ];
+  }
+
+(* ----------------------------------------------------------------- E20 *)
+
+let e20_structural_inequalities ?(seed = 42) () =
+  let g = Prng.create seed in
+  let rows = ref [] in
+  (* Lemma 1.9 on random joint distributions. *)
+  for trial = 1 to 4 do
+    let gt = Prng.split g trial in
+    let random_joint () =
+      Dist.of_assoc
+        (List.concat_map
+           (fun x -> List.map (fun y -> ((x, y), Prng.float gt +. 0.01)) [ 0; 1; 2 ])
+           [ 0; 1; 2; 3 ])
+    in
+    let c = Lemma_verify.lemma_1_9 (random_joint ()) (random_joint ()) in
+    rows :=
+      [ Printf.sprintf "Lemma 1.9, random joint #%d" trial; f4 c.Lemma_verify.measured;
+        f4 c.Lemma_verify.bound; (if Lemma_verify.holds c then "yes" else "NO") ]
+      :: !rows
+  done;
+  (* Claim 7 hybrid step, exact over all secrets. *)
+  List.iter
+    (fun (k, j) ->
+      let f = Boolfun.random g 8 in
+      let c = Lemma_verify.claim_7 g f ~k ~j in
+      rows :=
+        [ Printf.sprintf "Claim 7, k=%d j=%d (m=8)" k j; f4 c.Lemma_verify.measured;
+          f4 c.Lemma_verify.bound; (if Lemma_verify.holds c then "yes" else "NO") ]
+        :: !rows)
+    [ (4, 0); (4, 1); (5, 1); (3, 2) ];
+  (* Fact 4.6: label histogram of a shrunk domain. *)
+  let d = Restriction.random_of_deficit g ~n:14 ~t:3.0 in
+  let hist = Lemma_verify.fact_4_6_label_histogram d in
+  let show upto =
+    String.concat " "
+      (List.init upto (fun l -> Printf.sprintf "l%d:%d" l hist.(l)))
+  in
+  rows :=
+    [ "Fact 4.6 labels (t=3, n=14)"; show 6; "bad + small labels rare"; "-" ] :: !rows;
+  {
+    id = "e20";
+    title = "Structural inequalities: Lemma 1.9, Claim 7, Fact 4.6";
+    columns = [ "quantity"; "measured"; "bound / reference"; "holds" ];
+    rows = List.rev !rows;
+    notes =
+      [ "Lemma 1.9 is the conditioning step every round bound uses";
+        "Claim 7 is the single hybrid step behind Lemma 7.3, exact over all 2^(k(j+1)) secrets" ];
+  }
+
+(* ----------------------------------------------------------------- E21 *)
+
+let e21_diameter_connectivity ?(seed = 42) () =
+  let g = Prng.create seed in
+  let n = 128 in
+  let trials = 25 in
+  let conn_thr = Gnp.connectivity_threshold n in
+  let diam2_thr = Gnp.diameter_two_threshold n in
+  let rows = ref [] in
+  List.iter
+    (fun factor ->
+      let p = factor *. conn_thr in
+      let connected = ref 0 in
+      let diam_sum = ref 0 and diam_count = ref 0 in
+      for i = 1 to trials do
+        let graph = Gnp.sample (Prng.split g (int_of_float (factor *. 100.0) + i)) ~n ~p in
+        if Gnp.is_connected graph then begin
+          incr connected;
+          match Gnp.diameter graph with
+          | Some d ->
+              diam_sum := !diam_sum + d;
+              incr diam_count
+          | None -> ()
+        end
+      done;
+      rows :=
+        [ f4 factor; f4 p;
+          f4 (foi !connected /. foi trials);
+          (if !diam_count = 0 then "-" else f4 (foi !diam_sum /. foi !diam_count)) ]
+        :: !rows)
+    [ 0.5; 0.8; 1.0; 1.5; 3.0; 8.0 ];
+  {
+    id = "e21";
+    title =
+      Printf.sprintf
+        "Section 9 target: G(n,p) connectivity and diameter (n=%d, ln n/n=%.4f, diam-2 at p=%.3f)"
+        n conn_thr diam2_thr;
+    columns = [ "p / (ln n / n)"; "p"; "Pr[connected]"; "mean diameter" ];
+    rows = List.rev !rows;
+    notes =
+      [ "connectivity switches on across the ln n / n threshold";
+        "the mean diameter stays well above 2 for all these densities - the regime Section 9 asks for" ];
+  }
+
+(* ----------------------------------------------------------------- E22 *)
+
+let e22_mst ?(seed = 42) () =
+  let g = Prng.create seed in
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      let trials = 20 in
+      let weights =
+        Array.init trials (fun i -> Wgraph.mst_weight (Wgraph.random (Prng.split g (n + i)) n))
+      in
+      let comp_total = ref 0 in
+      for i = 1 to 10 do
+        comp_total :=
+          !comp_total
+          + Wgraph.boruvka_round_components (Wgraph.random (Prng.split g (7000 + n + i)) n)
+      done;
+      rows :=
+        [ string_of_int n; f4 (Stats.mean weights); f4 Wgraph.zeta3;
+          f4 (Stats.stddev weights); f4 (foi !comp_total /. 10.0) ]
+        :: !rows)
+    [ 32; 64; 128; 256 ];
+  {
+    id = "e22";
+    title = "Section 9 target: MST of a complete graph with uniform random weights";
+    columns = [ "n"; "mean MST weight"; "zeta(3) limit"; "stddev"; "components after 1 Boruvka round" ];
+    rows = List.rev !rows;
+    notes =
+      [ "E[MST weight] converges to zeta(3) = 1.2020569... (Frieze); the concentration is what a lower bound must hide";
+        "one Boruvka round already collapses the graph to a handful of components - the distributed round structure" ];
+  }
+
+(* ----------------------------------------------------------------- E23 *)
+
+let e23_hamiltonicity ?(seed = 42) () =
+  let g = Prng.create seed in
+  let n = 96 in
+  let thr = Hamilton.hamiltonicity_threshold n in
+  let trials = 15 in
+  let rows = ref [] in
+  List.iter
+    (fun factor ->
+      let p = Float.min 1.0 (factor *. thr) in
+      let found = ref 0 in
+      for i = 1 to trials do
+        let gt = Prng.split g (int_of_float (factor *. 100.0) + i) in
+        let graph = Gnp.sample gt ~n ~p in
+        match Hamilton.find_cycle gt graph ~max_steps:(200 * n) with
+        | Some cycle when Hamilton.is_hamiltonian_cycle graph cycle -> incr found
+        | _ -> ()
+      done;
+      rows := [ f4 factor; f4 p; f4 (foi !found /. foi trials) ] :: !rows)
+    [ 0.5; 1.0; 1.5; 2.5; 4.0 ];
+  (* Planted side: the cycle is always recoverable. *)
+  let recovered = ref 0 in
+  for i = 1 to trials do
+    let gt = Prng.split g (9000 + i) in
+    let graph, _ = Hamilton.sample_planted_cycle gt ~n ~p:(0.5 *. thr) in
+    match Hamilton.find_cycle gt graph ~max_steps:(200 * n) with
+    | Some cycle when Hamilton.is_hamiltonian_cycle graph cycle -> incr recovered
+    | _ -> ()
+  done;
+  let rows =
+    List.rev ([ "planted"; f4 (0.5 *. thr); f4 (foi !recovered /. foi trials) ] :: !rows)
+  in
+  {
+    id = "e23";
+    title =
+      Printf.sprintf
+        "Section 9 target: Hamiltonicity of G(n,p) around p = (ln n + ln ln n)/n (n=%d)" n;
+    columns = [ "p / threshold"; "p"; "cycle found rate" ];
+    rows;
+    notes =
+      [ "rotation-extension finds cycles above the threshold and fails below - the sharp jump Section 9 would tune to a constant";
+        "with a planted cycle the heuristic succeeds even below threshold" ];
+  }
+
+(* ----------------------------------------------------------------- E24 *)
+
+let e24_connectivity ?(seed = 42) () =
+  let g = Prng.create seed in
+  let n = 32 in
+  let rows = ref [] in
+  List.iter
+    (fun p ->
+      let trials = 4 in
+      let agree = ref 0 and comp_sum = ref 0 in
+      for i = 1 to trials do
+        let gi = Prng.split g (int_of_float (p *. 1000.0) + i) in
+        let graph = Gnp.sample gi ~n ~p in
+        let cfg = Connectivity.default_config ~n ~seed:(seed + i) in
+        let got = Connectivity.run_on cfg graph gi in
+        let want = Connectivity.exact_components graph in
+        if got = want then incr agree;
+        comp_sum := !comp_sum + want
+      done;
+      let cfg = Connectivity.default_config ~n ~seed in
+      rows :=
+        [ f4 p; f4 (foi !comp_sum /. foi trials); f4 (foi !agree /. foi trials);
+          string_of_int (Connectivity.rounds cfg);
+          string_of_int (Connectivity.rounds cfg * cfg.Connectivity.msg_bits) ]
+        :: !rows)
+    [ 0.0; 0.05; 0.1; 0.3 ];
+  {
+    id = "e24";
+    title =
+      Printf.sprintf
+        "Section 9 target: connectivity via AGM sketches in BCAST(%d) (n=%d)"
+        (Connectivity.default_config ~n ~seed).Connectivity.msg_bits n;
+    columns =
+      [ "p"; "mean components"; "protocol = truth"; "rounds"; "bits/processor" ];
+    rows = List.rev !rows;
+    notes =
+      [ "O(log n) Boruvka phases over linear sketches; each processor broadcasts O(log^3 n) bits total";
+        "the natural upper bound a Section 9 connectivity lower bound would be measured against" ];
+  }
+
+(* ----------------------------------------------------------------- E25 *)
+
+let e25_search_baselines ?(seed = 42) () =
+  let g = Prng.create seed in
+  let n = 128 in
+  let trials = 12 in
+  let sqrtn = int_of_float (Float.sqrt (foi n)) in
+  let rows = ref [] in
+  List.iter
+    (fun k ->
+      let deg_ok = ref 0 and qp_ok = ref 0 in
+      for i = 1 to trials do
+        let gi = Prng.split g ((k * 1000) + i) in
+        let graph, clique = Planted.sample_planted gi ~n ~k in
+        let contains found = List.for_all (fun v -> List.mem v found) clique in
+        if contains (Clique.degree_recover graph ~k) then incr deg_ok;
+        let seed_size = Clique.log_clique_size_bound n + 3 in
+        if k >= seed_size && contains (Clique.quasi_poly_find graph ~seed_size) then
+          incr qp_ok
+      done;
+      rows :=
+        [ string_of_int k;
+          Printf.sprintf "%.2f sqrt(n)" (foi k /. foi sqrtn);
+          f4 (foi !deg_ok /. foi trials); f4 (foi !qp_ok /. foi trials) ]
+        :: !rows)
+    [ 8; 12; 17; 23; 34; 45 ];
+  {
+    id = "e25";
+    title =
+      Printf.sprintf
+        "Section 1.4 baselines: centralized search recovery vs k (n=%d, sqrt n=%d)" n sqrtn;
+    columns = [ "k"; "k / sqrt(n)"; "degree recovery"; "quasi-poly seed+extend" ];
+    rows = List.rev !rows;
+    notes =
+      [ "degree recovery (Kucera) switches on near k ~ c sqrt(n log n)";
+        "the quasi-polynomial algorithm works for any k above the ~2 log n seed size - at n^{O(log n)} cost" ];
+  }
+
+(* ----------------------------------------------------------------- E26 *)
+
+let e26_randomized_separation ?(seed = 42) () =
+  let g = Prng.create seed in
+  let rows = ref [] in
+  (* Two-party side: deterministic equality needs ~m bits (log-rank /
+     fooling set), fingerprinting needs O(1). *)
+  List.iter
+    (fun m ->
+      let eq = Twoparty.equality m in
+      let lower = Twoparty.deterministic_lower_bound eq in
+      let upper = Twoparty.max_cost (Twoparty.trivial_protocol eq) in
+      let test, cost = Twoparty.equality_fingerprint g ~bits:m ~repetitions:4 in
+      (* Measure the randomized test's error on unequal pairs. *)
+      let errors = ref 0 and trials = ref 0 in
+      let n = 1 lsl m in
+      for x = 0 to min (n - 1) 63 do
+        for y = 0 to min (n - 1) 63 do
+          if x <> y then begin
+            incr trials;
+            if test x y then incr errors
+          end
+        done
+      done;
+      rows :=
+        [ Printf.sprintf "2-party EQ_%d" m; string_of_int lower; string_of_int upper;
+          string_of_int cost; f4 (foi !errors /. foi !trials) ]
+        :: !rows)
+    [ 4; 6; 8 ];
+  (* Broadcast side: deterministic equality costs m rounds, fingerprinting
+     O(repetitions) plus publishing coins. *)
+  let m = 16 and repetitions = 3 in
+  let det = Equality.deterministic_protocol ~m in
+  let fp = Equality.fingerprint_protocol ~m ~repetitions in
+  let inputs = Array.init 8 (fun _ -> Prng.bitvec g m) in
+  let det_result = Bcast.run_deterministic det ~inputs in
+  let fp_result = Bcast.run fp ~inputs ~rand:g in
+  rows :=
+    [ Printf.sprintf "BCAST EQ m=%d deterministic" m; "-";
+      string_of_int det_result.Bcast.rounds_used; "-";
+      (if det_result.Bcast.outputs.(0) = Equality.all_equal inputs then "0.0000"
+       else "1.0000") ]
+    :: !rows;
+  rows :=
+    [ Printf.sprintf "BCAST EQ m=%d fingerprint" m; "-";
+      string_of_int fp_result.Bcast.rounds_used;
+      string_of_int repetitions; Printf.sprintf "<= %.4f" (0.5 ** foi repetitions) ]
+    :: !rows;
+  {
+    id = "e26";
+    title = "The randomized-deterministic separation (why no general derandomization exists)";
+    columns = [ "setting"; "det. lower (bits)"; "det. cost"; "rand. cost"; "rand. error" ];
+    rows = List.rev !rows;
+    notes =
+      [ "the paper cites this separation (via two-party equality) to rule out a general derandomization theorem";
+        "the PRG (Cor 7.1) therefore saves random bits instead of removing them" ];
+  }
+
+(* ----------------------------------------------------------------- E27 *)
+
+let e27_f2_moment ?(seed = 42) () =
+  let g = Prng.create seed in
+  let n = 16 and d = 64 in
+  let rows = ref [] in
+  List.iter
+    (fun repetitions ->
+      let trials = 10 in
+      let total_err = ref 0.0 in
+      for t = 1 to trials do
+        let gi = Prng.split g ((repetitions * 100) + t) in
+        let inputs = Array.init n (fun i -> Prng.bitvec (Prng.split gi i) d) in
+        let cfg = { F2_moment.d; repetitions; seed = seed + t } in
+        total_err := !total_err +. F2_moment.relative_error cfg inputs gi
+      done;
+      let cfg = { F2_moment.d; repetitions; seed } in
+      let proto = F2_moment.protocol cfg in
+      rows :=
+        [ string_of_int repetitions; f4 (!total_err /. foi trials);
+          f4 (1.0 /. Float.sqrt (foi repetitions));
+          string_of_int proto.Bcast.rounds;
+          string_of_int (proto.Bcast.rounds * proto.Bcast.msg_bits) ]
+        :: !rows)
+    [ 2; 8; 32; 128 ];
+  {
+    id = "e27";
+    title =
+      Printf.sprintf
+        "The streaming connection [AMS99]: F2 estimation in BCAST(log d) (n=%d, d=%d)" n d;
+    columns =
+      [ "repetitions"; "mean rel. error"; "~1/sqrt(r)"; "rounds"; "bits/processor" ];
+    rows = List.rev !rows;
+    notes =
+      [ "the AMS sketch runs verbatim in the model: one O(log d)-bit broadcast per repetition";
+        "error tracks the 1/sqrt(r) sketching rate" ];
+  }
+
+(* ----------------------------------------------------------------- E28 *)
+
+let e28_toy_prg_exact ?(seed = 42) () =
+  ignore seed;
+  let rows = ref [] in
+  let protocols ~n ~k =
+    [
+      ( "last-bit",
+        Turn_model.of_round_protocol ~n ~rounds:1 (fun ~id:_ ~input ~history:_ ->
+            Bitvec.get input k) );
+      ( "input-majority",
+        Turn_model.of_round_protocol ~n ~rounds:1 (fun ~id:_ ~input ~history:_ ->
+            Bitvec.popcount input * 2 > k + 1) );
+      ( "parity-vs-heard",
+        Turn_model.of_round_protocol ~n ~rounds:1 (fun ~id:_ ~input ~history ->
+            let own = Bitvec.popcount input land 1 = 1 in
+            Array.fold_left (fun acc b -> acc <> b) own history) );
+    ]
+  in
+  List.iter
+    (fun (n, k) ->
+      List.iter
+        (fun (name, proto) ->
+          let expected = Prg_progress.expected_distance_exact proto ~n ~k ~turns:n in
+          let mixture = Prg_progress.mixture_distance_exact proto ~n ~k ~turns:n in
+          let bound = Prg_progress.theorem_5_1_bound ~n ~k in
+          rows :=
+            [ string_of_int n; string_of_int k; name; f4 mixture; f4 expected;
+              f4 bound;
+              (if mixture <= expected +. 1e-9 && expected <= bound +. 1e-9 then "yes"
+               else "NO") ]
+            :: !rows)
+        (protocols ~n ~k))
+    [ (3, 3); (4, 3); (3, 4) ];
+  {
+    id = "e28";
+    title =
+      "Theorem 5.1, exact: E_b ||P_rand - P_[b]|| <= n 2^(-k/2), all inputs and secrets enumerated";
+    columns =
+      [ "n"; "k"; "protocol"; "||P_rand - P_pseudo||"; "E_b ||.||"; "bound"; "holds" ];
+    rows = List.rev !rows;
+    notes =
+      [ "the last-bit protocol is the strongest natural test of the extra bit, and still obeys the bound";
+        "every joint input (up to 2^16) and every secret b enumerated - no sampling anywhere" ];
+  }
+
+(* ----------------------------------------------------------------- E29 *)
+
+let e29_progress_growth ?(seed = 42) () =
+  ignore seed;
+  let n = 4 and k = 2 in
+  (* A two-round protocol so the growth runs over 2n turns. *)
+  let proto =
+    Turn_model.of_round_protocol ~n ~rounds:2 (fun ~id:_ ~input ~history ->
+        if Array.length history < n then Bitvec.popcount input * 2 > n
+        else begin
+          let parity = Bitvec.popcount input land 1 = 1 in
+          parity <> history.(Array.length history - 1)
+        end)
+  in
+  let rows = ref [] in
+  let prev = ref 0.0 in
+  for turns = 0 to 2 * n do
+    let progress = Progress.progress_exact proto ~n ~k ~turns in
+    let real = Progress.real_distance_exact proto ~n ~k ~turns in
+    rows :=
+      [ string_of_int turns; f4 real; f4 progress; f4 (progress -. !prev);
+        (if progress >= !prev -. 1e-12 then "yes" else "NO") ]
+      :: !rows;
+    prev := progress
+  done;
+  {
+    id = "e29";
+    title =
+      "Inequality (1): the progress function grows turn by turn (exact, n=4, k=2)";
+    columns = [ "turns"; "||P_rand-P_k||"; "L_progress"; "increment"; "monotone" ];
+    rows = List.rev !rows;
+    notes =
+      [ "the induction of Theorems 1.6/4.1 bounds each increment by (k/n) O(k/sqrt(n))";
+        "the real distance stays below the progress function at every prefix" ];
+  }
+
+(* ------------------------------------------------------------------ all *)
+
+let drivers =
+  [
+    ("e1", e1_lemma_1_10);
+    ("e2", e2_lemma_1_8);
+    ("e3", e3_restricted_lemmas);
+    ("e4", e4_one_round_transcripts);
+    ("e5", fun ?seed () -> e5_distinguisher_advantage ?seed ());
+    ("e6", e6_lemma_5_2);
+    ("e7", e7_hybrid_lemmas);
+    ("e8", e8_prg_fooling);
+    ("e9", e9_seed_attack);
+    ("e10", e10_full_rank_average_case);
+    ("e11", e11_time_hierarchy);
+    ("e12", e12_planted_clique_algorithm);
+    ("e13", e13_newman);
+    ("e14", e14_derandomization);
+    ("e15", e15_consistency_sets);
+    ("e16", e16_framework);
+    ("e17", e17_triangles);
+    ("e18", e18_sbm);
+    ("e19", e19_unicast_baseline);
+    ("e20", e20_structural_inequalities);
+    ("e21", e21_diameter_connectivity);
+    ("e22", e22_mst);
+    ("e23", e23_hamiltonicity);
+    ("e24", e24_connectivity);
+    ("e25", e25_search_baselines);
+    ("e26", e26_randomized_separation);
+    ("e27", e27_f2_moment);
+    ("e28", e28_toy_prg_exact);
+    ("e29", e29_progress_growth);
+  ]
+
+let ids = List.map fst drivers
+
+let by_id id = List.assoc_opt (String.lowercase_ascii id) drivers
+
+let all ?seed () = List.map (fun (_, f) -> f ?seed ()) drivers

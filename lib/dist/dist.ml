@@ -1,0 +1,160 @@
+(* Distributions are hash tables from outcomes to probabilities, normalized
+   at construction.  Polymorphic hashing/equality is adequate for every key
+   type used in the library (ints, lists, strings, bit vectors, transcripts:
+   all immutable-by-convention structural data). *)
+
+type 'a t = ('a, float) Hashtbl.t
+
+let of_assoc pairs =
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 pairs in
+  if total <= 0.0 then invalid_arg "Dist.of_assoc: total weight must be positive";
+  let h = Hashtbl.create (List.length pairs) in
+  List.iter
+    (fun (k, w) ->
+      if w < 0.0 then invalid_arg "Dist.of_assoc: negative weight";
+      if w > 0.0 then
+        let prev = Option.value (Hashtbl.find_opt h k) ~default:0.0 in
+        Hashtbl.replace h k (prev +. (w /. total)))
+    pairs;
+  h
+
+let point x = of_assoc [ (x, 1.0) ]
+
+let uniform xs =
+  if xs = [] then invalid_arg "Dist.uniform: empty support";
+  of_assoc (List.map (fun x -> (x, 1.0)) xs)
+
+let bernoulli p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Dist.bernoulli";
+  if p = 0.0 then point false
+  else if p = 1.0 then point true
+  else of_assoc [ (true, p); (false, 1.0 -. p) ]
+
+let prob d x = Option.value (Hashtbl.find_opt d x) ~default:0.0
+
+let support d = Hashtbl.fold (fun k _ acc -> k :: acc) d []
+
+let support_size d = Hashtbl.length d
+
+let expectation d f = Hashtbl.fold (fun k p acc -> acc +. (p *. f k)) d 0.0
+
+let mixture components =
+  if components = [] then invalid_arg "Dist.mixture: empty";
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 components in
+  if total <= 0.0 then invalid_arg "Dist.mixture: total weight must be positive";
+  let h = Hashtbl.create 64 in
+  List.iter
+    (fun (d, w) ->
+      let w = w /. total in
+      if w > 0.0 then
+        Hashtbl.iter
+          (fun k p ->
+            let prev = Option.value (Hashtbl.find_opt h k) ~default:0.0 in
+            Hashtbl.replace h k (prev +. (w *. p)))
+          d)
+    components;
+  h
+
+let map f d =
+  let h = Hashtbl.create (Hashtbl.length d) in
+  Hashtbl.iter
+    (fun k p ->
+      let k' = f k in
+      let prev = Option.value (Hashtbl.find_opt h k') ~default:0.0 in
+      Hashtbl.replace h k' (prev +. p))
+    d;
+  h
+
+let bind d f =
+  let parts = Hashtbl.fold (fun k p acc -> (f k, p) :: acc) d [] in
+  mixture parts
+
+let product a b =
+  let h = Hashtbl.create (Hashtbl.length a * Hashtbl.length b) in
+  Hashtbl.iter
+    (fun ka pa -> Hashtbl.iter (fun kb pb -> Hashtbl.replace h (ka, kb) (pa *. pb)) b)
+    a;
+  h
+
+let condition d pred =
+  let mass = Hashtbl.fold (fun k p acc -> if pred k then acc +. p else acc) d 0.0 in
+  if mass <= 0.0 then None
+  else begin
+    let h = Hashtbl.create 16 in
+    Hashtbl.iter (fun k p -> if pred k then Hashtbl.replace h k (p /. mass)) d;
+    Some h
+  end
+
+let tv_distance a b =
+  (* Sum over the union of supports. *)
+  let acc = ref 0.0 in
+  Hashtbl.iter (fun k pa -> acc := !acc +. Float.abs (pa -. prob b k)) a;
+  Hashtbl.iter (fun k pb -> if not (Hashtbl.mem a k) then acc := !acc +. pb) b;
+  !acc /. 2.0
+
+let log2 x = Float.log x /. Float.log 2.0
+
+let kl_divergence p q =
+  let acc = ref 0.0 in
+  let infinite = ref false in
+  Hashtbl.iter
+    (fun k pk ->
+      if pk > 0.0 then begin
+        let qk = prob q k in
+        if qk <= 0.0 then infinite := true else acc := !acc +. (pk *. log2 (pk /. qk))
+      end)
+    p;
+  if !infinite then Float.infinity else Float.max !acc 0.0
+
+let entropy d =
+  Hashtbl.fold (fun _ p acc -> if p > 0.0 then acc -. (p *. log2 p) else acc) d 0.0
+
+let sample g d =
+  let target = Prng.float g in
+  let acc = ref 0.0 in
+  let result = ref None in
+  (try
+     Hashtbl.iter
+       (fun k p ->
+         acc := !acc +. p;
+         if !acc >= target then begin
+           result := Some k;
+           raise Exit
+         end)
+       d
+   with Exit -> ());
+  match !result with
+  | Some k -> k
+  | None ->
+      (* Float rounding can leave total mass slightly below [target]; fall
+         back to an arbitrary support element. *)
+      (match support d with
+      | k :: _ -> k
+      | [] -> invalid_arg "Dist.sample: empty distribution")
+
+let empirical counts =
+  of_assoc (List.map (fun (k, c) -> (k, float_of_int c)) counts)
+
+let histogram samples sampler g =
+  let h = Hashtbl.create 64 in
+  for _ = 1 to samples do
+    let x = sampler g in
+    let prev = Option.value (Hashtbl.find_opt h x) ~default:0 in
+    Hashtbl.replace h x (prev + 1)
+  done;
+  h
+
+let estimate_tv ~samples sampler_a sampler_b g =
+  let ha = histogram samples sampler_a g in
+  let hb = histogram samples sampler_b g in
+  let n = float_of_int samples in
+  let acc = ref 0.0 in
+  Hashtbl.iter
+    (fun k ca ->
+      let cb = Option.value (Hashtbl.find_opt hb k) ~default:0 in
+      acc := !acc +. Float.abs (float_of_int ca -. float_of_int cb) /. n)
+    ha;
+  Hashtbl.iter
+    (fun k cb -> if not (Hashtbl.mem ha k) then acc := !acc +. (float_of_int cb /. n))
+    hb;
+  !acc /. 2.0

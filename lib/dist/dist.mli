@@ -1,0 +1,75 @@
+(** Finite discrete probability distributions.
+
+    A {!t} maps outcomes of an arbitrary (hashable, comparable) key type to
+    probabilities.  The library exposes exactly the quantities the paper's
+    proofs manipulate: statistical (total-variation) distance [‖D1 − D2‖],
+    mixtures (the decomposition of [A_pseudo] into row-independent
+    distributions in Section 3), conditionals, products, and pushforwards
+    [f(D)].
+
+    Probabilities are floats; [normalize] is applied on construction so the
+    mass sums to 1 within floating-point error. *)
+
+type 'a t
+
+(** {1 Construction} *)
+
+val of_assoc : ('a * float) list -> 'a t
+(** Weights must be nonnegative with positive sum; they are normalized. *)
+
+val point : 'a -> 'a t
+(** The Dirac distribution. *)
+
+val uniform : 'a list -> 'a t
+(** Uniform over the (nonempty) list; duplicate keys accumulate mass. *)
+
+val bernoulli : float -> bool t
+
+val mixture : ('a t * float) list -> 'a t
+(** Convex combination; weights normalized.  This implements the paper's
+    [A_k = E_C A_C] decompositions. *)
+
+(** {1 Observation} *)
+
+val prob : 'a t -> 'a -> float
+val support : 'a t -> 'a list
+val support_size : 'a t -> int
+val expectation : 'a t -> ('a -> float) -> float
+
+(** {1 Transformation} *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+(** The pushforward [f(D)]: the distribution of [f x] for [x ~ D]. *)
+
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+
+val product : 'a t -> 'b t -> ('a * 'b) t
+(** Independent product. *)
+
+val condition : 'a t -> ('a -> bool) -> 'a t option
+(** Conditional distribution given the event; [None] if the event has zero
+    mass.  This is the [D | D_p] operation used throughout Sections 4-7. *)
+
+(** {1 Distances} *)
+
+val tv_distance : 'a t -> 'a t -> float
+(** Statistical distance [1/2 * sum_x |D1(x) − D2(x)|]. *)
+
+val kl_divergence : 'a t -> 'a t -> float
+(** [D(P ‖ Q)] in bits; [infinity] if [P] is not absolutely continuous
+    w.r.t. [Q]. *)
+
+val entropy : 'a t -> float
+(** Shannon entropy in bits. *)
+
+(** {1 Sampling and estimation} *)
+
+val sample : Prng.t -> 'a t -> 'a
+
+val estimate_tv : samples:int -> (Prng.t -> 'a) -> (Prng.t -> 'a) -> Prng.t -> float
+(** Plug-in estimator of the TV distance between two samplers from empirical
+    histograms of [samples] draws each.  Biased upward by sampling noise;
+    adequate for the qualitative comparisons in the experiments. *)
+
+val empirical : ('a * int) list -> 'a t
+(** Distribution from observed counts. *)

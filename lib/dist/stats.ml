@@ -1,0 +1,66 @@
+let log2 x = Float.log x /. Float.log 2.0
+
+let log_choose n k =
+  if k < 0 || k > n then Float.neg_infinity
+  else begin
+    (* Sum of logs; exact enough for the ranges the experiments use. *)
+    let k = min k (n - k) in
+    let acc = ref 0.0 in
+    for i = 1 to k do
+      acc := !acc +. log2 (float_of_int (n - k + i)) -. log2 (float_of_int i)
+    done;
+    !acc
+  end
+
+let choose_float n k =
+  let l = log_choose n k in
+  if l = Float.neg_infinity then 0.0 else Float.of_int 2 ** l
+
+let chernoff_upper ~mean ~delta =
+  if delta <= 0.0 then 1.0
+  else if delta <= 1.0 then Float.exp (-.(delta *. delta *. mean) /. 3.0)
+  else Float.exp (-.(delta *. mean) /. 3.0)
+
+let chernoff_lower ~mean ~delta =
+  if delta <= 0.0 then 1.0 else Float.exp (-.(delta *. delta *. mean) /. 2.0)
+
+let wilson_interval ~successes ~trials ~z =
+  if trials <= 0 then (0.0, 1.0)
+  else begin
+    let n = float_of_int trials in
+    let p = float_of_int successes /. n in
+    let z2 = z *. z in
+    let denom = 1.0 +. (z2 /. n) in
+    let center = (p +. (z2 /. (2.0 *. n))) /. denom in
+    let half =
+      z *. Float.sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n))) /. denom
+    in
+    (Float.max 0.0 (center -. half), Float.min 1.0 (center +. half))
+  end
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    ss /. float_of_int (n - 1)
+  end
+
+let stddev xs = Float.sqrt (variance xs)
+
+let quantile xs q =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.quantile: empty array";
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q out of range";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = min (lo + 1) (n - 1) in
+  let frac = pos -. float_of_int lo in
+  (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)

@@ -1,0 +1,32 @@
+(** Combinatorial and concentration helpers for the experiments.
+
+    Binomial coefficients feed the clique-counting arguments; Chernoff
+    bounds reproduce the analysis of Theorem B.1; Wilson intervals quantify
+    the Monte-Carlo estimates reported by the benchmark harness. *)
+
+val log_choose : int -> int -> float
+(** [log2 (n choose k)]; [neg_infinity] when [k] is out of range. *)
+
+val choose_float : int -> int -> float
+(** [(n choose k)] as a float (may overflow to [infinity] for huge inputs). *)
+
+val chernoff_upper : mean:float -> delta:float -> float
+(** Multiplicative Chernoff tail [Pr[X > (1+delta) mu] <= exp(-delta^2 mu / 3)]
+    for [0 < delta <= 1], and [exp(-delta mu / 3)] for [delta > 1] — the two
+    forms used in the analysis of Theorem B.1. *)
+
+val chernoff_lower : mean:float -> delta:float -> float
+(** [Pr[X < (1-delta) mu] <= exp(-delta^2 mu / 2)]. *)
+
+val wilson_interval : successes:int -> trials:int -> z:float -> float * float
+(** Wilson score interval for a binomial proportion. *)
+
+val mean : float array -> float
+val variance : float array -> float
+(** Unbiased sample variance (0 for arrays of length < 2). *)
+
+val stddev : float array -> float
+
+val quantile : float array -> float -> float
+(** [quantile xs q] for [q] in [0,1], by sorting a copy; linear
+    interpolation between order statistics. *)

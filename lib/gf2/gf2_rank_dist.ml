@@ -1,0 +1,55 @@
+(* Probability that a uniform m*n matrix over GF(2) has rank exactly r:
+
+     P = 2^{-(m-r)(n-r)} * prod_{i=0}^{r-1} (1 - 2^{i-m})(1 - 2^{i-n}) / (1 - 2^{i-r})
+
+   derived from the standard count of rank-r matrices over GF(q),
+     N(m,n,r) = prod_{i=0}^{r-1} (q^m - q^i)(q^n - q^i)/(q^r - q^i),
+   by factoring out the powers of q.  All factors are in (0,1], so the float
+   product is numerically stable. *)
+
+let pow2 e = Float.of_int 2 ** Float.of_int e
+
+let prob_rank ~rows ~cols r =
+  if r < 0 || r > min rows cols then 0.0
+  else begin
+    let acc = ref (pow2 (-((rows - r) * (cols - r)))) in
+    for i = 0 to r - 1 do
+      acc :=
+        !acc
+        *. (1.0 -. pow2 (i - rows))
+        *. (1.0 -. pow2 (i - cols))
+        /. (1.0 -. pow2 (i - r))
+    done;
+    !acc
+  end
+
+let prob_rank_deficit n s = prob_rank ~rows:n ~cols:n (n - s)
+
+let limit_q s =
+  if s < 0 then 0.0
+  else begin
+    (* prod_{i >= s+1} (1 - 2^{-i}) truncated once the factors are within
+       double precision of 1. *)
+    let tail = ref 1.0 in
+    let i = ref (s + 1) in
+    let continue = ref true in
+    while !continue do
+      let f = 1.0 -. pow2 (- !i) in
+      if f >= 1.0 then continue := false
+      else begin
+        tail := !tail *. f;
+        incr i;
+        if !i > 200 then continue := false
+      end
+    done;
+    let head = ref 1.0 in
+    for i = 1 to s do
+      head := !head /. (1.0 -. pow2 (-i))
+    done;
+    pow2 (-(s * s)) *. !tail *. !head
+  end
+
+let rank_distribution ~rows ~cols =
+  Array.init (min rows cols + 1) (fun r -> prob_rank ~rows ~cols r)
+
+let prob_full_rank n = prob_rank_deficit n 0

@@ -1,0 +1,29 @@
+(** Rank statistics of uniformly random GF(2) matrices.
+
+    The proof of Theorem 1.4 uses results on random matrices over GF(2) from
+    Kolchin (Section 3.2 of [Kol99]): the probability [P_{n,s}] that a
+    uniform [n*n] matrix has rank [n - s] converges to
+
+    {[ Q_s = 2^{-s^2} * prod_{i >= s+1} (1 - 2^{-i}) * prod_{1<=i<=s} (1 - 2^{-i})^{-1} ]}
+
+    with [Q_0 ~= 0.2887880950866].  This module computes the exact finite-n
+    probabilities and the limits, which experiment E10 compares against
+    empirical rank frequencies. *)
+
+val prob_rank : rows:int -> cols:int -> int -> float
+(** [prob_rank ~rows ~cols r]: probability that a uniform [rows*cols] matrix
+    over GF(2) has rank exactly [r].  0 if [r] is out of range. *)
+
+val prob_rank_deficit : int -> int -> float
+(** [prob_rank_deficit n s] is [prob_rank ~rows:n ~cols:n (n - s)], i.e.
+    Kolchin's [P_{n,s}]. *)
+
+val limit_q : int -> float
+(** [limit_q s] is the limit [Q_s] above.  [limit_q 0 ~= 0.2887880950866]. *)
+
+val rank_distribution : rows:int -> cols:int -> float array
+(** Element [r] is [prob_rank ~rows ~cols r]. *)
+
+val prob_full_rank : int -> float
+(** [prob_full_rank n = prob_rank_deficit n 0]: the acceptance probability of
+    [F_full-rank] on a uniform input (Theorem 1.4). *)

@@ -1,0 +1,148 @@
+let bidirectional_core g =
+  let n = Digraph.vertex_count g in
+  Array.init n (fun i ->
+      let row = Digraph.out_row g i in
+      Bitvec.init n (fun j -> j <> i && Bitvec.get row j && Digraph.has_edge g j i))
+
+let is_clique g vs = Digraph.is_bidirectional_clique g vs
+
+(* Bron-Kerbosch with pivoting on bitset neighborhoods. *)
+let max_clique_core adj vertices =
+  let best = ref [] in
+  let best_size = ref 0 in
+  let rec expand r r_size p x =
+    if Bitvec.is_zero p && Bitvec.is_zero x then begin
+      if r_size > !best_size then begin
+        best := r;
+        best_size := r_size
+      end
+    end
+    else begin
+      (* Choose the pivot maximizing |P ∩ N(pivot)|. *)
+      let pivot = ref (-1) in
+      let pivot_score = ref (-1) in
+      let consider u =
+        let score = Bitvec.popcount (Bitvec.logand p adj.(u)) in
+        if score > !pivot_score then begin
+          pivot := u;
+          pivot_score := score
+        end
+      in
+      Bitvec.iter_set consider p;
+      Bitvec.iter_set consider x;
+      let candidates =
+        if !pivot >= 0 then Bitvec.logand p (Bitvec.lognot adj.(!pivot)) else Bitvec.copy p
+      in
+      let p = Bitvec.copy p and x = Bitvec.copy x in
+      Bitvec.iter_set
+        (fun v ->
+          expand (v :: r) (r_size + 1) (Bitvec.logand p adj.(v)) (Bitvec.logand x adj.(v));
+          Bitvec.set p v false;
+          Bitvec.set x v true)
+        candidates
+    end
+  in
+  let n = Array.length adj in
+  expand [] 0 vertices (Bitvec.create n);
+  List.sort Int.compare !best
+
+let max_clique g =
+  let adj = bidirectional_core g in
+  max_clique_core adj (Bitvec.ones (Digraph.vertex_count g))
+
+let max_clique_of_subset g vs =
+  let adj = bidirectional_core g in
+  let mask = Bitvec.create (Digraph.vertex_count g) in
+  Bitvec.set_indices mask vs;
+  (* Restrict neighborhoods to the subset so the search never leaves it. *)
+  let adj = Array.map (fun row -> Bitvec.logand row mask) adj in
+  max_clique_core adj mask
+
+let greedy_clique g graph =
+  let n = Digraph.vertex_count graph in
+  let order = Prng.permutation g n in
+  let chosen = ref [] in
+  Array.iter
+    (fun v ->
+      let ok =
+        List.for_all
+          (fun u -> Digraph.has_edge graph u v && Digraph.has_edge graph v u)
+          !chosen
+      in
+      if ok then chosen := v :: !chosen)
+    order;
+  List.sort Int.compare !chosen
+
+let extend_by_majority g ~core ~threshold =
+  let n = Digraph.vertex_count g in
+  let core_size = List.length core in
+  if core_size = 0 then []
+  else begin
+    let need = int_of_float (Float.ceil (threshold *. float_of_int core_size)) in
+    let result = ref [] in
+    for v = n - 1 downto 0 do
+      let adjacent_count =
+        List.fold_left
+          (fun acc u ->
+            if u = v || (Digraph.has_edge g v u && Digraph.has_edge g u v) then acc + 1
+            else acc)
+          0 core
+      in
+      if adjacent_count >= need then result := v :: !result
+    done;
+    !result
+  end
+
+let top_degree_vertices g k =
+  let n = Digraph.vertex_count g in
+  let degs = Array.init n (fun i -> (Digraph.out_degree g i + Digraph.in_degree g i, i)) in
+  Array.sort (fun (a, _) (b, _) -> Int.compare b a) degs;
+  List.sort Int.compare (Array.to_list (Array.map snd (Array.sub degs 0 (min k n))))
+
+let log_clique_size_bound n =
+  int_of_float (Float.ceil (2.0 *. Float.log (float_of_int (max 2 n)) /. Float.log 2.0))
+
+(* Enumerate size-k cliques of the bidirectional core by depth-first
+   extension in increasing vertex order; stop at the first hit.  Worst case
+   C(n,k), i.e. n^{O(log n)} for k = O(log n) — the naive algorithm's
+   complexity the paper quotes. *)
+let find_clique_of_size adj n k =
+  let rec extend chosen candidates need =
+    if need = 0 then Some (List.rev chosen)
+    else begin
+      let rec try_from = function
+        | [] -> None
+        | v :: rest -> begin
+            let candidates' = List.filter (fun u -> Bitvec.get adj.(v) u) rest in
+            match extend (v :: chosen) candidates' (need - 1) with
+            | Some c -> Some c
+            | None -> try_from rest
+          end
+      in
+      try_from candidates
+    end
+  in
+  extend [] (List.init n (fun i -> i)) k
+
+let quasi_poly_find g ~seed_size =
+  let n = Digraph.vertex_count g in
+  let adj = bidirectional_core g in
+  match find_clique_of_size adj n seed_size with
+  | None -> []
+  | Some seed ->
+      (* Extend by majority adjacency to the seed, then stabilize. *)
+      let candidate = extend_by_majority g ~core:seed ~threshold:0.9 in
+      extend_by_majority g ~core:candidate ~threshold:0.9
+
+let degree_recover g ~k =
+  (* The refinement can oscillate on signal-free instances; cap the
+     iteration count — convergence happens in a few steps when the clique
+     is recoverable at all. *)
+  let rec stabilize current budget =
+    if budget = 0 then current
+    else begin
+      let next = extend_by_majority g ~core:current ~threshold:0.75 in
+      if next = current || next = [] then next else stabilize next (budget - 1)
+    end
+  in
+  stabilize (top_degree_vertices g k) 20

@@ -1,0 +1,96 @@
+let sample g ~n ~p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Gnp.sample: p in [0,1]";
+  let graph = Digraph.create n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Prng.bernoulli g p then begin
+        Digraph.add_edge graph i j;
+        Digraph.add_edge graph j i
+      end
+    done
+  done;
+  graph
+
+let connectivity_threshold n = Float.log (float_of_int (max 2 n)) /. float_of_int n
+
+let diameter_two_threshold n =
+  Float.sqrt (2.0 *. Float.log (float_of_int (max 2 n)) /. float_of_int n)
+
+let bfs_distances graph source =
+  let n = Digraph.vertex_count graph in
+  let dist = Array.make n (-1) in
+  dist.(source) <- 0;
+  let queue = Queue.create () in
+  Queue.add source queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.take queue in
+    Bitvec.iter_set
+      (fun u ->
+        if dist.(u) < 0 then begin
+          dist.(u) <- dist.(v) + 1;
+          Queue.add u queue
+        end)
+      (Digraph.out_row graph v)
+  done;
+  dist
+
+let eccentricity graph v =
+  let dist = bfs_distances graph v in
+  let ecc = ref 0 and reachable = ref true in
+  Array.iter
+    (fun d -> if d < 0 then reachable := false else if d > !ecc then ecc := d)
+    dist;
+  if !reachable then Some !ecc else None
+
+let diameter graph =
+  let n = Digraph.vertex_count graph in
+  let diam = ref 0 and connected = ref true in
+  (try
+     for v = 0 to n - 1 do
+       match eccentricity graph v with
+       | None ->
+           connected := false;
+           raise Exit
+       | Some e -> if e > !diam then diam := e
+     done
+   with Exit -> ());
+  if !connected then Some !diam else None
+
+let is_connected graph =
+  Digraph.vertex_count graph = 0
+  ||
+  let dist = bfs_distances graph 0 in
+  Array.for_all (fun d -> d >= 0) dist
+
+let largest_component_size graph =
+  let n = Digraph.vertex_count graph in
+  (* Union over both edge directions. *)
+  let undirected = Digraph.copy graph in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if Digraph.has_edge graph i j then Digraph.add_edge undirected j i
+    done
+  done;
+  let seen = Array.make n false in
+  let best = ref 0 in
+  for v = 0 to n - 1 do
+    if not seen.(v) then begin
+      let size = ref 0 in
+      let queue = Queue.create () in
+      Queue.add v queue;
+      seen.(v) <- true;
+      while not (Queue.is_empty queue) do
+        let u = Queue.take queue in
+        incr size;
+        Bitvec.iter_set
+          (fun w ->
+            if not seen.(w) then begin
+              seen.(w) <- true;
+              Queue.add w queue
+            end)
+          (Digraph.out_row undirected u)
+      done;
+      if !size > !best then best := !size
+    end
+  done;
+  !best

@@ -1,0 +1,36 @@
+(** Sparse random graphs, BFS, diameter, connectivity.
+
+    Section 9 proposes "graph connectivity" and "finding the diameter of a
+    random graph (the average degree must be chosen to be low enough so
+    that the diameter is not 2 with high probability)" as targets for the
+    lower-bound technique.  This module supplies the substrate: the
+    [G(n, p)] distribution at adjustable density (symmetric edges, so the
+    classical theory applies), breadth-first search, eccentricities,
+    diameter, and connectivity — everything the corresponding experiment
+    sweeps. *)
+
+val sample : Prng.t -> n:int -> p:float -> Digraph.t
+(** An undirected-style sample: each unordered pair becomes a
+    bidirectional edge with probability [p]. *)
+
+val connectivity_threshold : int -> float
+(** [ln n / n], the sharp threshold for connectivity. *)
+
+val diameter_two_threshold : int -> float
+(** [sqrt (2 ln n / n)]: above this, diameter 2 w.h.p. — densities for the
+    diameter experiment must sit below it. *)
+
+val bfs_distances : Digraph.t -> int -> int array
+(** Distances from a source following edges forward; unreachable = -1. *)
+
+val eccentricity : Digraph.t -> int -> int option
+(** Max distance from the vertex; [None] if some vertex is unreachable. *)
+
+val diameter : Digraph.t -> int option
+(** Max eccentricity; [None] if the graph is not (strongly) connected. *)
+
+val is_connected : Digraph.t -> bool
+
+val largest_component_size : Digraph.t -> int
+(** Size of the largest weakly-connected component (treating every edge as
+    undirected), the giant-component statistic. *)

@@ -1,0 +1,28 @@
+(** Hamiltonian cycles in random graphs — Section 9's "planted Hamiltonian
+    cycle" target.
+
+    The probability that [G(n, p)] is Hamiltonian jumps from 0 to 1 around
+    [p = (ln n + ln ln n) / n]; Section 9 suggests tuning [p] so the
+    probability is a constant and asking whether a low-round protocol can
+    decide it.  This module provides the substrate: the Angluin-Valiant
+    rotation-extension heuristic (finds Hamilton cycles w.h.p. above the
+    threshold in polynomial time), a planted-cycle sampler, and the
+    threshold formula. *)
+
+val hamiltonicity_threshold : int -> float
+(** [(ln n + ln ln n) / n]. *)
+
+val sample_planted_cycle : Prng.t -> n:int -> p:float -> Digraph.t * int array
+(** A random Hamiltonian cycle (as a vertex permutation) is planted as
+    bidirectional edges on top of a [Gnp.sample] backdrop of density
+    [p]. *)
+
+val find_cycle : Prng.t -> Digraph.t -> max_steps:int -> int array option
+(** Rotation-extension search for a Hamiltonian cycle on the
+    bidirectional core; [None] after [max_steps] rotations without
+    success (which, above the threshold, means the graph is very likely
+    non-Hamiltonian or the budget too small). *)
+
+val is_hamiltonian_cycle : Digraph.t -> int array -> bool
+(** Whether the permutation is a cycle of bidirectional edges visiting
+    every vertex once. *)

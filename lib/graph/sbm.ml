@@ -1,0 +1,100 @@
+type community = int array
+
+let sample g ~n ~p_in ~p_out =
+  if p_in < 0.0 || p_in > 1.0 || p_out < 0.0 || p_out > 1.0 then
+    invalid_arg "Sbm.sample: probabilities in [0,1]";
+  (* Balanced labelling: a random permutation's first half is side 0. *)
+  let perm = Prng.permutation g n in
+  let labels = Array.make n 1 in
+  for i = 0 to (n / 2) - 1 do
+    labels.(perm.(i)) <- 0
+  done;
+  let graph = Digraph.create n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        let p = if labels.(i) = labels.(j) then p_in else p_out in
+        if Prng.bernoulli g p then Digraph.add_edge graph i j
+      end
+    done
+  done;
+  (graph, labels)
+
+let sample_null g ~n =
+  let graph = Digraph.create n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && Prng.bool g then Digraph.add_edge graph i j
+    done
+  done;
+  graph
+
+let alignment a b =
+  if Array.length a <> Array.length b then invalid_arg "Sbm.alignment: length mismatch";
+  let n = Array.length a in
+  if n = 0 then 1.0
+  else begin
+    let agree = ref 0 in
+    Array.iteri (fun i la -> if la = b.(i) then incr agree) a;
+    let direct = float_of_int !agree /. float_of_int n in
+    Float.max direct (1.0 -. direct)
+  end
+
+(* Count edges between v and the members of a side, both directions. *)
+let edges_to_side graph labels v side =
+  let n = Digraph.vertex_count graph in
+  let count = ref 0 in
+  for u = 0 to n - 1 do
+    if u <> v && labels.(u) = side then begin
+      if Digraph.has_edge graph v u then incr count;
+      if Digraph.has_edge graph u v then incr count
+    end
+  done;
+  !count
+
+let side_sizes labels =
+  let zero = Array.fold_left (fun acc l -> if l = 0 then acc + 1 else acc) 0 labels in
+  (zero, Array.length labels - zero)
+
+let degree_profile_recover graph =
+  let n = Digraph.vertex_count graph in
+  let labels = Array.make n 1 in
+  (* Seed: vertex 0 and its out-neighbourhood form side 0. *)
+  labels.(0) <- 0;
+  Bitvec.iter_set (fun u -> labels.(u) <- 0) (Digraph.out_row graph 0);
+  (* Iterate normalized-majority reassignment. *)
+  for _ = 1 to 4 do
+    let updated = Array.copy labels in
+    for v = 0 to n - 1 do
+      let z, o = side_sizes labels in
+      let to0 = edges_to_side graph labels v 0 in
+      let to1 = edges_to_side graph labels v 1 in
+      let rate0 = if z > 0 then float_of_int to0 /. float_of_int z else 0.0 in
+      let rate1 = if o > 0 then float_of_int to1 /. float_of_int o else 0.0 in
+      updated.(v) <- (if rate0 >= rate1 then 0 else 1)
+    done;
+    Array.blit updated 0 labels 0 n
+  done;
+  labels
+
+let bisection_edge_statistic _g graph =
+  let labels = degree_profile_recover graph in
+  let n = Digraph.vertex_count graph in
+  let within_edges = ref 0 and within_pairs = ref 0 in
+  let across_edges = ref 0 and across_pairs = ref 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        if labels.(i) = labels.(j) then begin
+          incr within_pairs;
+          if Digraph.has_edge graph i j then incr within_edges
+        end
+        else begin
+          incr across_pairs;
+          if Digraph.has_edge graph i j then incr across_edges
+        end
+      end
+    done
+  done;
+  let rate e p = if p = 0 then 0.0 else float_of_int e /. float_of_int p in
+  rate !within_edges !within_pairs -. rate !across_edges !across_pairs

@@ -1,0 +1,36 @@
+(** The stochastic block model — one of the "natural input distributions"
+    Section 9 proposes attacking with the paper's technique.
+
+    Two hidden communities of [n/2] vertices; a directed edge appears with
+    probability [p_in] inside a community and [p_out] across.  At
+    [p_in = p_out = 1/2] this {e is} [A_rand]; the community structure
+    fades as [p_in − p_out -> 0], giving a hardness dial analogous to the
+    clique size [k].  The module also provides the natural degree-based
+    membership statistic, so the distinguisher machinery of
+    {!Distinguishers}/{!Advantage} applies unchanged. *)
+
+type community = int array
+(** [community.(v)] is 0 or 1. *)
+
+val sample : Prng.t -> n:int -> p_in:float -> p_out:float -> Digraph.t * community
+(** A balanced two-community sample (vertex [v] is in community
+    [v mod 2]-independent random side). *)
+
+val sample_null : Prng.t -> n:int -> Digraph.t
+(** The matched null model: every directed edge with the average density
+    [(p_in + p_out) / 2], so edge-count statistics alone cannot
+    distinguish — structure has to be found. *)
+
+val alignment : community -> community -> float
+(** Fraction of vertices on which two labellings agree, maximized over the
+    global label swap: 1.0 = perfect recovery, ~0.5 = chance. *)
+
+val degree_profile_recover : Digraph.t -> community
+(** The simple spectral-free heuristic: seed with vertex 0's out-
+    neighbourhood and iterate majority reassignment a few times.  Works
+    when [p_in − p_out] is large; degrades to chance as it vanishes. *)
+
+val bisection_edge_statistic : Prng.t -> Digraph.t -> float
+(** The distinguishing statistic: for a random balanced bisection refined
+    greedily, the fraction of within-side edges minus the across-side
+    fraction.  Elevated under the SBM, ~0 under the null. *)

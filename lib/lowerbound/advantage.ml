@@ -1,0 +1,38 @@
+let foi = float_of_int
+
+let protocol_gap proto ~sample_yes ~sample_no ~trials g =
+  let rate sample =
+    let hits = ref 0 in
+    for _ = 1 to trials do
+      let result = Bcast.run proto ~inputs:(sample g) ~rand:g in
+      if result.Bcast.outputs.(0) then incr hits
+    done;
+    foi !hits /. foi trials
+  in
+  rate sample_yes -. rate sample_no
+
+let transcript_tv_sampled proto ~sample_a ~sample_b ~samples g =
+  let da = Turn_model.sampled_transcript_dist proto ~sample:sample_a ~samples g in
+  let db = Turn_model.sampled_transcript_dist proto ~sample:sample_b ~samples g in
+  Dist.tv_distance da db
+
+let transcript_tv_control proto ~sample ~samples g =
+  transcript_tv_sampled proto ~sample_a:sample ~sample_b:sample ~samples g
+
+let best_threshold_advantage ~statistic_a ~statistic_b =
+  (* Sweep every observed value as a threshold; the best advantage of the
+     test [stat > thr] or its negation. *)
+  let candidates = Array.append statistic_a statistic_b in
+  let na = foi (Array.length statistic_a) and nb = foi (Array.length statistic_b) in
+  let exceed arr thr =
+    Array.fold_left (fun acc x -> if x > thr then acc + 1 else acc) 0 arr
+  in
+  let best = ref 0.0 in
+  Array.iter
+    (fun thr ->
+      let pa = foi (exceed statistic_a thr) /. na in
+      let pb = foi (exceed statistic_b thr) /. nb in
+      let adv = Float.abs (pa -. pb) in
+      if adv > !best then best := adv)
+    candidates;
+  !best

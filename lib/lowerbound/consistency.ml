@@ -1,0 +1,49 @@
+type stats = {
+  trials : int;
+  speaks : int;
+  mean_deficit : float;
+  max_deficit : float;
+  prob_deficit_exceeds : float;
+}
+
+let foi = float_of_int
+let log2 x = Float.log x /. Float.log 2.0
+
+let measure proto ~sample ~input_bits ~id ~turns ~trials g =
+  if input_bits < 0 || input_bits > 18 then
+    invalid_arg "Consistency.measure: input_bits in [0, 18]";
+  if id < 0 || id >= proto.Turn_model.n then invalid_arg "Consistency.measure: bad id";
+  let turns = min turns proto.Turn_model.turns in
+  let candidates = List.init (1 lsl input_bits) (Bitvec.of_int ~width:input_bits) in
+  (* Number of turns at which [id] speaks within the prefix. *)
+  let speaks =
+    let count = ref 0 in
+    let t = ref id in
+    while !t < turns do
+      incr count;
+      t := !t + proto.Turn_model.n
+    done;
+    !count
+  in
+  let slack = log2 (foi (max 2 trials)) in
+  let sum_deficit = ref 0.0 and max_deficit = ref 0.0 and exceeds = ref 0 in
+  for _ = 1 to trials do
+    let inputs = sample g in
+    let history = Turn_model.run proto ~inputs in
+    let consistent =
+      Turn_model.consistent_inputs proto ~id ~history ~upto_turn:turns candidates
+    in
+    let size = List.length consistent in
+    (* The true input is always consistent, so [size >= 1]. *)
+    let deficit = foi input_bits -. log2 (foi (max 1 size)) in
+    sum_deficit := !sum_deficit +. deficit;
+    if deficit > !max_deficit then max_deficit := deficit;
+    if deficit > foi speaks +. slack then incr exceeds
+  done;
+  {
+    trials;
+    speaks;
+    mean_deficit = !sum_deficit /. foi trials;
+    max_deficit = !max_deficit;
+    prob_deficit_exceeds = foi !exceeds /. foi trials;
+  }

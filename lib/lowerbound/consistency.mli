@@ -1,0 +1,34 @@
+(** Consistency sets [D_p] and their size concentration (Claims 2 and 4).
+
+    After [t] turns, the set [D_p] of inputs to processor [i] consistent
+    with the transcript [p] drives every restricted-domain lemma.  Claims
+    2 and 4 assert that [D_p] is rarely small: if the processor has spoken
+    [l] times, then with probability [1 − eps] over transcripts,
+    [|D_p| ≥ 2^{bits − l} · eps] — each broadcast can cost about one bit
+    of entropy, plus a logarithmic slack.
+
+    This module measures that distribution on real protocols by exact
+    enumeration of the processor's input space (keep [input_bits <= 18]). *)
+
+type stats = {
+  trials : int;
+  speaks : int;  (** Number of turns the processor spoke within the prefix. *)
+  mean_deficit : float;  (** Mean of [bits − log2 |D_p|]. *)
+  max_deficit : float;
+  prob_deficit_exceeds : float;
+      (** Fraction of trials with deficit > [speaks + slack] where
+          [slack = log2 trials] — the event Claims 2/4 call negligible. *)
+}
+
+val measure :
+  Turn_model.protocol ->
+  sample:(Prng.t -> Bitvec.t array) ->
+  input_bits:int ->
+  id:int ->
+  turns:int ->
+  trials:int ->
+  Prng.t ->
+  stats
+(** Runs the protocol [trials] times on sampled inputs, truncating at
+    [turns]; for each run enumerates all [2^input_bits] candidate inputs
+    of processor [id] and counts the consistent ones. *)

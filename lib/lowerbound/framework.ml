@@ -1,0 +1,90 @@
+type decomposition = {
+  name : string;
+  n : int;
+  input_bits : int;
+  sample_rand : Prng.t -> Bitvec.t array;
+  sample_index_inputs : Prng.t -> Bitvec.t array;
+  sampler_for_index : Prng.t -> Prng.t -> Bitvec.t array;
+}
+
+let planted_clique ~n ~k =
+  let rows_of graph = Array.init n (Digraph.out_row graph) in
+  {
+    name = Printf.sprintf "planted-clique(n=%d,k=%d)" n k;
+    n;
+    input_bits = n;
+    sample_rand = (fun g -> rows_of (Planted.sample_rand g n));
+    sample_index_inputs = (fun g -> rows_of (fst (Planted.sample_planted g ~n ~k)));
+    sampler_for_index =
+      (fun gi ->
+        let c = Prng.subset gi ~n ~k in
+        fun g -> rows_of (Planted.sample_planted_at g n c));
+  }
+
+let toy_prg ~n ~k =
+  {
+    name = Printf.sprintf "toy-prg(n=%d,k=%d)" n k;
+    n;
+    input_bits = k + 1;
+    sample_rand = (fun g -> Toy_prg.sample_inputs_rand g ~n ~k);
+    sample_index_inputs = (fun g -> fst (Toy_prg.sample_inputs_pseudo g ~n ~k));
+    sampler_for_index =
+      (fun gi ->
+        let b = Prng.bitvec gi k in
+        fun g -> Array.init n (fun _ -> Toy_prg.sample_ub g ~b));
+  }
+
+let full_prg params =
+  Full_prg.validate params;
+  let n = params.Full_prg.n in
+  {
+    name =
+      Printf.sprintf "full-prg(n=%d,k=%d,m=%d)" n params.Full_prg.k params.Full_prg.m;
+    n;
+    input_bits = params.Full_prg.m;
+    sample_rand = (fun g -> Full_prg.sample_inputs_rand g params);
+    sample_index_inputs = (fun g -> fst (Full_prg.sample_inputs_pseudo g params));
+    sampler_for_index =
+      (fun gi ->
+        let secret = Full_prg.sample_secret gi params in
+        fun g -> Array.init n (fun _ -> Full_prg.sample_um g secret));
+  }
+
+let check_protocol d proto =
+  if proto.Turn_model.n <> d.n then
+    invalid_arg "Framework: protocol/decomposition processor count mismatch"
+
+let real_distance_sampled d proto ~samples g =
+  check_protocol d proto;
+  let p_rand =
+    Turn_model.sampled_transcript_dist proto ~sample:d.sample_rand ~samples g
+  in
+  let p_pseudo =
+    Turn_model.sampled_transcript_dist proto ~sample:d.sample_index_inputs ~samples g
+  in
+  Dist.tv_distance p_rand p_pseudo
+
+let progress_sampled d proto ~indices ~samples g =
+  check_protocol d proto;
+  let p_rand =
+    Turn_model.sampled_transcript_dist proto ~sample:d.sample_rand ~samples g
+  in
+  let total = ref 0.0 in
+  for i = 1 to indices do
+    let sampler = d.sampler_for_index (Prng.split g (7919 * i)) in
+    let p_i =
+      Turn_model.sampled_transcript_dist proto ~sample:sampler ~samples
+        (Prng.split g ((7919 * i) + 1))
+    in
+    total := !total +. Dist.tv_distance p_rand p_i
+  done;
+  !total /. float_of_int indices
+
+let noise_floor d proto ~samples g =
+  check_protocol d proto;
+  let a = Turn_model.sampled_transcript_dist proto ~sample:d.sample_rand ~samples g in
+  let b =
+    Turn_model.sampled_transcript_dist proto ~sample:d.sample_rand ~samples
+      (Prng.split g 424242)
+  in
+  Dist.tv_distance a b

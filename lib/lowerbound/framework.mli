@@ -1,0 +1,60 @@
+(** The abstract lower-bound framework of Section 3, as a reusable API.
+
+    The paper's recipe for proving that an input distribution [A_pseudo]
+    is indistinguishable from [A_rand]:
+
+    + write [A_pseudo] as an average of {e row-independent} distributions
+      [{A_I}] over an index set [I] (fixing the clique location [C], the
+      secret string [b], or the secret matrix [M]);
+    + bound the progress function
+      [L_progress^(t) = E_I ‖P_I^(t) − P_rand^(t)‖] turn by turn;
+    + conclude [‖P(Π, A_pseudo) − P(Π, A_rand)‖ ≤ L_progress] by the
+      triangle inequality.
+
+    A {!decomposition} packages step 1; this module computes steps 2-3
+    (by sampling, for any concrete protocol), so all three of the paper's
+    instantiations — planted clique, toy PRG, full PRG — run through one
+    code path, and new distributions can be plugged in. *)
+
+type decomposition = {
+  name : string;
+  n : int;  (** Number of processors. *)
+  input_bits : int;  (** Bits per processor input. *)
+  sample_rand : Prng.t -> Bitvec.t array;
+      (** A sample of [A_rand] (row-independent by construction). *)
+  sample_index_inputs : Prng.t -> Bitvec.t array;
+      (** Draw [I] and then a sample of [A_I] — i.e. a sample of
+          [A_pseudo].  Row-independence given the index is the caller's
+          obligation (it holds for all three of the paper's instances). *)
+  sampler_for_index : Prng.t -> Prng.t -> Bitvec.t array;
+      (** [sampler_for_index gi] draws an index [I] from [gi] and returns
+          the row sampler of [A_I] with [I] held fixed — the two-stage
+          decomposition {!progress_sampled} needs to estimate
+          [E_I ‖P_I − P_rand‖] rather than [‖P_pseudo − P_rand‖]. *)
+}
+
+val planted_clique : n:int -> k:int -> decomposition
+(** [A_k = E_{C} A_C] (Section 4). *)
+
+val toy_prg : n:int -> k:int -> decomposition
+(** [U_[b]]-rows vs uniform [(k+1)]-bit rows (Section 5/6). *)
+
+val full_prg : Full_prg.params -> decomposition
+(** [U_M]-rows vs uniform [m]-bit rows (Section 7). *)
+
+val real_distance_sampled :
+  decomposition -> Turn_model.protocol -> samples:int -> Prng.t -> float
+(** [‖P(Π, A_pseudo) − P(Π, A_rand)‖] by histogram comparison — the
+    quantity the theorems bound. *)
+
+val progress_sampled :
+  decomposition -> Turn_model.protocol -> indices:int -> samples:int -> Prng.t -> float
+(** [L_progress]: the average over [indices] sampled [I] of the sampled
+    transcript distance between [A_I] and [A_rand].  Always ≥ the real
+    distance up to sampling noise (the Section 3 triangle inequality). *)
+
+val noise_floor :
+  decomposition -> Turn_model.protocol -> samples:int -> Prng.t -> float
+(** The same-distribution control: the TV estimate between two independent
+    [A_rand] histogram draws.  Subtract mentally from the estimates
+    above. *)

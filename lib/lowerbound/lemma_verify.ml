@@ -1,0 +1,350 @@
+type check = { measured : float; bound : float }
+
+let holds c = c.measured <= c.bound +. 1e-9
+
+let sqrtf = Float.sqrt
+let foi = float_of_int
+
+let parity_int v =
+  let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc <> (v land 1 = 1)) in
+  go v false
+
+(* Iterate all size-k subsets of {0..n-1}. *)
+let iter_subsets n k f =
+  let c = Array.init k (fun i -> i) in
+  let rec loop () =
+    f (Array.to_list c);
+    (* Advance to the next combination. *)
+    let i = ref (k - 1) in
+    while !i >= 0 && c.(!i) = n - k + !i do
+      decr i
+    done;
+    if !i >= 0 then begin
+      c.(!i) <- c.(!i) + 1;
+      for j = !i + 1 to k - 1 do
+        c.(j) <- c.(j - 1) + 1
+      done;
+      loop ()
+    end
+  in
+  if k >= 0 && k <= n then loop ()
+
+let count_subsets n k = Stats.choose_float n k
+
+(* --- Lemma 1.10 --- *)
+
+let lemma_1_10 f =
+  let n = Boolfun.arity f in
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    total := !total +. Boolfun.output_distance f [ i ]
+  done;
+  { measured = !total /. foi n; bound = 2.0 *. sqrtf (1.0 /. foi n) }
+
+(* --- Lemma 1.8 --- *)
+
+let average_over_cliques ?(max_cliques = 20000) g ~n ~k distance =
+  if count_subsets n k <= foi max_cliques then begin
+    let total = ref 0.0 and count = ref 0 in
+    iter_subsets n k (fun c ->
+        total := !total +. distance c;
+        incr count);
+    !total /. foi !count
+  end
+  else begin
+    let total = ref 0.0 in
+    for _ = 1 to max_cliques do
+      total := !total +. distance (Prng.subset g ~n ~k)
+    done;
+    !total /. foi max_cliques
+  end
+
+let lemma_1_8 ?max_cliques g f ~k =
+  let n = Boolfun.arity f in
+  if k < 0 || k > n then invalid_arg "Lemma_verify.lemma_1_8";
+  let measured =
+    average_over_cliques ?max_cliques g ~n ~k (Boolfun.output_distance f)
+  in
+  { measured; bound = 2.0 *. foi k /. sqrtf (foi (max 1 (n - k))) }
+
+(* --- Lemma 4.4 --- *)
+
+let lemma_4_4 d f =
+  let n = Boolfun.arity f in
+  if Restriction.arity d <> n then invalid_arg "Lemma_verify.lemma_4_4: arity mismatch";
+  let t = Float.max 1.0 (Restriction.deficit d) in
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    total := !total +. Boolfun.output_distance_on f (Restriction.mem d) [ i ]
+  done;
+  {
+    measured = !total /. foi n;
+    bound = (2.0 *. t /. foi n) +. (10.0 *. sqrtf ((t +. 1.0) /. foi n));
+  }
+
+(* --- Lemma 4.3 --- *)
+
+let lemma_4_3 ?max_cliques g d f ~k =
+  let n = Boolfun.arity f in
+  if Restriction.arity d <> n then invalid_arg "Lemma_verify.lemma_4_3: arity mismatch";
+  let t = Float.max 1.0 (Restriction.deficit d) in
+  let measured =
+    average_over_cliques ?max_cliques g ~n ~k (fun c ->
+        Boolfun.output_distance_on f (Restriction.mem d) c)
+  in
+  let kf = foi k and nf = foi n in
+  { measured; bound = 12.0 *. ((kf *. kf *. t /. nf) +. (kf *. sqrtf (t /. nf))) }
+
+(* --- U_[b] helpers --- *)
+
+let dist_ub ~b =
+  let k = Bitvec.length b in
+  let bmask = Bitvec.to_int b in
+  Dist.uniform
+    (List.init (1 lsl k) (fun x ->
+         x lor (if parity_int (x land bmask) then 1 lsl k else 0)))
+
+let expectation_ub f ~b =
+  let k = Bitvec.length b in
+  if Boolfun.arity f <> k + 1 then invalid_arg "Lemma_verify.expectation_ub";
+  let bmask = Bitvec.to_int b in
+  let hits = ref 0 in
+  for x = 0 to (1 lsl k) - 1 do
+    let idx = x lor (if parity_int (x land bmask) then 1 lsl k else 0) in
+    if Boolfun.eval_int f idx then incr hits
+  done;
+  foi !hits /. foi (1 lsl k)
+
+(* --- Lemma 5.2 --- *)
+
+let lemma_5_2 f =
+  let kp1 = Boolfun.arity f in
+  if kp1 < 1 then invalid_arg "Lemma_verify.lemma_5_2";
+  let k = kp1 - 1 in
+  let coeffs = Fourier.transform f in
+  let total = ref 0.0 in
+  for b = 0 to (1 lsl k) - 1 do
+    let c = coeffs.(b lor (1 lsl k)) in
+    total := !total +. (c *. c)
+  done;
+  { measured = !total; bound = Boolfun.bias f }
+
+let lemma_5_2_direct f =
+  let kp1 = Boolfun.arity f in
+  let k = kp1 - 1 in
+  let bias = Boolfun.bias f in
+  let total = ref 0.0 in
+  for bmask = 0 to (1 lsl k) - 1 do
+    let b = Bitvec.of_int ~width:k bmask in
+    let d = expectation_ub f ~b -. bias in
+    total := !total +. (d *. d)
+  done;
+  { measured = !total; bound = bias }
+
+(* --- Lemma 6.1 --- *)
+
+let lemma_6_1 d f =
+  let kp1 = Boolfun.arity f in
+  if Restriction.arity d <> kp1 then invalid_arg "Lemma_verify.lemma_6_1: arity mismatch";
+  let k = kp1 - 1 in
+  let mem = Restriction.mem d in
+  let bias_d = Boolfun.bias_on f mem in
+  let total = ref 0.0 in
+  for bmask = 0 to (1 lsl k) - 1 do
+    (* E[f] over the support of U_[b] intersected with D. *)
+    let hits = ref 0 and size = ref 0 in
+    for x = 0 to (1 lsl k) - 1 do
+      let idx = x lor (if parity_int (x land bmask) then 1 lsl k else 0) in
+      if mem idx then begin
+        incr size;
+        if Boolfun.eval_int f idx then incr hits
+      end
+    done;
+    (* Footnote convention: empty intersection means U_{[b],D} := U_D,
+       contributing distance 0. *)
+    let dist =
+      if !size = 0 then 0.0 else Float.abs ((foi !hits /. foi !size) -. bias_d)
+    in
+    total := !total +. dist
+  done;
+  { measured = !total /. foi (1 lsl k); bound = 2.0 ** (-.foi k /. 9.0) }
+
+(* --- Lemma 7.3 --- *)
+
+let expectation_um f ~k ~cols =
+  (* cols.(j) is the k-bit mask of secret column j. *)
+  let hits = ref 0 in
+  for x = 0 to (1 lsl k) - 1 do
+    let idx = ref x in
+    Array.iteri
+      (fun j col -> if parity_int (x land col) then idx := !idx lor (1 lsl (k + j)))
+      cols;
+    if Boolfun.eval_int f !idx then incr hits
+  done;
+  foi !hits /. foi (1 lsl k)
+
+let lemma_7_3 ?(max_secrets = 65536) g f ~k =
+  let m = Boolfun.arity f in
+  if k < 1 || k >= m then invalid_arg "Lemma_verify.lemma_7_3: need 1 <= k < arity";
+  let mc = m - k in
+  let bias = Boolfun.bias f in
+  let secret_bits = k * mc in
+  let distance_sq cols =
+    let d = expectation_um f ~k ~cols -. bias in
+    d *. d
+  in
+  let measured =
+    if secret_bits <= 26 && 1 lsl secret_bits <= max_secrets then begin
+      let total = ref 0.0 in
+      for enc = 0 to (1 lsl secret_bits) - 1 do
+        let cols = Array.init mc (fun j -> (enc lsr (j * k)) land ((1 lsl k) - 1)) in
+        total := !total +. distance_sq cols
+      done;
+      !total /. foi (1 lsl secret_bits)
+    end
+    else begin
+      let total = ref 0.0 in
+      for _ = 1 to max_secrets do
+        let cols = Array.init mc (fun _ -> Prng.int g (1 lsl k)) in
+        total := !total +. distance_sq cols
+      done;
+      !total /. foi max_secrets
+    end
+  in
+  { measured; bound = (2.0 ** -.foi k) *. foi (mc * mc) *. bias }
+
+(* --- Lemma 1.9 --- *)
+
+let lemma_1_9 d d' =
+  let measured = Dist.tv_distance d d' in
+  let dx = Dist.map fst d and dx' = Dist.map fst d' in
+  let marginal_term = Dist.tv_distance dx dx' in
+  (* Union of observed y values, for the footnote's uniform fallback. *)
+  let y_support =
+    List.sort_uniq Int.compare (List.map snd (Dist.support d @ Dist.support d'))
+  in
+  let conditional dist a =
+    match Dist.condition dist (fun (x, _) -> x = a) with
+    | Some c -> Dist.map snd c
+    | None -> Dist.uniform y_support
+  in
+  let conditional_term =
+    Dist.expectation dx (fun a ->
+        Dist.tv_distance (conditional d a) (conditional d' a))
+  in
+  { measured; bound = marginal_term +. conditional_term }
+
+(* --- Claim 7 --- *)
+
+(* E over U_{M,j} of f, where the last [j] output bits are generated from
+   the secret columns [cols] (cols.(0) = v_1 = the last output bit). *)
+let expectation_hybrid f ~k ~m ~j cols =
+  let free = m - j in
+  let hits = ref 0 in
+  for x = 0 to (1 lsl free) - 1 do
+    let xk = x land ((1 lsl k) - 1) in
+    let idx = ref x in
+    (* Output bit m-1-i is x^{(k)} . v_{i+1} = x^{(k)} . cols.(i). *)
+    for i = 0 to j - 1 do
+      if parity_int (xk land cols.(i)) then idx := !idx lor (1 lsl (m - 1 - i))
+    done;
+    if Boolfun.eval_int f !idx then incr hits
+  done;
+  foi !hits /. foi (1 lsl free)
+
+let claim_7 ?(max_prefix = 4096) g f ~k ~j =
+  let m = Boolfun.arity f in
+  if k < 1 || j < 0 || j >= m - k then invalid_arg "Lemma_verify.claim_7";
+  let bias = Boolfun.bias f in
+  let secret_bits = k * (j + 1) in
+  let distance_sq cols =
+    (* cols has j+1 entries: v_1 .. v_{j+1}; U_{M,j} uses the first j. *)
+    let ej = expectation_hybrid f ~k ~m ~j (Array.sub cols 0 j) in
+    let ej1 = expectation_hybrid f ~k ~m ~j:(j + 1) cols in
+    let d = ej -. ej1 in
+    d *. d
+  in
+  let measured =
+    if secret_bits <= 22 && 1 lsl secret_bits <= max_prefix * 64 then begin
+      let total = ref 0.0 in
+      for enc = 0 to (1 lsl secret_bits) - 1 do
+        let cols = Array.init (j + 1) (fun i -> (enc lsr (i * k)) land ((1 lsl k) - 1)) in
+        total := !total +. distance_sq cols
+      done;
+      !total /. foi (1 lsl secret_bits)
+    end
+    else begin
+      let total = ref 0.0 in
+      for _ = 1 to max_prefix do
+        let cols = Array.init (j + 1) (fun _ -> Prng.int g (1 lsl k)) in
+        total := !total +. distance_sq cols
+      done;
+      !total /. foi max_prefix
+    end
+  in
+  { measured; bound = (2.0 ** -.foi k) *. bias }
+
+(* --- Fact 4.6 --- *)
+
+let fact_4_6_label_histogram d =
+  let n = Restriction.arity d in
+  let histogram = Array.make 31 0 in
+  for j = 0 to n - 1 do
+    let h = Restriction.coordinate_entropy d j in
+    if h < 0.9 then histogram.(0) <- histogram.(0) + 1
+    else begin
+      let p = Restriction.coordinate_one_prob d j in
+      let y = Float.abs (-.(Float.log (2.0 *. p) /. Float.log 2.0)) in
+      let label =
+        if y <= Float.of_int 2 ** -30.0 then 30
+        else
+          (* smallest l >= 1 with y <= 2^{-l+1}, i.e. y in (2^-l, 2^-l+1]. *)
+          let l = int_of_float (Float.ceil (-.(Float.log y /. Float.log 2.0))) in
+          max 1 (min 30 l)
+      in
+      histogram.(label) <- histogram.(label) + 1
+    end
+  done;
+  histogram
+
+(* --- Claim 5 --- *)
+
+let claim_8 d ~k ~samples g =
+  let m = Restriction.arity d in
+  if k < 1 || k >= m then invalid_arg "Lemma_verify.claim_8: need 1 <= k < arity";
+  let mc = m - k in
+  let n_d = foi (Restriction.size d) in
+  let target = 2.0 ** -.foi mc in
+  let tol = (2.0 ** (-.foi k /. 8.0)) *. target in
+  let violations = ref 0 in
+  for _ = 1 to samples do
+    let cols = Array.init mc (fun _ -> Prng.int g (1 lsl k)) in
+    (* N_M: seeds whose expansion lands in D. *)
+    let n_m = ref 0 in
+    for x = 0 to (1 lsl k) - 1 do
+      let idx = ref x in
+      Array.iteri
+        (fun j col -> if parity_int (x land col) then idx := !idx lor (1 lsl (k + j)))
+        cols;
+      if Restriction.mem d !idx then incr n_m
+    done;
+    if Float.abs ((foi !n_m /. n_d) -. target) >= tol then incr violations
+  done;
+  foi !violations /. foi samples
+
+let claim_5 d ~samples g =
+  let kp1 = Restriction.arity d in
+  let k = kp1 - 1 in
+  let n_d = foi (Restriction.size d) in
+  let tol = 2.0 ** (-.foi k /. 8.0) in
+  let violations = ref 0 in
+  for _ = 1 to samples do
+    let bmask = Prng.int g (1 lsl k) in
+    let n_b = ref 0 in
+    for x = 0 to (1 lsl k) - 1 do
+      let idx = x lor (if parity_int (x land bmask) then 1 lsl k else 0) in
+      if Restriction.mem d idx then incr n_b
+    done;
+    if Float.abs ((foi !n_b /. n_d) -. 0.5) >= tol then incr violations
+  done;
+  foi !violations /. foi samples

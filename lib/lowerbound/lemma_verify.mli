@@ -1,0 +1,99 @@
+(** Exact verifiers for the statistical inequalities behind the lower
+    bounds.
+
+    Every lemma below is an inequality between an expectation over inputs /
+    planted sets / secret strings and a closed-form bound.  For moderate
+    arity all quantities are computed {e exactly} (full enumeration,
+    Walsh-Hadamard where applicable), so the test suite can check the
+    inequalities and the benchmark harness can report
+    measured-vs-bound tables.  Each function returns
+    [(measured, bound)]. *)
+
+type check = { measured : float; bound : float }
+
+val holds : check -> bool
+(** [measured <= bound] with a small float tolerance. *)
+
+(** {1 Unrestricted cube} *)
+
+val lemma_1_10 : Boolfun.t -> check
+(** [E_{i<-[n]} ‖f(U_n) − f(U_n^[i])‖ <= 2 sqrt(1/n)] — the constant 2
+    follows the proof (Pinsker plus the factor-2 step). *)
+
+val lemma_1_8 : ?max_cliques:int -> Prng.t -> Boolfun.t -> k:int -> check
+(** [E_{C~S_k} ‖f(U_n) − f(U_n^C)‖ <= 2 k / sqrt(n - k)].  Exact when
+    [C(n,k) <= max_cliques] (default 20000), otherwise a Monte-Carlo
+    average over [max_cliques] sampled sets. *)
+
+(** {1 Restricted domains (Section 4)} *)
+
+val lemma_4_4 : Restriction.t -> Boolfun.t -> check
+(** [E_{i<-[n]} ‖f(U_D) − f(U_D^[i])‖ <= 2t/n + 10 sqrt((t+1)/n)] for
+    [|D| >= 2^{n-t}] — the explicit constants from the proof. *)
+
+val lemma_4_3 : ?max_cliques:int -> Prng.t -> Restriction.t -> Boolfun.t -> k:int -> check
+(** [E_{C~S_k} ‖f(U_D) − f(U_D^C)‖ <= c (k^2 t/n + k sqrt(t/n))] with the
+    proof's constant [c = 12]; empty restricted supports count distance 1
+    (the paper's convention). *)
+
+(** {1 Fourier-based PRG lemmas (Sections 5-7)} *)
+
+val lemma_5_2 : Boolfun.t -> check
+(** [sum_{b in {0,1}^k} ‖f(U_{k+1}) − f(U_[b])‖^2 <= E f] for
+    [f : {0,1}^{k+1} -> {0,1}]; computed exactly via the WHT identity
+    [f^(S_b ∪ {k+1}) = E_{U_[b]} f − E_U f]. *)
+
+val lemma_5_2_direct : Boolfun.t -> check
+(** The same sum computed by direct enumeration of every [U_[b]] — a
+    cross-check of the Fourier path. *)
+
+val lemma_6_1 : Restriction.t -> Boolfun.t -> check
+(** [E_{b~U_k} ‖f(U_[b],D) − f(U_{k+1},D)‖ <= 2^{-k/9}] for
+    [|D| >= 2^{k/2}] (arity of [f] and [D] is [k+1]). *)
+
+val lemma_7_3 : ?max_secrets:int -> Prng.t -> Boolfun.t -> k:int -> check
+(** [E_M ‖f(U_m) − f(U_M)‖^2 <= 2^{-k} (m-k)^2 E f] where [m] is the arity
+    of [f] and [M] ranges over [{0,1}^{k x (m-k)}].  Exact when
+    [2^{k(m-k)} <= max_secrets] (default 65536), else Monte-Carlo. *)
+
+val claim_5 : Restriction.t -> samples:int -> Prng.t -> float
+(** Claim 5 support concentration: fraction of sampled [b] with
+    [|N_b/N_D − 1/2| >= 2^{-k/8}] (should be at most ~[2^{-k/8}]).
+    [Restriction.arity d = k + 1]. *)
+
+val claim_8 : Restriction.t -> k:int -> samples:int -> Prng.t -> float
+(** Claim 8, the full-PRG analogue: with [D] over [m]-bit strings
+    ([m = Restriction.arity d]) and secrets [M ∈ {0,1}^{k×(m−k)}], the
+    fraction of sampled [M] with
+    [|N_M/N_D − 2^{−(m−k)}| >= 2^{−k/8} · 2^{−(m−k)}], where
+    [N_M = |D ∩ range(U_M)|].  Should be at most ~[2^{−k/8}]. *)
+
+(** {1 Structural inequalities} *)
+
+val lemma_1_9 : (int * int) Dist.t -> (int * int) Dist.t -> check
+(** The conditioning inequality (Lemma 1.9):
+    [‖D − D'‖ <= ‖D_X − D'_X‖ + E_{a~D_X} ‖D_{X=a} − D'_{X=a}‖] for joint
+    distributions on pairs.  [measured] is the left side, [bound] the
+    right side, both computed exactly. *)
+
+val claim_7 : ?max_prefix:int -> Prng.t -> Boolfun.t -> k:int -> j:int -> check
+(** The hybrid step of Lemma 7.3 (Claim 7):
+    [E_M ‖f(U_{M,j}) − f(U_{M,j+1})‖^2 <= 2^{-k} E f], where [U_{M,j}]
+    leaves the first [m − j] bits uniform and generates the last [j] from
+    the secret columns.  Exact over all secrets for small [k*(j+1)];
+    Monte-Carlo with [max_prefix] samples otherwise (default 4096). *)
+
+val fact_4_6_label_histogram : Restriction.t -> int array
+(** Fact 4.6's edge labels on the root of the subset tree: element [l]
+    counts coordinates [j] whose good-edge label is [l], i.e.
+    [|Y| ∈ (2^{-l}, 2^{-l+1}]] where [Y = -log2(2 Pr[X_j = 1])]; element 0
+    collects bad edges (entropy < 0.9).  Fact 4.6 bounds element [l] by
+    [O(4^l t)]. *)
+
+(** {1 Distribution helpers} *)
+
+val dist_ub : b:Bitvec.t -> int Dist.t
+(** The distribution [U_[b]] over integer-encoded [(x, x·b)] strings. *)
+
+val expectation_ub : Boolfun.t -> b:Bitvec.t -> float
+(** [E_{x ~ U_[b]} f(x)]. *)

@@ -1,0 +1,44 @@
+(* Joint-input enumeration: processor i's input is field i of a mixed-radix
+   integer; each field indexes that processor's private input choices. *)
+
+let enumerate_joint ~n ~choices_per ~input_of =
+  let bits_total = n * choices_per in
+  if bits_total > 20 then invalid_arg "Prg_progress: enumeration too large";
+  let per = 1 lsl choices_per in
+  let total = 1 lsl bits_total in
+  Dist.uniform
+    (List.init total (fun enc ->
+         Array.init n (fun i -> input_of ((enc lsr (i * choices_per)) land (per - 1)))))
+
+let enumerate_rand ~n ~k =
+  enumerate_joint ~n ~choices_per:(k + 1) ~input_of:(Bitvec.of_int ~width:(k + 1))
+
+let enumerate_pseudo ~n ~k ~b =
+  if Bitvec.length b <> k then invalid_arg "Prg_progress.enumerate_pseudo";
+  enumerate_joint ~n ~choices_per:k ~input_of:(fun x ->
+      Toy_prg.extend ~x:(Bitvec.of_int ~width:k x) ~b)
+
+let truncated proto ~turns = { proto with Turn_model.turns }
+
+let expected_distance_exact proto ~n ~k ~turns =
+  let proto = truncated proto ~turns in
+  let p_rand = Turn_model.exact_transcript_dist proto (enumerate_rand ~n ~k) in
+  let total = ref 0.0 in
+  for bmask = 0 to (1 lsl k) - 1 do
+    let b = Bitvec.of_int ~width:k bmask in
+    let p_b = Turn_model.exact_transcript_dist proto (enumerate_pseudo ~n ~k ~b) in
+    total := !total +. Dist.tv_distance p_rand p_b
+  done;
+  !total /. float_of_int (1 lsl k)
+
+let theorem_5_1_bound ~n ~k = float_of_int n *. (2.0 ** (-.float_of_int k /. 2.0))
+
+let mixture_distance_exact proto ~n ~k ~turns =
+  let proto = truncated proto ~turns in
+  let p_rand = Turn_model.exact_transcript_dist proto (enumerate_rand ~n ~k) in
+  let components =
+    List.init (1 lsl k) (fun bmask ->
+        let b = Bitvec.of_int ~width:k bmask in
+        (Turn_model.exact_transcript_dist proto (enumerate_pseudo ~n ~k ~b), 1.0))
+  in
+  Dist.tv_distance p_rand (Dist.mixture components)

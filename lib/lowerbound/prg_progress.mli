@@ -1,0 +1,31 @@
+(** Exact verification of the toy-PRG indistinguishability (Theorem 5.1).
+
+    For small [n] and [k] everything in Theorem 5.1 can be enumerated: the
+    uniform case's [2^{n(k+1)}] joint inputs, each secret [b]'s [2^{nk}]
+    joint inputs, and hence the exact transcript distributions
+    [P_rand] and [P_[b]] of any deterministic turn-model protocol.  The
+    theorem bounds the one-round quantity by [E_b ‖P_rand − P_[b]‖
+    <= n 2^{-k/2}]; this module computes the left side exactly. *)
+
+val enumerate_rand : n:int -> k:int -> Bitvec.t array Dist.t
+(** Case (A): every processor's input uniform on [{0,1}^{k+1}].
+    [n*(k+1) <= 20]. *)
+
+val enumerate_pseudo : n:int -> k:int -> b:Bitvec.t -> Bitvec.t array Dist.t
+(** Case (B) with the secret fixed: every processor's input uniform on the
+    support of [U_[b]].  [n*k <= 20]. *)
+
+val expected_distance_exact :
+  Turn_model.protocol -> n:int -> k:int -> turns:int -> float
+(** [E_{b ~ U_k} ‖P_rand^(turns) − P_[b]^(turns)‖], every quantity exact
+    (all [2^k] secrets, all joint inputs). *)
+
+val theorem_5_1_bound : n:int -> k:int -> float
+(** [n * 2^{-k/2}] — the right side of Theorem 5.1 for a full round of
+    [n] turns. *)
+
+val mixture_distance_exact :
+  Turn_model.protocol -> n:int -> k:int -> turns:int -> float
+(** [‖P_rand − E_b P_[b]‖] exactly — the distance an actual distinguisher
+    faces; at most {!expected_distance_exact} by the triangle
+    inequality. *)

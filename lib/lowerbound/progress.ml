@@ -1,0 +1,119 @@
+let foi = float_of_int
+
+(* Off-diagonal entry positions of an n x n adjacency matrix, in row-major
+   order: (0,1), (0,2), ..., (n-1, n-2). *)
+let off_diagonal_pairs n =
+  List.concat_map
+    (fun i -> List.filter_map (fun j -> if i <> j then Some (i, j) else None)
+        (List.init n (fun j -> j)))
+    (List.init n (fun i -> i))
+
+let rows_of_assignment n pairs assignment forced =
+  let rows = Array.init n (fun _ -> Bitvec.create n) in
+  List.iteri
+    (fun idx (i, j) ->
+      let v = (assignment lsr idx) land 1 = 1 in
+      Bitvec.set rows.(i) j v)
+    pairs;
+  List.iter (fun (i, j) -> Bitvec.set rows.(i) j true) forced;
+  rows
+
+let clique_pairs clique =
+  List.concat_map
+    (fun i -> List.filter_map (fun j -> if i <> j then Some (i, j) else None) clique)
+    clique
+
+let enumerate_matrices n forced =
+  let forced_set = List.fold_left (fun acc p -> p :: acc) [] forced in
+  let free =
+    List.filter (fun p -> not (List.mem p forced_set)) (off_diagonal_pairs n)
+  in
+  let bits = List.length free in
+  if bits > 20 then invalid_arg "Progress: enumeration too large (keep n <= 4)";
+  Dist.uniform
+    (List.init (1 lsl bits) (fun a -> rows_of_assignment n free a forced))
+
+let enumerate_rand ~n = enumerate_matrices n []
+
+let enumerate_planted ~n ~clique = enumerate_matrices n (clique_pairs clique)
+
+let sample_rand_rows ~n g =
+  let graph = Planted.sample_rand g n in
+  Array.init n (Digraph.out_row graph)
+
+let sample_planted_rows ~n ~k g =
+  let graph, _ = Planted.sample_planted g ~n ~k in
+  Array.init n (Digraph.out_row graph)
+
+let truncate (proto : Turn_model.protocol) ~turns = { proto with Turn_model.turns }
+
+let all_cliques n k =
+  let acc = ref [] in
+  let c = Array.init k (fun i -> i) in
+  let rec loop () =
+    acc := Array.to_list c :: !acc;
+    let i = ref (k - 1) in
+    while !i >= 0 && c.(!i) = n - k + !i do
+      decr i
+    done;
+    if !i >= 0 then begin
+      c.(!i) <- c.(!i) + 1;
+      for j = !i + 1 to k - 1 do
+        c.(j) <- c.(j - 1) + 1
+      done;
+      loop ()
+    end
+  in
+  if k >= 1 && k <= n then loop ();
+  !acc
+
+let progress_exact proto ~n ~k ~turns =
+  let proto = truncate proto ~turns in
+  let p_rand = Turn_model.exact_transcript_dist proto (enumerate_rand ~n) in
+  let cliques = all_cliques n k in
+  let total =
+    List.fold_left
+      (fun acc c ->
+        let p_c = Turn_model.exact_transcript_dist proto (enumerate_planted ~n ~clique:c) in
+        acc +. Dist.tv_distance p_rand p_c)
+      0.0 cliques
+  in
+  total /. foi (List.length cliques)
+
+let real_distance_exact proto ~n ~k ~turns =
+  let proto = truncate proto ~turns in
+  let p_rand = Turn_model.exact_transcript_dist proto (enumerate_rand ~n) in
+  let cliques = all_cliques n k in
+  let mixture =
+    Dist.mixture
+      (List.map
+         (fun c ->
+           (Turn_model.exact_transcript_dist proto (enumerate_planted ~n ~clique:c), 1.0))
+         cliques)
+  in
+  Dist.tv_distance p_rand mixture
+
+let theorem_1_6_bound ~n ~k = foi (k * k) /. Float.sqrt (foi n)
+
+let theorem_4_1_bound ~n ~k ~j =
+  let log2n = Float.log (foi n) /. Float.log 2.0 in
+  foi j *. foi (k * k) *. Float.sqrt ((foi j +. log2n) /. foi n)
+
+let progress_sampled proto ~n ~k ~turns ~cliques ~samples g =
+  let proto = truncate proto ~turns in
+  let p_rand =
+    Turn_model.sampled_transcript_dist proto ~sample:(sample_rand_rows ~n) ~samples g
+  in
+  let total = ref 0.0 in
+  for _ = 1 to cliques do
+    let c = Prng.subset g ~n ~k in
+    let p_c =
+      Turn_model.sampled_transcript_dist proto
+        ~sample:(fun g ->
+          let graph = Planted.sample_planted_at g n c in
+          Array.init n (Digraph.out_row graph))
+        ~samples g
+    in
+    total := !total +. Dist.tv_distance p_rand p_c
+  done;
+  !total /. foi cliques

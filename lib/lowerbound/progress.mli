@@ -1,0 +1,50 @@
+(** The progress-function machinery of Sections 3-4, made exact.
+
+    For small [n] every input matrix can be enumerated, so the transcript
+    distributions [P(Pi, A_rand)], [P(Pi, A_C)] and the progress function
+
+      [L_progress^(t) = E_{C ~ S_k} ‖P_C^(t) − P_rand^(t)‖]
+
+    are computed {e exactly} for any deterministic turn-model protocol.
+    Theorem 1.6/4.1 bound these quantities; experiment E4 tabulates
+    measured vs bound. *)
+
+val enumerate_rand : n:int -> Bitvec.t array Dist.t
+(** [A_rand^n] as an explicit distribution over row arrays ([2^{n(n-1)}]
+    outcomes — keep [n <= 4]). *)
+
+val enumerate_planted : n:int -> clique:int list -> Bitvec.t array Dist.t
+(** [A_C^n], exactly. *)
+
+val sample_rand_rows : n:int -> Prng.t -> Bitvec.t array
+val sample_planted_rows : n:int -> k:int -> Prng.t -> Bitvec.t array
+(** Row-array samplers of [A_rand] and [A_k] for the sampled variants. *)
+
+val truncate : Turn_model.protocol -> turns:int -> Turn_model.protocol
+
+val progress_exact : Turn_model.protocol -> n:int -> k:int -> turns:int -> float
+(** [L_progress^(turns)] with both the clique average and the transcript
+    distributions exact. *)
+
+val real_distance_exact : Turn_model.protocol -> n:int -> k:int -> turns:int -> float
+(** [‖P(Pi, A_k) − P(Pi, A_rand)‖] exactly; always [<= progress_exact]
+    (the triangle-inequality relation of Section 3). *)
+
+val theorem_1_6_bound : n:int -> k:int -> float
+(** The one-round bound [k^2 / sqrt n] (constant 1, as printed). *)
+
+val theorem_4_1_bound : n:int -> k:int -> j:int -> float
+(** [j k^2 sqrt((j + log n)/n)]. *)
+
+val progress_sampled :
+  Turn_model.protocol ->
+  n:int ->
+  k:int ->
+  turns:int ->
+  cliques:int ->
+  samples:int ->
+  Prng.t ->
+  float
+(** Monte-Carlo [L_progress]: average over [cliques] sampled planted sets
+    of the empirical TV distance between transcript histograms
+    ([samples] runs per distribution). *)

@@ -1,0 +1,53 @@
+type stats = {
+  trials : int;
+  prob_z_exceeds_3t : float;
+  prob_hit_empty : float;
+  mean_final_z : float;
+  bad_edge_rate : float;
+}
+
+let foi = float_of_int
+let log2 x = Float.log x /. Float.log 2.0
+
+let simulate g ~d ~k ~trials =
+  let n = Restriction.arity d in
+  if k > n then invalid_arg "Subset_tree.simulate: k > n";
+  let t = Float.max 1.0 (Restriction.deficit d) in
+  let exceeded = ref 0 and empties = ref 0 in
+  let z_sum = ref 0.0 and z_count = ref 0 in
+  let bad_edges = ref 0 and steps = ref 0 in
+  for _ = 1 to trials do
+    let order = Prng.subset g ~n ~k in
+    let rec walk dom l = function
+      | [] ->
+          let z = foi (n - l) -. log2 (foi (Restriction.size dom)) in
+          z_sum := !z_sum +. z;
+          incr z_count;
+          if z > 3.0 *. t then incr exceeded
+      | a :: rest -> begin
+          incr steps;
+          if Restriction.coordinate_entropy dom a < 0.9 then incr bad_edges;
+          match Restriction.forced_ones dom [ a ] with
+          | None ->
+              incr empties;
+              incr exceeded
+          | Some dom' -> walk dom' (l + 1) rest
+        end
+    in
+    walk d 0 order
+  done;
+  {
+    trials;
+    prob_z_exceeds_3t = foi !exceeded /. foi trials;
+    prob_hit_empty = foi !empties /. foi trials;
+    mean_final_z = (if !z_count = 0 then Float.nan else !z_sum /. foi !z_count);
+    bad_edge_rate = (if !steps = 0 then 0.0 else foi !bad_edges /. foi !steps);
+  }
+
+let fact_4_5_bad_edge_probability d =
+  let n = Restriction.arity d in
+  let bad = ref 0 in
+  for j = 0 to n - 1 do
+    if Restriction.coordinate_entropy d j < 0.9 then incr bad
+  done;
+  foi !bad /. foi n

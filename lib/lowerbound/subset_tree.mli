@@ -1,0 +1,23 @@
+(** Monte-Carlo simulation of the subset tree from the proof of Claim 3.
+
+    Claim 3 controls how fast the entropy gap
+    [Z_{a_1..a_l} = (n - l) - log2 |D^{a_1..a_l}|] can grow as random
+    coordinates are forced to 1: with probability [1 - O(t l / n)] the walk
+    stays below [3t], and the edges taken are overwhelmingly "good"
+    (coordinate entropy [>= 0.9]).  This module runs that walk on concrete
+    domains so the claim's constants can be inspected. *)
+
+type stats = {
+  trials : int;
+  prob_z_exceeds_3t : float;  (** Fraction of walks ending with [Z > 3t]. *)
+  prob_hit_empty : float;  (** Walks that emptied the domain (counted as exceeding). *)
+  mean_final_z : float;  (** Over walks that survived. *)
+  bad_edge_rate : float;  (** Fraction of steps with coordinate entropy < 0.9. *)
+}
+
+val simulate : Prng.t -> d:Restriction.t -> k:int -> trials:int -> stats
+(** Walk [k] random distinct coordinates down from [d]. *)
+
+val fact_4_5_bad_edge_probability : Restriction.t -> float
+(** Exact probability (over a uniform coordinate) that the first step out
+    of [d] is a bad edge — Fact 4.5 bounds this by [O(t/n)]. *)

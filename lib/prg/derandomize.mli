@@ -1,0 +1,21 @@
+(** The randomness-saving transform of Corollary 7.1.
+
+    Given a [j]-round randomized BCAST(1) protocol in which every processor
+    consumes at most [m - k] private random bits, produce an equivalent
+    protocol that (1) spends [construction_rounds] extra rounds running the
+    PRG of Theorem 1.3, and (2) runs the original protocol with each
+    processor's random tape replaced by its [m] pseudo-random bits.  The
+    transformed protocol uses only [seed_bits_per_processor] ≈ [O(k)]
+    random bits per processor; by Theorem 5.4 its transcript (hence output)
+    distribution is within statistical distance [O(j n / 2^{k/9})] of the
+    original's whenever [j <= k/10]. *)
+
+val transform : Full_prg.params -> 'out Bcast.protocol -> 'out Bcast.protocol
+(** [transform p proto] prepends the PRG construction phase and feeds
+    [proto]'s processors a tape of [p.m] pseudo-random bits.  The original
+    protocol must draw at most [p.m] bits per processor (the tape raises
+    [Failure] past its end) and must use [msg_bits = 1].  Total rounds:
+    [Full_prg.construction_rounds p + proto.rounds]. *)
+
+val rounds_overhead : Full_prg.params -> int
+(** Extra rounds added by the transform. *)

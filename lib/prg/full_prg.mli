@@ -1,0 +1,56 @@
+(** The complete pseudo-random generator of Theorem 1.3 / Section 7.
+
+    Parameters [(n, k, m)]: [n] processors, seed size [Θ(k)] per processor,
+    output size [m] per processor.  A shared secret matrix
+    [M ∈ {0,1}^{k×(m−k)}] is assembled from broadcast random bits in
+    [ceil(k(m−k)/n)] BCAST(1) rounds; each processor's output is
+    [(x, x^T M)] for its private [k]-bit seed [x].  Theorem 5.4: no
+    [j]-round protocol with [j <= k/10], [m <= 2^{k/20}] distinguishes the
+    joint outputs from uniform except with probability [O(j n / 2^{k/9})]. *)
+
+type params = { n : int; k : int; m : int }
+
+val validate : params -> unit
+(** Raises [Invalid_argument] unless [n >= 1] and [1 <= k < m]. *)
+
+val construction_rounds : params -> int
+(** [ceil (k*(m-k) / n)]. *)
+
+val seed_bits_per_processor : params -> int
+(** [k + ceil(k*(m-k)/n)]: private seed plus contributed shares — the
+    [O(k)] of Theorem 1.3 when [m = O(n)]. *)
+
+val fooling_rounds : params -> int
+(** [k / 10]: the round budget the PRG provably fools (Theorem 5.4). *)
+
+val expand : Gf2_matrix.t -> Bitvec.t -> Bitvec.t
+(** [expand m_secret x = (x, x^T M)], an [m]-bit string from a [k]-bit
+    seed. *)
+
+val sample_secret : Prng.t -> params -> Gf2_matrix.t
+(** A uniform [k×(m−k)] secret matrix. *)
+
+val sample_um : Prng.t -> Gf2_matrix.t -> Bitvec.t
+(** One draw from [U_M]: uniform seed, expanded. *)
+
+val sample_inputs_pseudo : Prng.t -> params -> Bitvec.t array * Gf2_matrix.t
+(** Case (B) of Theorem 5.4: fresh secret [M], then [n] draws from [U_M]. *)
+
+val sample_inputs_rand : Prng.t -> params -> Bitvec.t array
+(** Case (A): [n] draws from [U_m]. *)
+
+val construction_protocol : params -> Bitvec.t Bcast.protocol
+(** The distributed construction.  Round [r]'s broadcast bits fill row-major
+    positions [r*n .. r*n + n - 1] of [M] (positions beyond [k*(m-k)] are
+    padding).  Every processor assembles the same [M] from the transcript
+    and outputs its [m] pseudo-random bits. *)
+
+val construction_protocol_wide : params -> msg_bits:int -> Bitvec.t Bcast.protocol
+(** The same construction in BCAST(b): each broadcast carries [msg_bits]
+    fresh random bits, so the secret matrix is assembled in
+    [ceil(k(m-k) / (n * msg_bits))] rounds.  With [msg_bits = ceil(log2 n)]
+    this is the paper's footnote-1 remark that BCAST(log n) needs a
+    [log n]-th of the rounds — e.g. [O(log n)] rounds for the
+    [O(log^2 n)]-seed instantiation discussed after Theorem 1.3. *)
+
+val construction_rounds_wide : params -> msg_bits:int -> int

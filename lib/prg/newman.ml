@@ -1,0 +1,43 @@
+type 'out public_coin = {
+  name : string;
+  coin_bits : int;
+  run : coins:Bitvec.t -> inputs:Bitvec.t array -> 'out;
+}
+
+type 'out sampled = { base : 'out public_coin; strings : Bitvec.t array }
+
+let make_sampled g base ~t_count =
+  if t_count < 1 then invalid_arg "Newman.make_sampled: need t_count >= 1";
+  { base; strings = Array.init t_count (fun _ -> Prng.bitvec g base.coin_bits) }
+
+let selection_bits s =
+  let t = Array.length s.strings in
+  let rec width acc v = if v = 0 then acc else width (acc + 1) (v lsr 1) in
+  width 0 (t - 1)
+
+let run_sampled s ~rand ~inputs =
+  let idx = Prng.int rand (Array.length s.strings) in
+  s.base.run ~coins:s.strings.(idx) ~inputs
+
+let theoretical_t ~n ~m ~k ~eps =
+  (* Theta(eps^-2 (n m + 2^{2 k n})); the constant is taken as 1. *)
+  (float_of_int (n * m) +. (2.0 ** float_of_int (2 * k * n))) /. (eps *. eps)
+
+let acceptance_gap s ~inputs ~value ~master ~trials =
+  let sampled_prob =
+    let hits =
+      Array.fold_left
+        (fun acc coins -> if value (s.base.run ~coins ~inputs) then acc + 1 else acc)
+        0 s.strings
+    in
+    float_of_int hits /. float_of_int (Array.length s.strings)
+  in
+  let true_prob =
+    let hits = ref 0 in
+    for _ = 1 to trials do
+      let coins = Prng.bitvec master s.base.coin_bits in
+      if value (s.base.run ~coins ~inputs) then incr hits
+    done;
+    float_of_int !hits /. float_of_int trials
+  in
+  Float.abs (sampled_prob -. true_prob)

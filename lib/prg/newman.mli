@@ -1,0 +1,50 @@
+(** Newman's theorem in the Broadcast Congested Clique (Appendix A).
+
+    Any public-coin randomized protocol using arbitrarily many shared coins
+    can be ε-simulated by one that selects uniformly among [T] hard-wired
+    coin strings, with
+
+      [T = Θ(ε^{-2} (n m + 2^{2 k n}))]
+
+    in the computationally unbounded analysis; selecting the index costs
+    only [log2 T] shared random bits.  This module implements the
+    transformation constructively: it samples the [T] strings, hard-wires
+    them, and exposes the resulting protocol, so the experiments can
+    measure how well the sampled family ε-simulates the original on
+    concrete instances (the analysis' union bound over all [2^{nm}] inputs
+    is what forces the enormous [T]; in practice small [T] already
+    simulates well, which E13 demonstrates). *)
+
+type 'out public_coin = {
+  name : string;
+  coin_bits : int;  (** Shared coins consumed per run. *)
+  run : coins:Bitvec.t -> inputs:Bitvec.t array -> 'out;
+}
+(** A protocol abstracted over its shared randomness. *)
+
+type 'out sampled = {
+  base : 'out public_coin;
+  strings : Bitvec.t array;  (** The hard-wired coin strings. *)
+}
+
+val make_sampled : Prng.t -> 'out public_coin -> t_count:int -> 'out sampled
+(** Draw [t_count] coin strings and hard-wire them. *)
+
+val run_sampled : 'out sampled -> rand:Prng.t -> inputs:Bitvec.t array -> 'out
+(** Pick a uniform index (costing [selection_bits]) and run that branch. *)
+
+val selection_bits : 'out sampled -> int
+(** [ceil (log2 t_count)] — the public randomness of the simulation. *)
+
+val theoretical_t : n:int -> m:int -> k:int -> eps:float -> float
+(** The [T] from the proof of Theorem A.1 (as a float: it is astronomically
+    large for nontrivial parameters, which is the point the experiment
+    makes when contrasting it with the small [T] that suffices
+    empirically). *)
+
+val acceptance_gap :
+  'out sampled -> inputs:Bitvec.t array -> value:('out -> bool) -> master:Prng.t ->
+  trials:int -> float
+(** [| Pr_sampled[value] − Pr_true[value] |] on one fixed input: the sampled
+    probability is exact (average over the hard-wired strings); the true
+    probability is estimated from [trials] fresh coin draws. *)

@@ -1,0 +1,29 @@
+(** The toy pseudo-random generator of Section 5.
+
+    Each processor holds [k] private random bits [x]; a shared random
+    vector [b ∈ {0,1}^k] is created by broadcasting; each processor's
+    pseudo-random string is [(x, x·b)] — its seed extended by one inner
+    product bit.  Theorem 5.1 (one round) and Theorem 5.3 (j <= k/10
+    rounds) say no low-round BCAST(1) protocol distinguishes these
+    [(k+1)]-bit strings from uniform except with probability
+    [O(j n / 2^{k/9})]. *)
+
+val extend : x:Bitvec.t -> b:Bitvec.t -> Bitvec.t
+(** [(x, x·b)]: the seed followed by the inner-product bit. *)
+
+val sample_ub : Prng.t -> b:Bitvec.t -> Bitvec.t
+(** One draw from [U_[b]]: uniform [x], output [(x, x·b)]. *)
+
+val sample_inputs_pseudo : Prng.t -> n:int -> k:int -> Bitvec.t array * Bitvec.t
+(** Case (B) of Theorems 5.1/5.3: a fresh shared [b ~ U_k], then [n]
+    independent draws from [U_[b]].  Returns the inputs and [b]. *)
+
+val sample_inputs_rand : Prng.t -> n:int -> k:int -> Bitvec.t array
+(** Case (A): [n] independent draws from [U_{k+1}]. *)
+
+val construction_protocol : k:int -> Bitvec.t Bcast.protocol
+(** The distributed construction: [k] BCAST(1) rounds in which processor
+    [r mod n] contributes round [r]'s shared bit (one fresh private random
+    bit); everyone assembles [b] from the transcript; processor output is
+    [(x, x·b)] with [x] its [k] private seed bits.  Per-processor seed:
+    [k] bits, plus at most [ceil(k/n)] contributed bits. *)

@@ -1,0 +1,121 @@
+(* xoshiro256++ with splitmix64 seeding.  The [seed] field remembers the
+   originating seed so [split] can derive child streams deterministically
+   without consuming state from the parent. *)
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64;
+           mutable s3 : int64; seed : int64 }
+
+let splitmix64_next state =
+  state := Int64.add !state 0x9e3779b97f4a7c15L;
+  let z = !state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let of_seed64 seed =
+  let st = ref seed in
+  let s0 = splitmix64_next st in
+  let s1 = splitmix64_next st in
+  let s2 = splitmix64_next st in
+  let s3 = splitmix64_next st in
+  (* xoshiro must not start in the all-zero state. *)
+  let s3 = if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then 1L else s3 in
+  { s0; s1; s2; s3; seed }
+
+let create seed = of_seed64 (Int64.of_int seed)
+
+let split g i =
+  (* Mix the parent seed with the child index through splitmix64 twice so
+     that adjacent indices yield unrelated streams. *)
+  let st = ref (Int64.logxor g.seed (Int64.mul (Int64.of_int i) 0x9e3779b97f4a7c15L)) in
+  let mixed = splitmix64_next st in
+  of_seed64 (Int64.logxor mixed (splitmix64_next st))
+
+let copy g = { g with s0 = g.s0 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 g =
+  let result = Int64.add (rotl (Int64.add g.s0 g.s3) 23) g.s0 in
+  let t = Int64.shift_left g.s1 17 in
+  g.s2 <- Int64.logxor g.s2 g.s0;
+  g.s3 <- Int64.logxor g.s3 g.s1;
+  g.s1 <- Int64.logxor g.s1 g.s2;
+  g.s0 <- Int64.logxor g.s0 g.s3;
+  g.s2 <- Int64.logxor g.s2 t;
+  g.s3 <- rotl g.s3 45;
+  result
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let int g n =
+  if n <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling on the top 62 bits to avoid modulo bias. *)
+  let mask = Int64.of_int max_int in
+  let rec draw () =
+    let v = Int64.to_int (Int64.logand (bits64 g) mask) in
+    let r = v mod n in
+    if v - r > max_int - n + 1 then draw () else r
+  in
+  draw ()
+
+let float g =
+  (* 53 uniform mantissa bits. *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 g) 11) in
+  float_of_int v /. 9007199254740992.0
+
+let bitvec g len =
+  let v = Bitvec.create len in
+  let full_words = len / 64 in
+  for i = 0 to full_words - 1 do
+    let w = bits64 g in
+    for b = 0 to 63 do
+      if Int64.logand (Int64.shift_right_logical w b) 1L = 1L then
+        Bitvec.set v ((i * 64) + b) true
+    done
+  done;
+  let rem = len mod 64 in
+  if rem > 0 then begin
+    let w = bits64 g in
+    for b = 0 to rem - 1 do
+      if Int64.logand (Int64.shift_right_logical w b) 1L = 1L then
+        Bitvec.set v ((full_words * 64) + b) true
+    done
+  end;
+  v
+
+let subset g ~n ~k =
+  if k < 0 || k > n then invalid_arg "Prng.subset: need 0 <= k <= n";
+  (* Partial Fisher-Yates over an index array. *)
+  let a = Array.init n (fun i -> i) in
+  for i = 0 to k - 1 do
+    let j = i + int g (n - i) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  List.sort Int.compare (Array.to_list (Array.sub a 0 k))
+
+let shuffle g a =
+  let n = Array.length a in
+  for i = n - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation g n =
+  let a = Array.init n (fun i -> i) in
+  shuffle g a;
+  a
+
+let bernoulli g p = float g < p
+
+let binomial g ~n ~p =
+  let c = ref 0 in
+  for _ = 1 to n do
+    if bernoulli g p then incr c
+  done;
+  !c

@@ -1,0 +1,98 @@
+type t = {
+  name : string;
+  rounds : int;
+  statistic : Prng.t -> Digraph.t -> float;
+}
+
+let out_degrees g =
+  Array.init (Digraph.vertex_count g) (fun i -> float_of_int (Digraph.out_degree g i))
+
+let max_out_degree =
+  {
+    name = "max-out-degree";
+    rounds = 1;
+    statistic = (fun _ g -> Array.fold_left Float.max 0.0 (out_degrees g));
+  }
+
+let total_edges =
+  {
+    name = "total-edges";
+    rounds = 1;
+    statistic = (fun _ g -> Array.fold_left ( +. ) 0.0 (out_degrees g));
+  }
+
+let degree_variance =
+  {
+    name = "degree-variance";
+    rounds = 1;
+    statistic = (fun _ g -> Stats.variance (out_degrees g));
+  }
+
+let sampled_subgraph_clique ~sample_size =
+  {
+    name = Printf.sprintf "sampled-clique(s=%d)" sample_size;
+    (* One round to agree on the sample, then each sampled vertex's
+       adjacency into the sample is broadcast: at most [sample_size + 1]
+       BCAST(log n) rounds whenever [n >= sample_size]. *)
+    rounds = sample_size + 1;
+    statistic =
+      (fun coins g ->
+        let n = Digraph.vertex_count g in
+        let s = min sample_size n in
+        let sample = Prng.subset coins ~n ~k:s in
+        float_of_int (List.length (Clique.max_clique_of_subset g sample)));
+  }
+
+let triangle_count =
+  {
+    name = "triangle-count";
+    rounds = 65;
+    (* n/4-ish BCAST(log n) rounds to ship each row's relevant quarter at
+       the n=256 default; recorded as the n=256 figure. *)
+    statistic = (fun _ g -> float_of_int (Triangles.count g));
+  }
+
+let k4_count =
+  {
+    name = "k4-count";
+    rounds = 65;
+    statistic = (fun _ g -> float_of_int (Triangles.count_k4 g));
+  }
+
+let common_neighbors ~pairs =
+  {
+    name = Printf.sprintf "common-neighbors(pairs=%d)" pairs;
+    rounds = max 1 ((2 * pairs) / 64) + 1;
+    statistic =
+      (fun coins g ->
+        let n = Digraph.vertex_count g in
+        let best = ref 0 in
+        for _ = 1 to pairs do
+          let i = Prng.int coins n in
+          let j = Prng.int coins n in
+          if i <> j && Digraph.has_edge g i j && Digraph.has_edge g j i then begin
+            let c = Bitvec.popcount (Digraph.common_out_neighbors g i j) in
+            if c > !best then best := c
+          end
+        done;
+        float_of_int !best);
+  }
+
+let advantage d ~n ~k ~calibration ~trials g =
+  (* Calibrate the threshold on A_rand. *)
+  let calib_stats =
+    Array.init calibration (fun _ ->
+        d.statistic g (Planted.sample_rand g n))
+  in
+  let q = 1.0 -. (1.0 /. Float.sqrt (float_of_int (max 2 calibration))) in
+  let threshold = Stats.quantile calib_stats q in
+  let hit_rate sample_graph =
+    let hits = ref 0 in
+    for _ = 1 to trials do
+      if d.statistic g (sample_graph ()) > threshold then incr hits
+    done;
+    float_of_int !hits /. float_of_int trials
+  in
+  let p_planted = hit_rate (fun () -> fst (Planted.sample_planted g ~n ~k)) in
+  let p_rand = hit_rate (fun () -> Planted.sample_rand g n) in
+  p_planted -. p_rand

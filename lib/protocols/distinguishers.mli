@@ -1,0 +1,64 @@
+(** Natural distinguishers for the planted clique decision problem.
+
+    Theorem 4.1 says {e every} low-round BCAST(1) protocol fails to
+    distinguish [A_rand] from [A_k] when [k = n^{1/4-eps}].  A lower bound
+    cannot be certified by experiment, but its {e shape} can: this module
+    implements the distinguishers a practitioner would actually try —
+    degree statistics, edge counting, sampled-subgraph clique hunting,
+    common-neighbourhood tests — with their exact round costs in
+    BCAST(log n), and experiment E5 measures their advantage across [k],
+    confirming that each becomes useless exactly where the theory says the
+    problem is hard and succeeds where the [k >> sqrt n] algorithms live.
+
+    Each distinguisher is packaged as a {!t}: a protocol producing a real
+    statistic plus a decision threshold calibrated on [A_rand]. *)
+
+type t = {
+  name : string;
+  rounds : int;  (** BCAST(log n) rounds consumed. *)
+  statistic : Prng.t -> Digraph.t -> float;
+      (** The value the protocol's referee computes from the transcript.
+          The [Prng.t] covers the protocol's public coins (e.g. which
+          vertices to sample); private input access is limited to what the
+          stated rounds can broadcast. *)
+}
+
+val max_out_degree : t
+(** 1 round: every processor broadcasts its out-degree; statistic is the
+    maximum.  Detects the clique once [k ~ sqrt(n log n)]. *)
+
+val total_edges : t
+(** 1 round: out-degrees are broadcast; statistic is their sum (the edge
+    count), elevated by [~k^2/4] under [A_k]. *)
+
+val degree_variance : t
+(** 1 round: sample variance of the out-degrees. *)
+
+val sampled_subgraph_clique : sample_size:int -> t
+(** [sample_size + 1] rounds: a public random set [S] of vertices is
+    chosen, its induced subgraph broadcast, and the statistic is the size
+    of its maximum clique, compared to the [~2 log2 |S|] of a random
+    graph.  Succeeds when the sample catches [Omega(log n)] clique
+    vertices. *)
+
+val triangle_count : t
+(** [n/4 + 1] rounds (enough BCAST(log n) rounds to exchange the
+    bidirectional core): exact triangle count of the core, the statistic
+    Section 9 proposes.  Its z-score under planting is
+    {!Triangles.zscore}, crossing detectability near [k ~ sqrt n]. *)
+
+val k4_count : t
+(** Same exchange; counts bidirectional K_4s. *)
+
+val common_neighbors : pairs:int -> t
+(** [2 * pairs / n + 1] rounds (rows of sampled vertices are broadcast):
+    maximum over sampled vertex pairs of their common out-neighbourhood
+    size, elevated for clique pairs. *)
+
+val advantage :
+  t -> n:int -> k:int -> calibration:int -> trials:int -> Prng.t -> float
+(** Empirical distinguishing advantage: the threshold is set at the
+    [1 - 1/sqrt calibration] quantile of the statistic on [A_rand] samples,
+    then [advantage = Pr_{A_k}[stat > thr] - Pr_{A_rand}[stat > thr]]
+    measured on [trials] fresh samples of each.  In [[-1, 1]]; ~0 means
+    the distinguisher is blind. *)

@@ -1,0 +1,29 @@
+(** Equality testing — the randomized-deterministic separation workhorse.
+
+    Deciding whether all [n] processors hold the same [m]-bit string
+    requires broadcasting [Omega(m)] bits deterministically, but a single
+    round of random fingerprinting almost decides it: with a shared random
+    vector [r], every processor broadcasts [<x_i, r>] and everyone accepts
+    iff the bits agree.  Differing inputs collide with probability 1/2 per
+    fingerprint, so [c] repetitions give one-sided error [2^{-c}].
+
+    This is the concrete protocol experiment E13 feeds to the Newman
+    transformation ({!Newman}), and the example the paper cites when noting
+    that no general derandomization theorem can exist for the model. *)
+
+val deterministic_protocol : m:int -> bool Bcast.protocol
+(** [m] rounds of BCAST(1): the full inputs are broadcast bit by bit;
+    exact. *)
+
+val fingerprint_public_coin : n:int -> m:int -> repetitions:int -> bool Newman.public_coin
+(** The public-coin fingerprinting protocol: [repetitions] rounds, coin
+    usage [repetitions * m] bits.  One-sided error: equal inputs always
+    accepted. *)
+
+val fingerprint_protocol : m:int -> repetitions:int -> bool Bcast.protocol
+(** The same protocol in the simulator, with processor 0 broadcasting the
+    shared fingerprint vectors first ([repetitions * m] extra BCAST(1)
+    rounds turn private coins into public ones, as the paper remarks). *)
+
+val all_equal : Bitvec.t array -> bool
+(** Ground truth. *)

@@ -1,0 +1,31 @@
+(** Second frequency moment estimation — the streaming connection.
+
+    Section 1.4 notes the Broadcast Congested Clique "has been used to
+    study other areas in computer science such as streaming algorithms
+    [AMS99]".  This protocol is that connection made concrete: the
+    Alon-Matias-Szegedy F2 sketch runs verbatim in BCAST.  Each processor
+    holds a set of items over a universe of size [d] (its input bit
+    vector); the global frequency of item [j] is the number of processors
+    holding it, and [F2 = sum_j f_j^2].
+
+    With public random signs [s ∈ {±1}^d] (a shared seed), processor [i]
+    broadcasts its local signed sum [sum_{j in S_i} s_j] — one
+    [O(log d)]-bit message — and everyone computes [Z = sum_i] of the
+    broadcasts; [E[Z^2] = F2].  Averaging [repetitions] independent
+    sketches (one round each) gives relative error [O(1/sqrt r)]. *)
+
+type config = {
+  d : int;  (** Universe size. *)
+  repetitions : int;
+  seed : int;  (** Public seed for the sign vectors. *)
+}
+
+val protocol : config -> float Bcast.protocol
+(** [repetitions] rounds; message width [ceil(log2 (2 d + 1))].  Every
+    processor outputs the same F2 estimate. *)
+
+val exact_f2 : Bitvec.t array -> float
+(** Ground truth from the full input. *)
+
+val relative_error : config -> Bitvec.t array -> Prng.t -> float
+(** |estimate − F2| / F2 for one run (F2 > 0 required). *)

@@ -1,0 +1,45 @@
+(** Distributed full-rank decision (Theorems 1.4 and 1.5).
+
+    Processor [i] holds row [i] of an [n×n] GF(2) matrix.  The natural
+    exact protocol broadcasts the matrix column by column: in round [r]
+    every processor broadcasts bit [r] of its row, so after [c] rounds the
+    first [c] columns are common knowledge.  [n] rounds decide full rank
+    exactly; Theorem 1.4 says no [n/20]-round protocol decides it with
+    probability 0.99 on uniform inputs, and Theorem 1.5 turns the top
+    [k×k] variant into an average-case time hierarchy.
+
+    The truncated protocol's best guess after [c] columns: if the observed
+    [n×c] block has column-rank [< c] the matrix is certainly singular;
+    otherwise guess by the conditional probability that the remaining
+    uniform columns complete to full rank. *)
+
+val exact_protocol : n:int -> bool Bcast.protocol
+(** [n] rounds of BCAST(1); every processor outputs [is_full_rank A]. *)
+
+val truncated_protocol : n:int -> rounds:int -> bool Bcast.protocol
+(** Sees only the first [rounds] columns and guesses as described above. *)
+
+val top_k_protocol : n:int -> k:int -> bool Bcast.protocol
+(** Theorem 1.5's function [F]: full rank of the top-left [k×k] submatrix,
+    decided exactly in [k] rounds. *)
+
+val top_k_truncated : n:int -> k:int -> rounds:int -> bool Bcast.protocol
+(** The truncated guesser for [F]. *)
+
+val accuracy :
+  bool Bcast.protocol ->
+  truth:(Gf2_matrix.t -> bool) ->
+  sample:(Prng.t -> Gf2_matrix.t) ->
+  trials:int ->
+  Prng.t ->
+  float
+(** Fraction of sampled inputs on which processor 0's output matches the
+    truth. *)
+
+val sample_uniform : n:int -> Prng.t -> Gf2_matrix.t
+
+val sample_rank_deficient : n:int -> Prng.t -> Gf2_matrix.t
+(** The distribution [U_B] from the proof of Theorem 1.4: the PRG's case
+    (B) with [k = n - 1] — each row is [(x, x·b)] for a shared uniform
+    [b], so the last column is a linear combination of the others and the
+    rank is at most [n - 1]. *)

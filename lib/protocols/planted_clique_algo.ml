@@ -1,0 +1,144 @@
+type outcome = Found of int list | Aborted_too_many_active | Aborted_small_clique
+
+let log2f x = Float.log x /. Float.log 2.0
+
+let activation_probability ~n ~k =
+  if k <= 0 then invalid_arg "Planted_clique_algo: k must be positive";
+  let l = log2f (float_of_int (max 2 n)) in
+  Float.min 1.0 (l *. l /. float_of_int k)
+
+let active_cap ~n ~k =
+  let p = activation_probability ~n ~k in
+  int_of_float (Float.ceil (2.0 *. p *. float_of_int n))
+
+let round_budget ~n ~k = 2 + active_cap ~n ~k
+
+let clique_size_threshold n =
+  let l = log2f (float_of_int (max 2 n)) in
+  0.5 *. l *. l
+
+let expected_success_probability ~n ~k =
+  let p = activation_probability ~n ~k in
+  let nf = float_of_int n and kf = float_of_int k in
+  let too_many = Stats.chernoff_upper ~mean:(p *. nf) ~delta:1.0 in
+  let too_few_clique = Stats.chernoff_lower ~mean:(p *. kf) ~delta:0.5 in
+  Float.max 0.0 (1.0 -. too_many -. too_few_clique)
+
+(* All processors compute the same maximum clique from common knowledge; a
+   cache keyed by the broadcast data avoids n identical Bron-Kerbosch runs
+   in the simulator. *)
+type shared_cache = (string, int list) Hashtbl.t
+
+let compute_active_clique cache ~actives ~edges =
+  let key =
+    String.concat "," (List.map string_of_int actives)
+    ^ "#"
+    ^ String.concat ";" (List.map Bitvec.to_string edges)
+  in
+  match Hashtbl.find_opt cache key with
+  | Some c -> c
+  | None ->
+      (* [edges] has one column per active vertex: element [r] is every
+         processor's adjacency bit to the r-th active vertex.  Build the
+         induced directed subgraph on the active set. *)
+      let active_arr = Array.of_list actives in
+      let na = Array.length active_arr in
+      let cols = Array.of_list edges in
+      let sub = Digraph.create na in
+      for ai = 0 to na - 1 do
+        for aj = 0 to na - 1 do
+          if ai <> aj && Bitvec.get cols.(aj) active_arr.(ai) then
+            Digraph.add_edge sub ai aj
+        done
+      done;
+      let local = Clique.max_clique sub in
+      let c = List.sort Int.compare (List.map (fun i -> active_arr.(i)) local) in
+      Hashtbl.replace cache key c;
+      c
+
+let protocol ~n ~k =
+  let p = activation_probability ~n ~k in
+  let cap = active_cap ~n ~k in
+  let rounds = round_budget ~n ~k in
+  let cache : shared_cache = Hashtbl.create 4 in
+  {
+    Bcast.name = Printf.sprintf "planted-clique-B1(n=%d,k=%d)" n k;
+    msg_bits = 1;
+    rounds;
+    spawn =
+      (fun ~id ~n:n' ~input ~rand ->
+        if n' <> n then invalid_arg "Planted_clique_algo: processor count mismatch";
+        let active = ref false in
+        (* Active vertices in increasing order, fixed after round 0. *)
+        let actives_arr = ref [||] in
+        let aborted = ref false in
+        (* Column r: everyone's adjacency bit to the r-th active vertex. *)
+        let edge_cols = ref [] in
+        let claimed = ref [] in
+        let active_count () = Array.length !actives_arr in
+        let actives_sorted () = Array.to_list !actives_arr in
+        {
+          Bcast.send =
+            (fun ~round ->
+              if round = 0 then begin
+                active := Bcast.Rand_counter.bernoulli rand p;
+                if !active then 1 else 0
+              end
+              else if !aborted then 0
+              else if round <= cap then begin
+                (* Edge round r = round - 1: adjacency to the r-th active
+                   vertex (0 when out of range or inactive). *)
+                let r = round - 1 in
+                if (not !active) || r >= active_count () then 0
+                else if Bitvec.get input !actives_arr.(r) then 1
+                else 0
+              end
+              else begin
+                (* Membership claim round. *)
+                let acts = actives_sorted () in
+                let edges = List.rev !edge_cols in
+                let c_active = compute_active_clique cache ~actives:acts ~edges in
+                let sz = List.length c_active in
+                if float_of_int sz < clique_size_threshold n then 0
+                else begin
+                  let adjacent =
+                    List.fold_left
+                      (fun acc v ->
+                        if v = id || Bitvec.get input v then acc + 1 else acc)
+                      0 c_active
+                  in
+                  if float_of_int adjacent >= 0.9 *. float_of_int sz then 1 else 0
+                end
+              end);
+          receive =
+            (fun ~round messages ->
+              if round = 0 then begin
+                let acc = ref [] in
+                for i = n - 1 downto 0 do
+                  if messages.(i) = 1 then acc := i :: !acc
+                done;
+                actives_arr := Array.of_list !acc;
+                if active_count () > cap then aborted := true
+              end
+              else if !aborted then ()
+              else if round <= cap then begin
+                let r = round - 1 in
+                if r < active_count () then
+                  edge_cols := Bitvec.of_bool_array (Array.map (fun v -> v = 1) messages)
+                               :: !edge_cols
+              end
+              else
+                Array.iteri (fun i v -> if v = 1 then claimed := i :: !claimed) messages);
+          finish =
+            (fun () ->
+              if !aborted then Aborted_too_many_active
+              else begin
+                let acts = actives_sorted () in
+                let edges = List.rev !edge_cols in
+                let c_active = compute_active_clique cache ~actives:acts ~edges in
+                if float_of_int (List.length c_active) < clique_size_threshold n then
+                  Aborted_small_clique
+                else Found (List.sort Int.compare !claimed)
+              end);
+        });
+  }

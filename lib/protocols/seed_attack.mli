@@ -1,0 +1,38 @@
+(** The seed-length optimality attack of Theorem 8.1.
+
+    Any PRG giving each of [n] processors an [m > k]-bit output from
+    [k]-bit seeds can be broken in [k + 1] rounds: everyone broadcasts
+    their first [k + 1] output bits, and the referee checks whether the
+    transcript lies in the PRG's (at most [2^{nk}]-sized) set of possible
+    transcripts.  Pseudo-random inputs always pass; truly uniform ones
+    pass with probability [2^{-Theta(n)}].
+
+    Specialised to the PRG of Theorem 1.3, membership is a linear algebra
+    check: the broadcast bits are consistent iff the system
+    [x_i · v = b_i] (over all processors [i]) is solvable for the first
+    secret column [v]. *)
+
+val protocol : k:int -> bool Bcast.protocol
+(** [k + 1] rounds of BCAST(1).  Inputs are the processors' [>= k+1]-bit
+    strings; output [true] means "consistent with the PRG", i.e. the
+    attacker declares pseudo-random. *)
+
+val rounds : k:int -> int
+
+val advantage :
+  params:Full_prg.params -> trials:int -> Prng.t -> float
+(** [Pr[declares pseudo | pseudo] - Pr[declares pseudo | uniform]],
+    measured on [trials] samples each; Theorem 8.1 predicts
+    [1 - 2^{-(n-k)}]-ish, i.e. essentially 1. *)
+
+val false_positive_rate : params:Full_prg.params -> trials:int -> Prng.t -> float
+(** [Pr[declares pseudo | uniform]] alone — the [2^{-Theta(n)}] term. *)
+
+val rank_test_protocol : rounds:int -> bool Bcast.protocol
+(** The rank distinguisher with an explicit round budget: everyone
+    broadcasts their first [rounds] bits and the referee declares "pseudo"
+    iff the observed [n x rounds] matrix is rank deficient.  Because the
+    PRG's first [k] output bits per processor are exactly its uniform seed,
+    this test is provably blind for [rounds <= k] and breaks the PRG for
+    [rounds >= k + 1] (the columns beyond [k] live in the seed matrix's
+    column space) — the sharp threshold experiment E8 plots. *)

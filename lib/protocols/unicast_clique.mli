@@ -1,0 +1,34 @@
+(** The "simple sampling-based algorithm" for planted clique in the
+    unicast Congested Clique (§1.2 of the paper).
+
+    A public committee of up to 3 processors is fixed (the lowest ids,
+    equivalent to a random committee on exchangeable inputs).  Every
+    processor unicasts its full adjacency row to the committee — legal in
+    the unicast model because different recipients can receive different
+    chunks — over [ceil(n / msg_bits)] rounds with
+    [msg_bits = ceil(log2 n)].  Committee members reconstruct the whole
+    graph, run the quasi-polynomial finder locally, and in one feedback
+    round tell {e each} processor its own membership bit (a per-recipient
+    message — exactly the power broadcast lacks).
+
+    Contrast with Theorem B.1: comparable rounds at simulable sizes but
+    [Theta(n^2 log n)] channel bits per round versus the broadcast model's
+    [n] per round. *)
+
+type outcome = Member | Non_member
+(** Processor-local verdict; the recovered clique is the set of [Member]
+    processors. *)
+
+val protocol : n:int -> seed_size:int -> outcome Unicast.protocol
+(** Inputs are adjacency rows.  [seed_size] is the brute-force seed for
+    {!Clique.quasi_poly_find} (use {!recommended_seed_size} so random
+    graphs do not produce spurious seeds). *)
+
+val recovered_set : outcome array -> int list
+(** Ids of the [Member] outcomes. *)
+
+val rounds : n:int -> int
+(** [ceil(n / ceil(log2 n)) + 1]. *)
+
+val recommended_seed_size : int -> int
+(** [~ 2 log2 n + 3]. *)

@@ -1,0 +1,137 @@
+type matrix = { m : int; table : Bytes.t }
+
+let size m = 1 lsl m
+
+let matrix_of_fun m f =
+  if m < 1 || m > 8 then invalid_arg "Twoparty.matrix_of_fun: bits in [1,8]";
+  let n = size m in
+  let table = Bytes.make (n * n) '\000' in
+  for x = 0 to n - 1 do
+    for y = 0 to n - 1 do
+      if f x y then Bytes.set table ((x * n) + y) '\001'
+    done
+  done;
+  { m; table }
+
+let bits mat = mat.m
+
+let entry mat x y =
+  let n = size mat.m in
+  if x < 0 || x >= n || y < 0 || y >= n then invalid_arg "Twoparty.entry";
+  Bytes.get mat.table ((x * n) + y) = '\001'
+
+let equality m = matrix_of_fun m (fun x y -> x = y)
+let greater_than m = matrix_of_fun m (fun x y -> x > y)
+let disjointness m = matrix_of_fun m (fun x y -> x land y = 0)
+
+let inner_product m =
+  let parity v =
+    let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc <> (v land 1 = 1)) in
+    go v false
+  in
+  matrix_of_fun m (fun x y -> parity (x land y))
+
+type protocol =
+  | Output of bool
+  | Alice of (int -> bool) * protocol * protocol
+  | Bob of (int -> bool) * protocol * protocol
+
+let run proto ~x ~y =
+  let rec go proto cost =
+    match proto with
+    | Output b -> (b, cost)
+    | Alice (f, zero, one) -> go (if f x then one else zero) (cost + 1)
+    | Bob (f, zero, one) -> go (if f y then one else zero) (cost + 1)
+  in
+  go proto 0
+
+let computes proto mat =
+  let n = size mat.m in
+  let ok = ref true in
+  for x = 0 to n - 1 do
+    for y = 0 to n - 1 do
+      if fst (run proto ~x ~y) <> entry mat x y then ok := false
+    done
+  done;
+  !ok
+
+let rec max_cost = function
+  | Output _ -> 0
+  | Alice (_, zero, one) | Bob (_, zero, one) -> 1 + max (max_cost zero) (max_cost one)
+
+let trivial_protocol mat =
+  (* Alice reveals x bit by bit; Bob outputs f(x, y). *)
+  let rec reveal bit acc =
+    if bit = mat.m then Bob ((fun y -> entry mat acc y), Output false, Output true)
+    else
+      Alice
+        ( (fun x -> (x lsr bit) land 1 = 1),
+          reveal (bit + 1) acc,
+          reveal (bit + 1) (acc lor (1 lsl bit)) )
+  in
+  reveal 0 0
+
+let equality_fingerprint g ~bits ~repetitions =
+  let masks = Array.init repetitions (fun _ -> Prng.int g (1 lsl bits)) in
+  let parity v =
+    let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc <> (v land 1 = 1)) in
+    go v false
+  in
+  let test x y =
+    Array.for_all (fun mask -> parity (x land mask) = parity (y land mask)) masks
+  in
+  (test, repetitions)
+
+let rank_gf2 mat =
+  let n = size mat.m in
+  Gf2_matrix.rank (Gf2_matrix.init ~rows:n ~cols:n (entry mat))
+
+let fooling_set_diagonal mat =
+  let n = size mat.m in
+  let chosen = ref [] in
+  for x = 0 to n - 1 do
+    if entry mat x x then begin
+      let compatible =
+        List.for_all
+          (fun x' -> (not (entry mat x x')) || not (entry mat x' x))
+          !chosen
+      in
+      if compatible then chosen := x :: !chosen
+    end
+  done;
+  List.length !chosen
+
+let monochromatic_rectangle_cover_greedy mat =
+  let n = size mat.m in
+  let covered = Array.make (n * n) false in
+  let rectangles = ref 0 in
+  for x = 0 to n - 1 do
+    for y = 0 to n - 1 do
+      if not covered.((x * n) + y) then begin
+        incr rectangles;
+        let color = entry mat x y in
+        (* Grow columns compatible with row x, then rows compatible with
+           the chosen columns. *)
+        let cols = ref [] in
+        for y' = y to n - 1 do
+          if entry mat x y' = color && not covered.((x * n) + y') then cols := y' :: !cols
+        done;
+        let rows = ref [] in
+        for x' = x to n - 1 do
+          if List.for_all (fun y' -> entry mat x' y' = color) !cols then
+            rows := x' :: !rows
+        done;
+        List.iter
+          (fun x' -> List.iter (fun y' -> covered.((x' * n) + y') <- true) !cols)
+          !rows
+      end
+    done
+  done;
+  !rectangles
+
+let log2_ceil v =
+  let rec go acc x = if x >= v then acc else go (acc + 1) (x * 2) in
+  go 0 1
+
+let deterministic_lower_bound mat =
+  max (log2_ceil (max 1 (rank_gf2 mat))) (log2_ceil (max 1 (fooling_set_diagonal mat)))

@@ -1,0 +1,87 @@
+(** Two-party communication complexity.
+
+    The lower bounds this paper departs from ("a reduction from classical
+    two-party communication complexity is used", §1) live in Yao's
+    two-party model: Alice holds [x], Bob holds [y], they alternate bits
+    to compute [f(x, y)].  This module provides the standard toolkit —
+    communication matrices, protocol trees, the deterministic cost of the
+    classic functions, and the two workhorse lower bounds (fooling sets
+    and log-rank) — so the repository contains the methodology the paper
+    contrasts its own technique against.
+
+    Everything is exact and intended for small input widths (the matrices
+    are [2^m * 2^m]). *)
+
+(** {1 Communication matrices} *)
+
+type matrix
+(** The function table [f(x, y)] for [x, y ∈ {0,1}^m]. *)
+
+val matrix_of_fun : int -> (int -> int -> bool) -> matrix
+(** [matrix_of_fun m f] tabulates [f] over integer-encoded inputs. *)
+
+val bits : matrix -> int
+val entry : matrix -> int -> int -> bool
+
+val equality : int -> matrix
+(** [EQ_m(x, y) = (x = y)] — the identity matrix. *)
+
+val greater_than : int -> matrix
+(** [GT_m(x, y) = (x > y)]. *)
+
+val disjointness : int -> matrix
+(** [DISJ_m(x, y) = (x AND y = 0)]. *)
+
+val inner_product : int -> matrix
+(** [IP_m(x, y) = <x, y> mod 2]. *)
+
+(** {1 Protocol trees} *)
+
+type protocol =
+  | Output of bool
+  | Alice of (int -> bool) * protocol * protocol
+      (** Alice sends a bit computed from [x]; false branch, true branch. *)
+  | Bob of (int -> bool) * protocol * protocol
+
+val run : protocol -> x:int -> y:int -> bool * int
+(** Result and number of bits exchanged. *)
+
+val computes : protocol -> matrix -> bool
+(** Exhaustive correctness check over all input pairs. *)
+
+val max_cost : protocol -> int
+(** Depth of the tree: worst-case bits exchanged. *)
+
+val trivial_protocol : matrix -> protocol
+(** Alice sends [x] bit by bit, Bob answers: cost [m + 1]. *)
+
+val equality_fingerprint :
+  Prng.t -> bits:int -> repetitions:int -> (int -> int -> bool) * int
+(** The public-coin fingerprint test for equality: a randomized predicate
+    with one-sided error [2^-repetitions] and cost [repetitions] bits —
+    the separation witness ("randomized-deterministic separation") the
+    paper cites when explaining why no general derandomization theorem
+    can exist. *)
+
+(** {1 Lower bounds} *)
+
+val rank_gf2 : matrix -> int
+(** Rank of the communication matrix over GF(2);
+    [D(f) >= log2 (rank)] (the log-rank bound, which is within one of
+    tight for EQ and IP over GF(2)). *)
+
+val fooling_set_diagonal : matrix -> int
+(** Size of the canonical diagonal fooling set for functions whose
+    1-entries include a permutation-like diagonal (EQ): pairs [(x, x)]
+    with [f(x,x) = 1] such that for [x <> x'], [f(x,x') = 0] or
+    [f(x',x) = 0].  [D(f) >= log2 (size) + 1] when this is a genuine
+    fooling set. *)
+
+val monochromatic_rectangle_cover_greedy : matrix -> int
+(** A greedy upper bound on the number of monochromatic rectangles needed
+    to partition the matrix; [D(f) >= log2] of the {e optimal} count, and
+    the greedy count certifies protocol structure experimentally. *)
+
+val deterministic_lower_bound : matrix -> int
+(** [max(log-rank, log fooling-set)]: the best of the implemented lower
+    bounds, in bits. *)

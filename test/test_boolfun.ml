@@ -1,0 +1,305 @@
+(* Tests for Boolean function analysis: truth tables, biases over planted
+   sub-cubes, Fourier/WHT, and restricted domains. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+(* --- Boolfun --- *)
+
+let test_const () =
+  let f = Boolfun.const 4 true in
+  checkf "bias 1" 1.0 (Boolfun.bias f);
+  let g = Boolfun.const 4 false in
+  checkf "bias 0" 0.0 (Boolfun.bias g)
+
+let test_dictator () =
+  let f = Boolfun.dictator 5 2 in
+  checkf "bias 1/2" 0.5 (Boolfun.bias f);
+  check_bool "evals bit" true (Boolfun.eval f (Bitvec.of_string "00100"));
+  check_bool "evals zero" false (Boolfun.eval f (Bitvec.of_string "11011"))
+
+let test_parity () =
+  let f = Boolfun.parity 4 [ 0; 3 ] in
+  check_bool "odd" true (Boolfun.eval f (Bitvec.of_string "1000"));
+  check_bool "even" false (Boolfun.eval f (Bitvec.of_string "1001"));
+  checkf "parity bias" 0.5 (Boolfun.bias f);
+  let empty = Boolfun.parity 4 [] in
+  checkf "empty parity is const 0" 0.0 (Boolfun.bias empty)
+
+let test_majority_threshold () =
+  let f = Boolfun.majority 3 in
+  check_bool "110 majority" true (Boolfun.eval f (Bitvec.of_string "110"));
+  check_bool "100 no majority" false (Boolfun.eval f (Bitvec.of_string "100"));
+  checkf "maj3 bias" 0.5 (Boolfun.bias f);
+  let t = Boolfun.threshold 4 0 in
+  checkf "threshold 0 accepts all" 1.0 (Boolfun.bias t)
+
+let test_of_table_eval_int () =
+  let f = Boolfun.of_table 2 [| false; true; true; false |] in
+  check_bool "xor table" true (Boolfun.eval_int f 1);
+  check_bool "xor table 3" false (Boolfun.eval_int f 3);
+  Alcotest.check_raises "wrong size" (Invalid_argument "Boolfun.of_table: wrong table size")
+    (fun () -> ignore (Boolfun.of_table 2 [| true |]))
+
+let test_arity_checks () =
+  Alcotest.check_raises "arity too large"
+    (Invalid_argument "Boolfun: arity out of range [0, 24]") (fun () ->
+      ignore (Boolfun.const 25 true));
+  let f = Boolfun.const 3 true in
+  Alcotest.check_raises "eval arity" (Invalid_argument "Boolfun.eval: arity mismatch")
+    (fun () -> ignore (Boolfun.eval f (Bitvec.create 4)))
+
+let test_bias_forced_ones () =
+  (* dictator_i forced at i has bias 1; forced elsewhere keeps 1/2. *)
+  let f = Boolfun.dictator 6 3 in
+  checkf "forced at i" 1.0 (Boolfun.bias_forced_ones f [ 3 ]);
+  checkf "forced elsewhere" 0.5 (Boolfun.bias_forced_ones f [ 0; 5 ]);
+  checkf "no forcing = bias" (Boolfun.bias f) (Boolfun.bias_forced_ones f []);
+  (* majority with many coordinates forced rises. *)
+  let m = Boolfun.majority 5 in
+  check_bool "majority rises" true
+    (Boolfun.bias_forced_ones m [ 0; 1; 2 ] > Boolfun.bias m)
+
+let test_bias_forced_matches_naive () =
+  let g = Prng.create 3 in
+  let f = Boolfun.random g 8 in
+  List.iter
+    (fun coords ->
+      let naive =
+        let hits = ref 0 and total = ref 0 in
+        for x = 0 to 255 do
+          let mask = List.fold_left (fun acc i -> acc lor (1 lsl i)) 0 coords in
+          if x land mask = mask then begin
+            incr total;
+            if Boolfun.eval_int f x then incr hits
+          end
+        done;
+        float_of_int !hits /. float_of_int !total
+      in
+      checkf "matches naive" naive (Boolfun.bias_forced_ones f coords))
+    [ []; [ 0 ]; [ 7 ]; [ 1; 3 ]; [ 0; 2; 4; 6 ] ]
+
+let test_output_distance () =
+  let f = Boolfun.dictator 4 1 in
+  checkf "dictator distance at own coord" 0.5 (Boolfun.output_distance f [ 1 ]);
+  checkf "dictator distance elsewhere" 0.0 (Boolfun.output_distance f [ 2 ])
+
+let test_bias_on_subdomain () =
+  let f = Boolfun.dictator 3 0 in
+  (* D = inputs with bit 0 set: bias 1. *)
+  checkf "restricted bias" 1.0 (Boolfun.bias_on f (fun x -> x land 1 = 1));
+  Alcotest.check_raises "empty domain" (Invalid_argument "Boolfun.bias_on: empty domain")
+    (fun () -> ignore (Boolfun.bias_on f (fun _ -> false)))
+
+let test_bias_forced_ones_on () =
+  let f = Boolfun.const 3 true in
+  check_bool "empty restricted set" true
+    (Boolfun.bias_forced_ones_on f (fun x -> x = 0) [ 1 ] = None);
+  checkf "distance 1 convention" 1.0
+    (Boolfun.output_distance_on f (fun x -> x = 0) [ 1 ])
+
+let test_restrict () =
+  let f = Boolfun.parity 4 [ 0; 1; 2; 3 ] in
+  let r = Boolfun.restrict f [ (1, true); (3, false) ] in
+  check_int "restricted arity" 2 (Boolfun.arity r);
+  (* remaining coords 0,2: parity(x0, 1, x2, 0) = x0 xor x2 xor 1 *)
+  check_bool "00 -> 1" true (Boolfun.eval_int r 0);
+  check_bool "01 -> 0" false (Boolfun.eval_int r 1);
+  check_bool "11 -> 1" true (Boolfun.eval_int r 3)
+
+let test_random_biased () =
+  let g = Prng.create 5 in
+  let f = Boolfun.random_biased g 12 0.1 in
+  let b = Boolfun.bias f in
+  check_bool "bias near 0.1" true (Float.abs (b -. 0.1) < 0.03)
+
+(* --- Fourier --- *)
+
+let test_wht_constants () =
+  (* Constant 1: only the empty coefficient. *)
+  let f = Boolfun.const 3 true in
+  let c = Fourier.transform f in
+  checkf "empty coeff" 1.0 c.(0);
+  for s = 1 to 7 do
+    checkf "others zero" 0.0 c.(s)
+  done
+
+let test_wht_parity () =
+  (* parity(0,1) has a single coefficient at S = {0,1} of size 1/2 - ... :
+     f = (1 - chi_S)/2, so hat f(S) = -1/2 and hat f(empty) = 1/2. *)
+  let f = Boolfun.parity 2 [ 0; 1 ] in
+  let c = Fourier.transform f in
+  checkf "empty" 0.5 c.(0);
+  checkf "S = {0,1}" (-0.5) c.(3);
+  checkf "S = {0}" 0.0 c.(1)
+
+let test_wht_matches_direct () =
+  let g = Prng.create 7 in
+  let f = Boolfun.random g 6 in
+  let c = Fourier.transform f in
+  for s = 0 to 63 do
+    checkf (Printf.sprintf "coefficient %d" s) (Fourier.coefficient f s) c.(s)
+  done
+
+let test_parseval () =
+  let g = Prng.create 9 in
+  List.iter
+    (fun n ->
+      let f = Boolfun.random g n in
+      check_bool "Parseval gap tiny" true (Fourier.parseval_gap f < 1e-9))
+    [ 2; 5; 8; 12 ]
+
+let test_inverse () =
+  let g = Prng.create 11 in
+  let f = Boolfun.random g 5 in
+  let c = Fourier.transform f in
+  let values = Fourier.inverse 5 c in
+  for x = 0 to 31 do
+    checkf "reconstruction" (if Boolfun.eval_int f x then 1.0 else 0.0) values.(x)
+  done
+
+let test_wht_bad_length () =
+  Alcotest.check_raises "not power of two"
+    (Invalid_argument "Fourier.wht_inplace: length not a power of two") (fun () ->
+      Fourier.wht_inplace (Array.make 6 0.0))
+
+(* --- Restriction --- *)
+
+let test_full_domain () =
+  let d = Restriction.full 5 in
+  check_int "size" 32 (Restriction.size d);
+  checkf "deficit 0" 0.0 (Restriction.deficit d);
+  check_bool "mem" true (Restriction.mem d 17)
+
+let test_of_list () =
+  let d = Restriction.of_list 3 [ 0; 5; 7 ] in
+  check_int "size" 3 (Restriction.size d);
+  check_bool "mem 5" true (Restriction.mem d 5);
+  check_bool "not mem 1" false (Restriction.mem d 1);
+  Alcotest.check_raises "empty" (Invalid_argument "Restriction: empty domain") (fun () ->
+      ignore (Restriction.of_list 3 []))
+
+let test_deficit () =
+  let d = Restriction.of_list 4 [ 0; 1; 2; 3 ] in
+  (* |D| = 4 = 2^2, n = 4 -> deficit 2. *)
+  checkf "deficit" 2.0 (Restriction.deficit d)
+
+let test_forced_ones () =
+  let d = Restriction.full 3 in
+  (match Restriction.forced_ones d [ 0 ] with
+  | None -> Alcotest.fail "nonempty forcing"
+  | Some d' ->
+      check_int "half remains" 4 (Restriction.size d');
+      check_bool "members have bit" true
+        (List.for_all (fun x -> x land 1 = 1) (Restriction.elements d')));
+  let tiny = Restriction.of_list 3 [ 0 ] in
+  check_bool "forcing empties" true (Restriction.forced_ones tiny [ 0 ] = None)
+
+let test_coordinate_entropy () =
+  let d = Restriction.full 4 in
+  checkf "balanced coordinate" 1.0 (Restriction.coordinate_entropy d 2);
+  checkf "one-prob" 0.5 (Restriction.coordinate_one_prob d 2);
+  let skew = Restriction.of_list 3 [ 1; 3; 5; 7 ] in
+  (* bit 0 always set. *)
+  checkf "fixed coordinate entropy" 0.0 (Restriction.coordinate_entropy skew 0);
+  checkf "fixed coordinate prob" 1.0 (Restriction.coordinate_one_prob skew 0)
+
+let test_random_of_deficit () =
+  let g = Prng.create 13 in
+  let d = Restriction.random_of_deficit g ~n:10 ~t:3.0 in
+  check_int "size 2^(n-t)" 128 (Restriction.size d);
+  check_bool "deficit close" true (Float.abs (Restriction.deficit d -. 3.0) < 0.01)
+
+let test_random_subset_nonempty () =
+  let g = Prng.create 15 in
+  for _ = 1 to 20 do
+    let d = Restriction.random_subset g ~n:6 ~keep_prob:0.05 in
+    check_bool "nonempty" true (Restriction.size d >= 1)
+  done
+
+(* --- qcheck --- *)
+
+let prop_bias_in_01 =
+  QCheck.Test.make ~name:"bias in [0,1]" ~count:100 QCheck.small_int (fun seed ->
+      let f = Boolfun.random (Prng.create seed) 8 in
+      let b = Boolfun.bias f in
+      b >= 0.0 && b <= 1.0)
+
+let prop_forced_ones_monotone_domain =
+  QCheck.Test.make ~name:"forcing shrinks the domain by about half" ~count:50
+    QCheck.small_int (fun seed ->
+      let g = Prng.create seed in
+      let d = Restriction.random_subset g ~n:10 ~keep_prob:0.5 in
+      match Restriction.forced_ones d [ seed mod 10 ] with
+      | None -> true
+      | Some d' -> Restriction.size d' <= Restriction.size d)
+
+let prop_parseval_random =
+  QCheck.Test.make ~name:"Parseval for random functions" ~count:50 QCheck.small_int
+    (fun seed ->
+      let f = Boolfun.random (Prng.create seed) 7 in
+      Fourier.parseval_gap f < 1e-9)
+
+let prop_restrict_preserves_eval =
+  QCheck.Test.make ~name:"restrict agrees with full evaluation" ~count:100
+    QCheck.small_int (fun seed ->
+      let g = Prng.create seed in
+      let f = Boolfun.random g 6 in
+      let fixed = [ (1, Prng.bool g); (4, Prng.bool g) ] in
+      let r = Boolfun.restrict f fixed in
+      (* Pick a random setting of the remaining coordinates. *)
+      let y = Prng.int g 16 in
+      let free = [ 0; 2; 3; 5 ] in
+      let x = ref 0 in
+      List.iteri (fun j i -> if (y lsr j) land 1 = 1 then x := !x lor (1 lsl i)) free;
+      List.iter (fun (i, b) -> if b then x := !x lor (1 lsl i)) fixed;
+      Boolfun.eval_int r y = Boolfun.eval_int f !x)
+
+let () =
+  Alcotest.run "boolfun"
+    [
+      ( "boolfun",
+        [
+          Alcotest.test_case "const" `Quick test_const;
+          Alcotest.test_case "dictator" `Quick test_dictator;
+          Alcotest.test_case "parity" `Quick test_parity;
+          Alcotest.test_case "majority/threshold" `Quick test_majority_threshold;
+          Alcotest.test_case "of_table/eval_int" `Quick test_of_table_eval_int;
+          Alcotest.test_case "arity checks" `Quick test_arity_checks;
+          Alcotest.test_case "bias_forced_ones" `Quick test_bias_forced_ones;
+          Alcotest.test_case "forced bias matches naive" `Quick test_bias_forced_matches_naive;
+          Alcotest.test_case "output distance" `Quick test_output_distance;
+          Alcotest.test_case "bias on subdomain" `Quick test_bias_on_subdomain;
+          Alcotest.test_case "empty restriction convention" `Quick test_bias_forced_ones_on;
+          Alcotest.test_case "restrict" `Quick test_restrict;
+          Alcotest.test_case "random biased" `Quick test_random_biased;
+        ] );
+      ( "fourier",
+        [
+          Alcotest.test_case "constants" `Quick test_wht_constants;
+          Alcotest.test_case "parity spectrum" `Quick test_wht_parity;
+          Alcotest.test_case "WHT matches direct" `Quick test_wht_matches_direct;
+          Alcotest.test_case "Parseval" `Quick test_parseval;
+          Alcotest.test_case "inverse" `Quick test_inverse;
+          Alcotest.test_case "bad length" `Quick test_wht_bad_length;
+        ] );
+      ( "restriction",
+        [
+          Alcotest.test_case "full" `Quick test_full_domain;
+          Alcotest.test_case "of_list" `Quick test_of_list;
+          Alcotest.test_case "deficit" `Quick test_deficit;
+          Alcotest.test_case "forced_ones" `Quick test_forced_ones;
+          Alcotest.test_case "coordinate entropy" `Quick test_coordinate_entropy;
+          Alcotest.test_case "random_of_deficit" `Quick test_random_of_deficit;
+          Alcotest.test_case "random_subset nonempty" `Quick test_random_subset_nonempty;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_bias_in_01;
+            prop_forced_ones_monotone_domain;
+            prop_parseval_random;
+            prop_restrict_preserves_eval;
+          ] );
+    ]

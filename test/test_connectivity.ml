@@ -1,0 +1,165 @@
+(* Tests for AGM sketches and the sketch-based connectivity protocol. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let params = { Agm_sketch.universe = 1000; seed = 5 }
+
+(* --- Agm_sketch --- *)
+
+let test_sketch_zero () =
+  let s = Agm_sketch.create params in
+  check_bool "zero" true (Agm_sketch.is_zero s);
+  check_bool "recover none" true (Agm_sketch.recover s = None)
+
+let test_sketch_singleton () =
+  for i = 0 to 50 do
+    let s = Agm_sketch.create params in
+    Agm_sketch.add s (i * 17 mod 1000);
+    check_bool "recovers the single coordinate" true
+      (Agm_sketch.recover s = Some (i * 17 mod 1000))
+  done
+
+let test_sketch_cancellation () =
+  let s = Agm_sketch.create params in
+  Agm_sketch.add s 123;
+  Agm_sketch.add s 123;
+  check_bool "double add cancels" true (Agm_sketch.is_zero s)
+
+let test_sketch_linearity () =
+  let g = Prng.create 1 in
+  let a = Agm_sketch.create params and b = Agm_sketch.create params in
+  let direct = Agm_sketch.create params in
+  for _ = 1 to 30 do
+    let i = Prng.int g 1000 in
+    Agm_sketch.add a i;
+    Agm_sketch.add direct i
+  done;
+  for _ = 1 to 30 do
+    let i = Prng.int g 1000 in
+    Agm_sketch.add b i;
+    Agm_sketch.add direct i
+  done;
+  Agm_sketch.xor_inplace a b;
+  (* a now sketches the symmetric difference, same as direct. *)
+  check_bool "linear" true (Agm_sketch.to_bitvec a = Agm_sketch.to_bitvec direct
+                            || Bitvec.equal (Agm_sketch.to_bitvec a) (Agm_sketch.to_bitvec direct))
+
+let test_sketch_recovery_rate () =
+  (* On random sparse vectors, recovery should succeed most of the time
+     and always return a genuine coordinate. *)
+  let g = Prng.create 2 in
+  let successes = ref 0 in
+  let trials = 200 in
+  for t = 1 to trials do
+    let p = { Agm_sketch.universe = 512; seed = t } in
+    let s = Agm_sketch.create p in
+    let members = Hashtbl.create 16 in
+    let size = 1 + Prng.int g 40 in
+    for _ = 1 to size do
+      let i = Prng.int g 512 in
+      Agm_sketch.add s i;
+      if Hashtbl.mem members i then Hashtbl.remove members i else Hashtbl.replace members i ()
+    done;
+    if Hashtbl.length members > 0 then
+      match Agm_sketch.recover s with
+      | Some c ->
+          check_bool "recovered coordinate is in the vector" true (Hashtbl.mem members c);
+          incr successes
+      | None -> ()
+  done;
+  check_bool "recovery rate decent" true (!successes > trials / 3)
+
+let test_sketch_bitvec_roundtrip () =
+  let g = Prng.create 3 in
+  let s = Agm_sketch.create params in
+  for _ = 1 to 25 do
+    Agm_sketch.add s (Prng.int g 1000)
+  done;
+  let bits = Agm_sketch.to_bitvec s in
+  check_int "encoded size" (Agm_sketch.bit_size params) (Bitvec.length bits);
+  let s' = Agm_sketch.of_bitvec params bits in
+  check_bool "roundtrip preserves recovery behaviour" true
+    (Agm_sketch.recover s = Agm_sketch.recover s');
+  check_bool "roundtrip exact" true (Bitvec.equal bits (Agm_sketch.to_bitvec s'))
+
+let test_sketch_out_of_range () =
+  let s = Agm_sketch.create params in
+  Alcotest.check_raises "range" (Invalid_argument "Agm_sketch.add: coordinate out of range")
+    (fun () -> Agm_sketch.add s 1000)
+
+(* --- Connectivity protocol --- *)
+
+let run_case ~seed ~n ~p =
+  let g = Prng.create seed in
+  let graph = Gnp.sample g ~n ~p in
+  let cfg = Connectivity.default_config ~n ~seed:(seed + 100) in
+  let got = Connectivity.run_on cfg graph (Prng.split g 9) in
+  let want = Connectivity.exact_components graph in
+  (got, want)
+
+let test_connectivity_empty () =
+  let got, want = run_case ~seed:4 ~n:24 ~p:0.0 in
+  check_int "exact = n" 24 want;
+  check_int "sketch agrees" want got
+
+let test_connectivity_dense () =
+  let got, want = run_case ~seed:5 ~n:24 ~p:0.4 in
+  check_int "one component" 1 want;
+  check_int "sketch agrees" want got
+
+let test_connectivity_mid_densities () =
+  let agreements = ref 0 in
+  let cases = [ (6, 0.03); (7, 0.05); (8, 0.08); (9, 0.12); (10, 0.2) ] in
+  List.iter
+    (fun (seed, p) ->
+      let got, want = run_case ~seed ~n:32 ~p in
+      if got = want then incr agreements
+      else check_bool "sketch never undercounts merges wrongly" true (got >= want))
+    cases;
+  (* Recovery is randomized; allow a rare missed merge but expect most to
+     match exactly. *)
+  check_bool "mostly exact" true (!agreements >= 4)
+
+let test_connectivity_outputs_agree () =
+  let g = Prng.create 11 in
+  let n = 20 in
+  let graph = Gnp.sample g ~n ~p:0.1 in
+  let cfg = Connectivity.default_config ~n ~seed:77 in
+  let inputs = Array.init n (Digraph.out_row graph) in
+  let result = Bcast.run (Connectivity.protocol cfg) ~inputs ~rand:g in
+  Array.iter
+    (fun o -> check_int "all processors agree" result.Bcast.outputs.(0) o)
+    result.Bcast.outputs
+
+let test_connectivity_round_budget () =
+  let cfg = Connectivity.default_config ~n:64 ~seed:1 in
+  (* O(log n) phases, each O(copies log^2 n / msg_bits) rounds: far below
+     the trivial n rounds of full-row exchange?  At small n the polylog
+     constants dominate; just check the accounting identity. *)
+  check_int "rounds = phases * per-phase"
+    (Connectivity.rounds cfg)
+    (Connectivity.protocol cfg).Bcast.rounds
+
+let () =
+  Alcotest.run "connectivity"
+    [
+      ( "agm sketch",
+        [
+          Alcotest.test_case "zero" `Quick test_sketch_zero;
+          Alcotest.test_case "singleton" `Quick test_sketch_singleton;
+          Alcotest.test_case "cancellation" `Quick test_sketch_cancellation;
+          Alcotest.test_case "linearity" `Quick test_sketch_linearity;
+          Alcotest.test_case "recovery rate" `Quick test_sketch_recovery_rate;
+          Alcotest.test_case "bitvec roundtrip" `Quick test_sketch_bitvec_roundtrip;
+          Alcotest.test_case "out of range" `Quick test_sketch_out_of_range;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "empty graph" `Quick test_connectivity_empty;
+          Alcotest.test_case "dense graph" `Quick test_connectivity_dense;
+          Alcotest.test_case "mid densities" `Slow test_connectivity_mid_densities;
+          Alcotest.test_case "outputs agree" `Quick test_connectivity_outputs_agree;
+          Alcotest.test_case "round budget" `Quick test_connectivity_round_budget;
+        ] );
+    ]

@@ -1,0 +1,305 @@
+(* Tests for distributions, information theory, and statistics helpers. *)
+
+let check_bool = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+let checkf4 = Alcotest.(check (float 1e-4))
+
+(* --- Dist --- *)
+
+let test_point () =
+  let d = Dist.point 3 in
+  checkf "prob self" 1.0 (Dist.prob d 3);
+  checkf "prob other" 0.0 (Dist.prob d 4);
+  Alcotest.(check int) "support" 1 (Dist.support_size d)
+
+let test_uniform () =
+  let d = Dist.uniform [ 1; 2; 3; 4 ] in
+  checkf "each 1/4" 0.25 (Dist.prob d 2);
+  (* duplicates accumulate *)
+  let d2 = Dist.uniform [ 1; 1; 2 ] in
+  checkf "dup mass" (2.0 /. 3.0) (Dist.prob d2 1)
+
+let test_of_assoc_normalizes () =
+  let d = Dist.of_assoc [ ("a", 2.0); ("b", 6.0) ] in
+  checkf "a" 0.25 (Dist.prob d "a");
+  checkf "b" 0.75 (Dist.prob d "b")
+
+let test_of_assoc_invalid () =
+  Alcotest.check_raises "negative" (Invalid_argument "Dist.of_assoc: negative weight")
+    (fun () -> ignore (Dist.of_assoc [ ("a", -1.0); ("b", 2.0) ]));
+  Alcotest.check_raises "zero total"
+    (Invalid_argument "Dist.of_assoc: total weight must be positive") (fun () ->
+      ignore (Dist.of_assoc [ ("a", 0.0) ]))
+
+let test_bernoulli () =
+  let d = Dist.bernoulli 0.2 in
+  checkf "true" 0.2 (Dist.prob d true);
+  checkf "false" 0.8 (Dist.prob d false);
+  checkf "degenerate" 1.0 (Dist.prob (Dist.bernoulli 0.0) false)
+
+let test_map_pushforward () =
+  let d = Dist.uniform [ 0; 1; 2; 3 ] in
+  let parity = Dist.map (fun x -> x mod 2) d in
+  checkf "even" 0.5 (Dist.prob parity 0);
+  checkf "odd" 0.5 (Dist.prob parity 1)
+
+let test_mixture () =
+  (* The A_k = E_C A_C decomposition pattern. *)
+  let d1 = Dist.point 1 and d2 = Dist.uniform [ 1; 2 ] in
+  let m = Dist.mixture [ (d1, 1.0); (d2, 1.0) ] in
+  checkf "1" 0.75 (Dist.prob m 1);
+  checkf "2" 0.25 (Dist.prob m 2)
+
+let test_product_condition () =
+  let d = Dist.product (Dist.bernoulli 0.5) (Dist.bernoulli 0.5) in
+  checkf "joint" 0.25 (Dist.prob d (true, false));
+  match Dist.condition d (fun (a, _) -> a) with
+  | None -> Alcotest.fail "conditioning on positive event"
+  | Some c ->
+      checkf "conditional" 0.5 (Dist.prob c (true, false));
+      checkf "excluded" 0.0 (Dist.prob c (false, false))
+
+let test_condition_zero_mass () =
+  let d = Dist.uniform [ 1; 2 ] in
+  check_bool "zero-mass event" true (Dist.condition d (fun x -> x > 5) = None)
+
+let test_bind () =
+  let d = Dist.uniform [ 0; 1 ] in
+  let b = Dist.bind d (fun x -> if x = 0 then Dist.point 10 else Dist.uniform [ 20; 30 ]) in
+  checkf "10" 0.5 (Dist.prob b 10);
+  checkf "20" 0.25 (Dist.prob b 20)
+
+let test_tv_distance () =
+  let a = Dist.uniform [ 1; 2 ] and b = Dist.uniform [ 2; 3 ] in
+  checkf "tv disjoint halves" 0.5 (Dist.tv_distance a b);
+  checkf "tv self" 0.0 (Dist.tv_distance a a);
+  checkf "tv disjoint" 1.0 (Dist.tv_distance (Dist.point 1) (Dist.point 2))
+
+let test_tv_triangle_and_symmetry () =
+  let a = Dist.of_assoc [ (1, 0.5); (2, 0.5) ] in
+  let b = Dist.of_assoc [ (1, 0.2); (2, 0.3); (3, 0.5) ] in
+  let c = Dist.of_assoc [ (3, 1.0) ] in
+  checkf "symmetry" (Dist.tv_distance a b) (Dist.tv_distance b a);
+  check_bool "triangle" true
+    (Dist.tv_distance a c <= Dist.tv_distance a b +. Dist.tv_distance b c +. 1e-12)
+
+let test_entropy () =
+  checkf "fair coin" 1.0 (Dist.entropy (Dist.bernoulli 0.5));
+  checkf "point" 0.0 (Dist.entropy (Dist.point 42));
+  checkf "uniform 8" 3.0 (Dist.entropy (Dist.uniform [ 1; 2; 3; 4; 5; 6; 7; 8 ]))
+
+let test_kl () =
+  let p = Dist.bernoulli 0.5 and q = Dist.bernoulli 0.25 in
+  (* D(p||q) = 0.5 log(2) + 0.5 log(2/3)... in bits: 0.5*1 + 0.5*log2(0.5/0.75) *)
+  let expected = (0.5 *. 1.0) +. (0.5 *. (Float.log (0.5 /. 0.75) /. Float.log 2.0)) in
+  checkf4 "kl value" expected (Dist.kl_divergence p q);
+  checkf "kl self" 0.0 (Dist.kl_divergence p p);
+  check_bool "kl infinite" true
+    (Dist.kl_divergence (Dist.point 1) (Dist.point 2) = Float.infinity)
+
+let test_expectation () =
+  let d = Dist.uniform [ 1; 2; 3; 4 ] in
+  checkf "mean" 2.5 (Dist.expectation d float_of_int)
+
+let test_sample_frequencies () =
+  let g = Prng.create 1 in
+  let d = Dist.of_assoc [ (1, 0.7); (2, 0.3) ] in
+  let ones = ref 0 in
+  let trials = 10000 in
+  for _ = 1 to trials do
+    if Dist.sample g d = 1 then incr ones
+  done;
+  let rate = float_of_int !ones /. float_of_int trials in
+  check_bool "sampling matches" true (Float.abs (rate -. 0.7) < 0.03)
+
+let test_estimate_tv () =
+  let g = Prng.create 2 in
+  (* Same sampler: estimate should be small; different: near true TV 0.5. *)
+  let s1 g = Prng.int g 2 in
+  let s2 g = Prng.int g 4 in
+  let same = Dist.estimate_tv ~samples:20000 s1 s1 g in
+  let diff = Dist.estimate_tv ~samples:20000 s1 s2 g in
+  check_bool "same small" true (same < 0.05);
+  check_bool "diff near 0.5" true (Float.abs (diff -. 0.5) < 0.05)
+
+(* --- Info --- *)
+
+let test_binary_entropy () =
+  checkf "H(1/2)" 1.0 (Info.binary_entropy 0.5);
+  checkf "H(0)" 0.0 (Info.binary_entropy 0.0);
+  checkf "H(1)" 0.0 (Info.binary_entropy 1.0);
+  checkf4 "H(1/4)" 0.8113 (Info.binary_entropy 0.25)
+
+let test_fact_2_3 () =
+  (* For H(p) >= 0.9 the ratio (1-H)/(p-1/2)^2 lies in [2,3]. *)
+  List.iter
+    (fun p ->
+      if Info.binary_entropy p >= 0.9 then begin
+        let r = Info.binary_entropy_inv_gap p in
+        check_bool (Printf.sprintf "ratio at p=%.2f in [2,3]" p) true
+          (r >= 2.0 -. 1e-9 && r <= 3.0 +. 1e-9)
+      end)
+    [ 0.3; 0.35; 0.4; 0.45; 0.5; 0.55; 0.6; 0.65; 0.7 ]
+
+let test_mutual_information_independent () =
+  let joint = Dist.product (Dist.bernoulli 0.5) (Dist.bernoulli 0.3) in
+  checkf4 "independent MI = 0" 0.0 (Info.mutual_information joint)
+
+let test_mutual_information_determined () =
+  (* Y = X: MI = H(X) = 1 bit. *)
+  let joint = Dist.uniform [ (0, 0); (1, 1) ] in
+  checkf4 "determined MI = 1" 1.0 (Info.mutual_information joint)
+
+let test_fact_2_1_identity () =
+  (* I(X;Y) = E_x D(Y|X=x || Y) on an asymmetric joint. *)
+  let joint = Dist.of_assoc [ ((0, 0), 0.4); ((0, 1), 0.1); ((1, 0), 0.2); ((1, 1), 0.3) ] in
+  checkf4 "Fact 2.1" (Info.mutual_information joint) (Info.mutual_information_via_kl joint)
+
+let test_pinsker () =
+  List.iter
+    (fun (p, q) ->
+      let dp = Dist.bernoulli p and dq = Dist.bernoulli q in
+      check_bool "Pinsker" true
+        (Dist.tv_distance dp dq <= Info.pinsker_bound dp dq +. 1e-12))
+    [ (0.5, 0.3); (0.9, 0.1); (0.5, 0.5); (0.01, 0.99) ]
+
+let test_conditional_entropy () =
+  (* H(Y|X) for Y = X xor coin. *)
+  let joint =
+    Dist.of_assoc [ ((0, 0), 0.25); ((0, 1), 0.25); ((1, 0), 0.25); ((1, 1), 0.25) ]
+  in
+  checkf4 "H(Y|X) = 1" 1.0 (Info.conditional_entropy joint)
+
+(* --- Stats --- *)
+
+let test_log_choose () =
+  checkf4 "C(5,2)=10" (Float.log 10.0 /. Float.log 2.0) (Stats.log_choose 5 2);
+  check_bool "out of range" true (Stats.log_choose 5 7 = Float.neg_infinity);
+  checkf "C(n,0)=1" 0.0 (Stats.log_choose 9 0)
+
+let test_choose_float () =
+  checkf4 "C(10,3)" 120.0 (Stats.choose_float 10 3);
+  checkf "impossible" 0.0 (Stats.choose_float 3 5)
+
+let test_chernoff_monotone () =
+  check_bool "upper decreasing in mean" true
+    (Stats.chernoff_upper ~mean:100.0 ~delta:0.5
+     < Stats.chernoff_upper ~mean:10.0 ~delta:0.5);
+  check_bool "lower in [0,1]" true
+    (let v = Stats.chernoff_lower ~mean:50.0 ~delta:0.3 in
+     v >= 0.0 && v <= 1.0);
+  checkf "delta <= 0 trivial" 1.0 (Stats.chernoff_upper ~mean:10.0 ~delta:0.0)
+
+let test_wilson () =
+  let lo, hi = Stats.wilson_interval ~successes:50 ~trials:100 ~z:1.96 in
+  check_bool "contains p-hat" true (lo < 0.5 && 0.5 < hi);
+  check_bool "ordered" true (lo <= hi);
+  let lo0, hi0 = Stats.wilson_interval ~successes:0 ~trials:100 ~z:1.96 in
+  check_bool "zero successes" true (lo0 = 0.0 && hi0 > 0.0 && hi0 < 0.1)
+
+let test_mean_var () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  checkf "mean" 2.5 (Stats.mean xs);
+  checkf4 "variance" (5.0 /. 3.0) (Stats.variance xs);
+  checkf "singleton variance" 0.0 (Stats.variance [| 5.0 |]);
+  checkf "empty mean" 0.0 (Stats.mean [||])
+
+let test_quantile () =
+  let xs = [| 4.0; 1.0; 3.0; 2.0 |] in
+  checkf "median" 2.5 (Stats.quantile xs 0.5);
+  checkf "min" 1.0 (Stats.quantile xs 0.0);
+  checkf "max" 4.0 (Stats.quantile xs 1.0)
+
+(* --- qcheck --- *)
+
+let gen_dist =
+  QCheck.(
+    map
+      (fun ws ->
+        let ws = List.map (fun w -> Float.abs w +. 0.01) ws in
+        Dist.of_assoc (List.mapi (fun i w -> (i, w)) ws))
+      (list_of_size (Gen.int_range 1 10) (float_range 0.0 10.0)))
+
+let prop_tv_range =
+  QCheck.Test.make ~name:"TV distance in [0,1]" ~count:200 (QCheck.pair gen_dist gen_dist)
+    (fun (a, b) ->
+      let d = Dist.tv_distance a b in
+      d >= -1e-12 && d <= 1.0 +. 1e-9)
+
+let prop_entropy_bounds =
+  QCheck.Test.make ~name:"0 <= H <= log2 |support|" ~count:200 gen_dist (fun d ->
+      let h = Dist.entropy d in
+      h >= -1e-9
+      && h <= (Float.log (float_of_int (Dist.support_size d)) /. Float.log 2.0) +. 1e-9)
+
+let prop_kl_nonneg =
+  QCheck.Test.make ~name:"KL divergence nonnegative" ~count:200
+    (QCheck.pair gen_dist gen_dist) (fun (p, q) ->
+      (* Make q have full support over p's outcomes by mixing. *)
+      let q = Dist.mixture [ (p, 0.1); (q, 0.9) ] in
+      Dist.kl_divergence p q >= -1e-9)
+
+let prop_pinsker =
+  QCheck.Test.make ~name:"Pinsker inequality" ~count:200 (QCheck.pair gen_dist gen_dist)
+    (fun (p, q) ->
+      let q = Dist.mixture [ (p, 0.05); (q, 0.95) ] in
+      Dist.tv_distance p q <= Info.pinsker_bound p q +. 1e-9)
+
+let prop_map_preserves_mass =
+  QCheck.Test.make ~name:"pushforward preserves mass" ~count:200 gen_dist (fun d ->
+      let m = Dist.map (fun x -> x mod 3) d in
+      let total = List.fold_left (fun acc k -> acc +. Dist.prob m k) 0.0 (Dist.support m) in
+      Float.abs (total -. 1.0) < 1e-9)
+
+let () =
+  Alcotest.run "dist"
+    [
+      ( "dist",
+        [
+          Alcotest.test_case "point" `Quick test_point;
+          Alcotest.test_case "uniform" `Quick test_uniform;
+          Alcotest.test_case "of_assoc normalizes" `Quick test_of_assoc_normalizes;
+          Alcotest.test_case "of_assoc invalid" `Quick test_of_assoc_invalid;
+          Alcotest.test_case "bernoulli" `Quick test_bernoulli;
+          Alcotest.test_case "map" `Quick test_map_pushforward;
+          Alcotest.test_case "mixture" `Quick test_mixture;
+          Alcotest.test_case "product/condition" `Quick test_product_condition;
+          Alcotest.test_case "condition zero mass" `Quick test_condition_zero_mass;
+          Alcotest.test_case "bind" `Quick test_bind;
+          Alcotest.test_case "tv distance" `Quick test_tv_distance;
+          Alcotest.test_case "tv triangle/symmetry" `Quick test_tv_triangle_and_symmetry;
+          Alcotest.test_case "entropy" `Quick test_entropy;
+          Alcotest.test_case "kl" `Quick test_kl;
+          Alcotest.test_case "expectation" `Quick test_expectation;
+          Alcotest.test_case "sampling" `Quick test_sample_frequencies;
+          Alcotest.test_case "estimate_tv" `Quick test_estimate_tv;
+        ] );
+      ( "info",
+        [
+          Alcotest.test_case "binary entropy" `Quick test_binary_entropy;
+          Alcotest.test_case "Fact 2.3" `Quick test_fact_2_3;
+          Alcotest.test_case "MI independent" `Quick test_mutual_information_independent;
+          Alcotest.test_case "MI determined" `Quick test_mutual_information_determined;
+          Alcotest.test_case "Fact 2.1 identity" `Quick test_fact_2_1_identity;
+          Alcotest.test_case "Pinsker" `Quick test_pinsker;
+          Alcotest.test_case "conditional entropy" `Quick test_conditional_entropy;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "log_choose" `Quick test_log_choose;
+          Alcotest.test_case "choose_float" `Quick test_choose_float;
+          Alcotest.test_case "chernoff" `Quick test_chernoff_monotone;
+          Alcotest.test_case "wilson" `Quick test_wilson;
+          Alcotest.test_case "mean/variance" `Quick test_mean_var;
+          Alcotest.test_case "quantile" `Quick test_quantile;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_tv_range;
+            prop_entropy_bounds;
+            prop_kl_nonneg;
+            prop_pinsker;
+            prop_map_preserves_mass;
+          ] );
+    ]

@@ -1,0 +1,153 @@
+(* Smoke tests for the experiment drivers: every table is well-formed and
+   the cheap ones carry their expected verdicts. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let well_formed (t : Experiments.table) =
+  check_bool "has id" true (String.length t.Experiments.id > 0);
+  check_bool "has rows" true (List.length t.Experiments.rows > 0);
+  let width = List.length t.Experiments.columns in
+  List.iter
+    (fun row -> check_int "row width matches columns" width (List.length row))
+    t.Experiments.rows
+
+let test_ids_complete () =
+  check_int "twenty-nine experiments" 29 (List.length Experiments.ids);
+  List.iter
+    (fun id -> check_bool ("lookup " ^ id) true (Experiments.by_id id <> None))
+    Experiments.ids;
+  check_bool "unknown id" true (Experiments.by_id "e99" = None);
+  check_bool "case insensitive" true (Experiments.by_id "E1" <> None)
+
+let column_index t name =
+  let rec go i = function
+    | [] -> Alcotest.failf "column %s missing" name
+    | c :: _ when c = name -> i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 t.Experiments.columns
+
+let all_rows_hold t =
+  let idx = column_index t "holds" in
+  List.for_all (fun row -> List.nth row idx = "yes") t.Experiments.rows
+
+let test_e1_holds () =
+  let t = Experiments.e1_lemma_1_10 ~seed:7 () in
+  well_formed t;
+  check_bool "all bounds hold" true (all_rows_hold t)
+
+let test_e2_holds () =
+  let t = Experiments.e2_lemma_1_8 ~seed:7 () in
+  well_formed t;
+  check_bool "all bounds hold" true (all_rows_hold t)
+
+let test_e4_ordering () =
+  (* real distance <= progress <= bound in every row. *)
+  let t = Experiments.e4_one_round_transcripts ~seed:7 () in
+  well_formed t;
+  let ireal = column_index t "||P_rand-P_k||" in
+  let iprog = column_index t "L_progress" in
+  let ibound = column_index t "bound" in
+  List.iter
+    (fun row ->
+      let v i = float_of_string (List.nth row i) in
+      check_bool "real <= progress" true (v ireal <= v iprog +. 1e-9);
+      check_bool "progress <= bound" true (v iprog <= v ibound +. 1e-9))
+    t.Experiments.rows
+
+let test_e6_holds () =
+  let t = Experiments.e6_lemma_5_2 ~seed:7 () in
+  well_formed t;
+  check_bool "all bounds hold" true (all_rows_hold t)
+
+let test_e8_threshold () =
+  let t = Experiments.e8_prg_fooling ~seed:7 () in
+  well_formed t;
+  let iadv = column_index t "advantage" in
+  let iregime = column_index t "regime" in
+  List.iter
+    (fun row ->
+      let regime = List.nth row iregime in
+      if regime = "<= k (fooled)" then
+        check_bool "fooled regime near zero" true
+          (Float.abs (float_of_string (List.nth row iadv)) < 0.15)
+      else if regime = "> k (broken)" then
+        check_bool "broken regime near one" true
+          (float_of_string (List.nth row iadv) > 0.85))
+    t.Experiments.rows
+
+let test_e9_breaks () =
+  let t = Experiments.e9_seed_attack ~seed:7 () in
+  well_formed t;
+  let iadv = column_index t "advantage" in
+  List.iter
+    (fun row -> check_bool "attack succeeds" true (float_of_string (List.nth row iadv) > 0.9))
+    t.Experiments.rows
+
+let test_e13_one_sided () =
+  let t = Experiments.e13_newman ~seed:7 () in
+  well_formed t;
+  let igap = column_index t "gap on equal" in
+  List.iter
+    (fun row ->
+      check_bool "one-sided: gap 0 on equal inputs" true
+        (float_of_string (List.nth row igap) = 0.0))
+    t.Experiments.rows
+
+let test_e20_holds () =
+  let t = Experiments.e20_structural_inequalities ~seed:7 () in
+  well_formed t;
+  let idx = column_index t "holds" in
+  List.iter
+    (fun row ->
+      let v = List.nth row idx in
+      check_bool "holds or informative" true (v = "yes" || v = "-"))
+    t.Experiments.rows
+
+let test_e28_holds () =
+  let t = Experiments.e28_toy_prg_exact ~seed:7 () in
+  well_formed t;
+  check_bool "all exact rows hold" true (all_rows_hold t)
+
+let test_e29_monotone () =
+  let t = Experiments.e29_progress_growth ~seed:7 () in
+  well_formed t;
+  let idx = column_index t "monotone" in
+  List.iter
+    (fun row -> check_bool "monotone" true (List.nth row idx = "yes"))
+    t.Experiments.rows
+
+let test_print_renders () =
+  let t = Experiments.e1_lemma_1_10 ~seed:7 () in
+  let buf = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buf in
+  Experiments.print fmt t;
+  Format.pp_print_flush fmt ();
+  check_bool "rendered something" true (Buffer.length buf > 100);
+  check_bool "contains title" true
+    (let s = Buffer.contents buf in
+     let rec contains i =
+       i + 2 <= String.length s && (String.sub s i 2 = "E1" || contains (i + 1))
+     in
+     contains 0)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "drivers",
+        [
+          Alcotest.test_case "ids complete" `Quick test_ids_complete;
+          Alcotest.test_case "E1 verdicts" `Quick test_e1_holds;
+          Alcotest.test_case "E2 verdicts" `Slow test_e2_holds;
+          Alcotest.test_case "E4 ordering" `Quick test_e4_ordering;
+          Alcotest.test_case "E6 verdicts" `Quick test_e6_holds;
+          Alcotest.test_case "E8 threshold shape" `Slow test_e8_threshold;
+          Alcotest.test_case "E9 attack" `Slow test_e9_breaks;
+          Alcotest.test_case "E13 one-sided" `Quick test_e13_one_sided;
+          Alcotest.test_case "E20 verdicts" `Quick test_e20_holds;
+          Alcotest.test_case "E28 exact verdicts" `Slow test_e28_holds;
+          Alcotest.test_case "E29 monotone" `Quick test_e29_monotone;
+          Alcotest.test_case "printer" `Quick test_print_renders;
+        ] );
+    ]

@@ -1,0 +1,292 @@
+(* Tests for the Section 9 substrates (G(n,p), MST, Hamiltonicity) and the
+   structural inequality verifiers (Lemma 1.9, Claim 7, Fact 4.6). *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+(* --- Gnp --- *)
+
+let path_graph n =
+  let g = Digraph.create n in
+  for i = 0 to n - 2 do
+    Digraph.add_edge g i (i + 1);
+    Digraph.add_edge g (i + 1) i
+  done;
+  g
+
+let test_gnp_symmetric () =
+  let g = Prng.create 1 in
+  let graph = Gnp.sample g ~n:30 ~p:0.3 in
+  for i = 0 to 29 do
+    for j = 0 to 29 do
+      check_bool "symmetric" true (Digraph.has_edge graph i j = Digraph.has_edge graph j i)
+    done
+  done
+
+let test_gnp_density () =
+  let g = Prng.create 2 in
+  let graph = Gnp.sample g ~n:60 ~p:0.2 in
+  let undirected_edges = Digraph.edge_count graph / 2 in
+  let expected = 0.2 *. float_of_int (60 * 59 / 2) in
+  check_bool "density" true
+    (Float.abs (float_of_int undirected_edges -. expected) < 5.0 *. Float.sqrt expected)
+
+let test_gnp_extremes () =
+  let g = Prng.create 3 in
+  check_int "p=0 empty" 0 (Digraph.edge_count (Gnp.sample g ~n:10 ~p:0.0));
+  check_int "p=1 complete" 90 (Digraph.edge_count (Gnp.sample g ~n:10 ~p:1.0))
+
+let test_bfs_path () =
+  let g = path_graph 6 in
+  let dist = Gnp.bfs_distances g 0 in
+  Alcotest.(check (array int)) "line distances" [| 0; 1; 2; 3; 4; 5 |] dist
+
+let test_bfs_unreachable () =
+  let g = Digraph.create 3 in
+  Digraph.add_edge g 0 1;
+  let dist = Gnp.bfs_distances g 0 in
+  check_int "unreachable" (-1) dist.(2)
+
+let test_eccentricity_diameter () =
+  let g = path_graph 5 in
+  check_bool "ecc of end" true (Gnp.eccentricity g 0 = Some 4);
+  check_bool "ecc of middle" true (Gnp.eccentricity g 2 = Some 2);
+  check_bool "diameter" true (Gnp.diameter g = Some 4);
+  let disconnected = Digraph.create 4 in
+  check_bool "disconnected diameter" true (Gnp.diameter disconnected = None);
+  check_bool "disconnected" false (Gnp.is_connected disconnected)
+
+let test_connectivity_threshold_behaviour () =
+  let g = Prng.create 4 in
+  let n = 100 in
+  let thr = Gnp.connectivity_threshold n in
+  let rate factor =
+    let hits = ref 0 in
+    for i = 1 to 20 do
+      if Gnp.is_connected (Gnp.sample (Prng.split g (i + int_of_float (factor *. 10.))) ~n ~p:(factor *. thr))
+      then incr hits
+    done;
+    float_of_int !hits /. 20.0
+  in
+  check_bool "far below threshold rarely connected" true (rate 0.3 < 0.3);
+  check_bool "far above threshold always connected" true (rate 4.0 > 0.9)
+
+let test_largest_component () =
+  let g = Digraph.create 6 in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 1 2;
+  Digraph.add_edge g 4 5;
+  (* Directed edges count as undirected for components. *)
+  check_int "component sizes" 3 (Gnp.largest_component_size g)
+
+(* --- Wgraph / MST --- *)
+
+let test_mst_known () =
+  (* Square with a cheap diagonal: weights force a known tree. *)
+  let w = Array.make_matrix 4 4 10.0 in
+  let set i j v = w.(i).(j) <- v; w.(j).(i) <- v in
+  set 0 1 1.0;
+  set 1 2 2.0;
+  set 2 3 1.5;
+  set 0 3 9.0;
+  set 0 2 8.0;
+  set 1 3 8.5;
+  let t = Wgraph.of_weights w in
+  let edges = List.sort compare (Wgraph.mst t) in
+  Alcotest.(check (list (pair int int))) "tree edges" [ (0, 1); (1, 2); (2, 3) ] edges;
+  checkf "weight" 4.5 (Wgraph.mst_weight t)
+
+let test_mst_size_and_spanning () =
+  let g = Prng.create 5 in
+  let t = Wgraph.random g 40 in
+  let edges = Wgraph.mst t in
+  check_int "n-1 edges" 39 (List.length edges);
+  (* The edge set must connect all vertices. *)
+  let graph = Digraph.create 40 in
+  List.iter
+    (fun (i, j) ->
+      Digraph.add_edge graph i j;
+      Digraph.add_edge graph j i)
+    edges;
+  check_bool "spanning" true (Gnp.is_connected graph)
+
+let test_mst_weight_near_zeta3 () =
+  let g = Prng.create 6 in
+  let total = ref 0.0 in
+  let trials = 15 in
+  for i = 1 to trials do
+    total := !total +. Wgraph.mst_weight (Wgraph.random (Prng.split g i) 128)
+  done;
+  let mean = !total /. float_of_int trials in
+  check_bool "Frieze zeta(3)" true (Float.abs (mean -. Wgraph.zeta3) < 0.15)
+
+let test_min_incident () =
+  let w = Array.make_matrix 3 3 0.0 in
+  w.(0).(1) <- 0.5;
+  w.(0).(2) <- 0.2;
+  w.(1).(2) <- 0.9;
+  let t = Wgraph.of_weights w in
+  checkf "min at 0" 0.2 (Wgraph.min_incident_weight t 0);
+  checkf "min at 1" 0.5 (Wgraph.min_incident_weight t 1)
+
+let test_boruvka_components () =
+  let g = Prng.create 7 in
+  for trial = 1 to 5 do
+    let t = Wgraph.random (Prng.split g trial) 32 in
+    let c = Wgraph.boruvka_round_components t in
+    check_bool "at most n/2 components" true (c <= 16 && c >= 1)
+  done
+
+(* --- Hamilton --- *)
+
+let test_planted_cycle_valid () =
+  let g = Prng.create 8 in
+  let graph, cycle = Hamilton.sample_planted_cycle g ~n:20 ~p:0.1 in
+  check_bool "planted cycle is Hamiltonian" true (Hamilton.is_hamiltonian_cycle graph cycle)
+
+let test_is_hamiltonian_rejects () =
+  let g = Prng.create 9 in
+  let graph, cycle = Hamilton.sample_planted_cycle g ~n:10 ~p:0.0 in
+  (* Tamper: repeat a vertex. *)
+  let bad = Array.copy cycle in
+  bad.(1) <- bad.(0);
+  check_bool "repeat rejected" false (Hamilton.is_hamiltonian_cycle graph bad);
+  check_bool "wrong length rejected" false
+    (Hamilton.is_hamiltonian_cycle graph (Array.sub cycle 0 9))
+
+let test_find_cycle_dense () =
+  let g = Prng.create 10 in
+  let found = ref 0 in
+  for i = 1 to 10 do
+    let gt = Prng.split g i in
+    let graph = Gnp.sample gt ~n:40 ~p:0.4 in
+    match Hamilton.find_cycle gt graph ~max_steps:8000 with
+    | Some c when Hamilton.is_hamiltonian_cycle graph c -> incr found
+    | Some _ -> Alcotest.fail "returned a non-cycle"
+    | None -> ()
+  done;
+  check_bool "dense graphs are Hamiltonian" true (!found >= 8)
+
+let test_find_cycle_sparse_fails () =
+  let g = Prng.create 11 in
+  let graph = Gnp.sample g ~n:40 ~p:0.02 in
+  (* Far below the threshold (~0.106): no cycle exists. *)
+  check_bool "sparse fails" true (Hamilton.find_cycle g graph ~max_steps:8000 = None)
+
+let test_find_cycle_on_planted () =
+  let g = Prng.create 12 in
+  let found = ref 0 in
+  for i = 1 to 10 do
+    let gt = Prng.split g i in
+    let graph, _ = Hamilton.sample_planted_cycle gt ~n:40 ~p:0.05 in
+    match Hamilton.find_cycle gt graph ~max_steps:20000 with
+    | Some c when Hamilton.is_hamiltonian_cycle graph c -> incr found
+    | _ -> ()
+  done;
+  check_bool "recovers planted cycles usually" true (!found >= 6)
+
+(* --- Lemma 1.9 / Claim 7 / Fact 4.6 --- *)
+
+let test_lemma_1_9_identical () =
+  let d = Dist.uniform [ (0, 0); (0, 1); (1, 0) ] in
+  let c = Lemma_verify.lemma_1_9 d d in
+  checkf "identical distributions" 0.0 c.Lemma_verify.measured;
+  check_bool "holds" true (Lemma_verify.holds c)
+
+let test_lemma_1_9_marginal_only () =
+  (* Same conditionals, different marginals: bound = marginal term. *)
+  let d = Dist.of_assoc [ ((0, 0), 0.8); ((1, 0), 0.2) ] in
+  let d' = Dist.of_assoc [ ((0, 0), 0.2); ((1, 0), 0.8) ] in
+  let c = Lemma_verify.lemma_1_9 d d' in
+  checkf "tv = marginal tv" 0.6 c.Lemma_verify.measured;
+  checkf "bound tight here" 0.6 c.Lemma_verify.bound
+
+let test_lemma_1_9_random () =
+  let g = Prng.create 13 in
+  for _ = 1 to 20 do
+    let random_joint () =
+      Dist.of_assoc
+        (List.concat_map
+           (fun x -> List.map (fun y -> ((x, y), Prng.float g +. 0.001)) [ 0; 1 ])
+           [ 0; 1; 2 ])
+    in
+    check_bool "holds" true
+      (Lemma_verify.holds (Lemma_verify.lemma_1_9 (random_joint ()) (random_joint ())))
+  done
+
+let test_claim_7_holds () =
+  let g = Prng.create 14 in
+  List.iter
+    (fun (k, j) ->
+      let f = Boolfun.random g 7 in
+      check_bool "holds" true (Lemma_verify.holds (Lemma_verify.claim_7 g f ~k ~j)))
+    [ (3, 0); (3, 1); (4, 1); (2, 2) ]
+
+let test_claim_7_constant_zero () =
+  let g = Prng.create 15 in
+  let f = Boolfun.const 7 true in
+  let c = Lemma_verify.claim_7 g f ~k:3 ~j:1 in
+  checkf "constant functions see nothing" 0.0 c.Lemma_verify.measured
+
+let test_claim_7_invalid () =
+  let g = Prng.create 16 in
+  let f = Boolfun.const 6 true in
+  Alcotest.check_raises "j too large" (Invalid_argument "Lemma_verify.claim_7")
+    (fun () -> ignore (Lemma_verify.claim_7 g f ~k:3 ~j:3))
+
+let test_fact_4_6_full_domain () =
+  (* On the full cube every coordinate is perfectly balanced: Y = 0, so all
+     labels land in the cap bucket and there are no bad edges. *)
+  let hist = Lemma_verify.fact_4_6_label_histogram (Restriction.full 10) in
+  check_int "no bad edges" 0 hist.(0);
+  check_int "all at the cap" 10 hist.(30)
+
+let test_fact_4_6_skewed_domain () =
+  (* Force bit 0 to 1: that coordinate has entropy 0 -> a bad edge. *)
+  let d = Restriction.of_pred 8 (fun x -> x land 1 = 1) in
+  let hist = Lemma_verify.fact_4_6_label_histogram d in
+  check_int "one bad edge" 1 hist.(0)
+
+let () =
+  Alcotest.run "future_work"
+    [
+      ( "gnp",
+        [
+          Alcotest.test_case "symmetric" `Quick test_gnp_symmetric;
+          Alcotest.test_case "density" `Quick test_gnp_density;
+          Alcotest.test_case "extremes" `Quick test_gnp_extremes;
+          Alcotest.test_case "bfs path" `Quick test_bfs_path;
+          Alcotest.test_case "bfs unreachable" `Quick test_bfs_unreachable;
+          Alcotest.test_case "eccentricity/diameter" `Quick test_eccentricity_diameter;
+          Alcotest.test_case "connectivity threshold" `Quick test_connectivity_threshold_behaviour;
+          Alcotest.test_case "largest component" `Quick test_largest_component;
+        ] );
+      ( "mst",
+        [
+          Alcotest.test_case "known tree" `Quick test_mst_known;
+          Alcotest.test_case "spanning" `Quick test_mst_size_and_spanning;
+          Alcotest.test_case "zeta(3)" `Quick test_mst_weight_near_zeta3;
+          Alcotest.test_case "min incident" `Quick test_min_incident;
+          Alcotest.test_case "boruvka components" `Quick test_boruvka_components;
+        ] );
+      ( "hamilton",
+        [
+          Alcotest.test_case "planted cycle valid" `Quick test_planted_cycle_valid;
+          Alcotest.test_case "rejects non-cycles" `Quick test_is_hamiltonian_rejects;
+          Alcotest.test_case "dense succeeds" `Quick test_find_cycle_dense;
+          Alcotest.test_case "sparse fails" `Quick test_find_cycle_sparse_fails;
+          Alcotest.test_case "planted recovered" `Quick test_find_cycle_on_planted;
+        ] );
+      ( "structural inequalities",
+        [
+          Alcotest.test_case "1.9 identical" `Quick test_lemma_1_9_identical;
+          Alcotest.test_case "1.9 marginal only" `Quick test_lemma_1_9_marginal_only;
+          Alcotest.test_case "1.9 random" `Quick test_lemma_1_9_random;
+          Alcotest.test_case "Claim 7 holds" `Quick test_claim_7_holds;
+          Alcotest.test_case "Claim 7 constants" `Quick test_claim_7_constant_zero;
+          Alcotest.test_case "Claim 7 invalid" `Quick test_claim_7_invalid;
+          Alcotest.test_case "Fact 4.6 full domain" `Quick test_fact_4_6_full_domain;
+          Alcotest.test_case "Fact 4.6 skewed" `Quick test_fact_4_6_skewed_domain;
+        ] );
+    ]

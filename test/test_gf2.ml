@@ -1,0 +1,262 @@
+(* Tests for GF(2) matrices and the Kolchin rank distribution. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+let m_of_strings rows =
+  Gf2_matrix.of_rows (Array.map Bitvec.of_string (Array.of_list rows))
+
+let test_identity () =
+  let i3 = Gf2_matrix.identity 3 in
+  check_int "rank" 3 (Gf2_matrix.rank i3);
+  check_bool "full rank" true (Gf2_matrix.is_full_rank i3);
+  check_bool "diag" true (Gf2_matrix.get i3 1 1);
+  check_bool "off diag" false (Gf2_matrix.get i3 0 1)
+
+let test_rank_simple () =
+  check_int "zero matrix" 0 (Gf2_matrix.rank (Gf2_matrix.create ~rows:4 ~cols:4));
+  check_int "repeated rows" 1 (Gf2_matrix.rank (m_of_strings [ "110"; "110"; "110" ]));
+  check_int "two independent" 2 (Gf2_matrix.rank (m_of_strings [ "110"; "011"; "101" ]));
+  (* third row = sum of the first two *)
+  check_int "rectangular wide" 2 (Gf2_matrix.rank (m_of_strings [ "10110"; "01011" ]));
+  check_int "rectangular tall" 2
+    (Gf2_matrix.rank (m_of_strings [ "10"; "01"; "11"; "00" ]))
+
+let test_mul_identity () =
+  let g = Prng.create 1 in
+  let a = Gf2_matrix.random g ~rows:5 ~cols:5 in
+  check_bool "a * I = a" true (Gf2_matrix.equal a (Gf2_matrix.mul a (Gf2_matrix.identity 5)));
+  check_bool "I * a = a" true (Gf2_matrix.equal a (Gf2_matrix.mul (Gf2_matrix.identity 5) a))
+
+let test_mul_known () =
+  (* [[1,1],[0,1]] * [[1,0],[1,1]] = [[0,1],[1,1]] over GF(2) *)
+  let a = m_of_strings [ "11"; "01" ] in
+  let b = m_of_strings [ "10"; "11" ] in
+  let c = Gf2_matrix.mul a b in
+  check_bool "c00" false (Gf2_matrix.get c 0 0);
+  check_bool "c01" true (Gf2_matrix.get c 0 1);
+  check_bool "c10" true (Gf2_matrix.get c 1 0);
+  check_bool "c11" true (Gf2_matrix.get c 1 1)
+
+let test_vec_mul () =
+  let m = m_of_strings [ "101"; "011" ] in
+  (* x = (1,1): x^T M = row0 xor row1 = 110 *)
+  let x = Bitvec.of_string "11" in
+  Alcotest.(check string) "vec_mul" "110" (Bitvec.to_string (Gf2_matrix.vec_mul x m));
+  (* mul_vec: M y with y = (1,0,1): (1+1, 0+1) = (0,1) *)
+  let y = Bitvec.of_string "101" in
+  Alcotest.(check string) "mul_vec" "01" (Bitvec.to_string (Gf2_matrix.mul_vec m y))
+
+let test_transpose () =
+  let m = m_of_strings [ "10"; "11"; "01" ] in
+  let t = Gf2_matrix.transpose m in
+  check_int "rows" 2 (Gf2_matrix.rows t);
+  check_int "cols" 3 (Gf2_matrix.cols t);
+  for i = 0 to 2 do
+    for j = 0 to 1 do
+      check_bool "entry" (Gf2_matrix.get m i j) (Gf2_matrix.get t j i)
+    done
+  done
+
+let test_add_self_is_zero () =
+  let g = Prng.create 2 in
+  let a = Gf2_matrix.random g ~rows:4 ~cols:6 in
+  let z = Gf2_matrix.add a a in
+  check_int "rank of a+a" 0 (Gf2_matrix.rank z)
+
+let test_solve_consistent () =
+  let g = Prng.create 3 in
+  for trial = 1 to 50 do
+    let m = Gf2_matrix.random (Prng.split g trial) ~rows:6 ~cols:4 in
+    let x = Prng.bitvec (Prng.split g (trial + 1000)) 4 in
+    let b = Gf2_matrix.mul_vec m x in
+    match Gf2_matrix.solve m b with
+    | None -> Alcotest.fail "consistent system reported unsolvable"
+    | Some x' ->
+        check_bool "solution satisfies system" true
+          (Bitvec.equal b (Gf2_matrix.mul_vec m x'))
+  done
+
+let test_solve_inconsistent () =
+  (* Rows both 10, rhs differs: no solution. *)
+  let m = m_of_strings [ "10"; "10" ] in
+  let b = Bitvec.of_string "10" in
+  check_bool "inconsistent" true (Gf2_matrix.solve m b = None)
+
+let test_kernel () =
+  let g = Prng.create 5 in
+  for trial = 1 to 30 do
+    (* A 4x6 matrix always has a nontrivial kernel. *)
+    let m = Gf2_matrix.random (Prng.split g trial) ~rows:4 ~cols:6 in
+    match Gf2_matrix.kernel_vector m with
+    | None -> Alcotest.fail "wide matrix must have kernel"
+    | Some x ->
+        check_bool "nonzero" false (Bitvec.is_zero x);
+        check_bool "in kernel" true (Bitvec.is_zero (Gf2_matrix.mul_vec m x))
+  done;
+  check_bool "identity has no kernel" true
+    (Gf2_matrix.kernel_vector (Gf2_matrix.identity 4) = None)
+
+let test_rank_of_top_left () =
+  let m = m_of_strings [ "100"; "100"; "001" ] in
+  check_int "top 1x1" 1 (Gf2_matrix.rank_of_top_left m 1);
+  check_int "top 2x2" 1 (Gf2_matrix.rank_of_top_left m 2);
+  check_int "top 3x3" 2 (Gf2_matrix.rank_of_top_left m 3)
+
+let test_row_echelon_rank_matches () =
+  let g = Prng.create 6 in
+  for trial = 1 to 30 do
+    let m = Gf2_matrix.random (Prng.split g trial) ~rows:7 ~cols:5 in
+    let e, r = Gf2_matrix.row_echelon m in
+    check_int "echelon rank" r (Gf2_matrix.rank e);
+    check_int "rank preserved" (Gf2_matrix.rank m) r
+  done
+
+let test_random_of_rank_at_most () =
+  let g = Prng.create 7 in
+  for r = 0 to 6 do
+    let m = Gf2_matrix.random_of_rank_at_most (Prng.split g r) ~n:8 ~r in
+    check_bool "rank bounded" true (Gf2_matrix.rank m <= r)
+  done
+
+let test_set_row_diag () =
+  let m = Gf2_matrix.create ~rows:2 ~cols:3 in
+  Gf2_matrix.set_row m 0 (Bitvec.of_string "111");
+  Alcotest.(check string) "row copy" "111" (Bitvec.to_string (Gf2_matrix.row m 0))
+
+(* --- rank distribution --- *)
+
+let test_rank_dist_sums_to_one () =
+  List.iter
+    (fun n ->
+      let d = Gf2_rank_dist.rank_distribution ~rows:n ~cols:n in
+      let total = Array.fold_left ( +. ) 0.0 d in
+      checkf (Printf.sprintf "sums to 1 (n=%d)" n) 1.0 total)
+    [ 1; 2; 5; 10; 30 ]
+
+let test_rank_dist_small_exact () =
+  (* 1x1: rank 1 with prob 1/2. *)
+  checkf "1x1 full" 0.5 (Gf2_rank_dist.prob_full_rank 1);
+  (* 2x2: 6 invertible matrices of 16. *)
+  checkf "2x2 full" (6.0 /. 16.0) (Gf2_rank_dist.prob_full_rank 2);
+  (* 2x2 rank 0: only the zero matrix. *)
+  checkf "2x2 rank 0" (1.0 /. 16.0) (Gf2_rank_dist.prob_rank ~rows:2 ~cols:2 0)
+
+let test_rank_dist_limit () =
+  let q0 = Gf2_rank_dist.limit_q 0 in
+  check_bool "Q_0 matches the paper" true (Float.abs (q0 -. 0.2887880950866) < 1e-10);
+  (* Q_s sums to 1 too. *)
+  let total = ref 0.0 in
+  for s = 0 to 40 do
+    total := !total +. Gf2_rank_dist.limit_q s
+  done;
+  checkf "limits sum to 1" 1.0 !total
+
+let test_rank_dist_matches_empirical () =
+  let g = Prng.create 11 in
+  let n = 16 and trials = 2000 in
+  let hits = ref 0 in
+  for _ = 1 to trials do
+    if Gf2_matrix.is_full_rank (Gf2_matrix.random g ~rows:n ~cols:n) then incr hits
+  done;
+  let emp = float_of_int !hits /. float_of_int trials in
+  let exact = Gf2_rank_dist.prob_full_rank n in
+  check_bool "empirical close to exact" true (Float.abs (emp -. exact) < 0.04)
+
+let test_rank_dist_out_of_range () =
+  checkf "negative rank" 0.0 (Gf2_rank_dist.prob_rank ~rows:3 ~cols:3 (-1));
+  checkf "too large rank" 0.0 (Gf2_rank_dist.prob_rank ~rows:3 ~cols:3 4)
+
+(* --- qcheck --- *)
+
+let prop_mul_associative =
+  QCheck.Test.make ~name:"matrix multiplication associative" ~count:50
+    QCheck.(small_int)
+    (fun seed ->
+      let g = Prng.create seed in
+      let a = Gf2_matrix.random g ~rows:4 ~cols:5 in
+      let b = Gf2_matrix.random g ~rows:5 ~cols:3 in
+      let c = Gf2_matrix.random g ~rows:3 ~cols:6 in
+      Gf2_matrix.equal
+        (Gf2_matrix.mul (Gf2_matrix.mul a b) c)
+        (Gf2_matrix.mul a (Gf2_matrix.mul b c)))
+
+let prop_rank_bounds =
+  QCheck.Test.make ~name:"0 <= rank <= min(dims)" ~count:100 QCheck.small_int
+    (fun seed ->
+      let g = Prng.create seed in
+      let rows = 1 + (seed mod 7) and cols = 1 + (seed mod 5) in
+      let m = Gf2_matrix.random g ~rows ~cols in
+      let r = Gf2_matrix.rank m in
+      r >= 0 && r <= min rows cols)
+
+let prop_rank_submultiplicative =
+  QCheck.Test.make ~name:"rank(AB) <= min(rank A, rank B)" ~count:50 QCheck.small_int
+    (fun seed ->
+      let g = Prng.create seed in
+      let a = Gf2_matrix.random g ~rows:5 ~cols:4 in
+      let b = Gf2_matrix.random g ~rows:4 ~cols:6 in
+      Gf2_matrix.rank (Gf2_matrix.mul a b) <= min (Gf2_matrix.rank a) (Gf2_matrix.rank b))
+
+let prop_transpose_involution =
+  QCheck.Test.make ~name:"transpose is an involution" ~count:50 QCheck.small_int
+    (fun seed ->
+      let g = Prng.create seed in
+      let m = Gf2_matrix.random g ~rows:4 ~cols:7 in
+      Gf2_matrix.equal m (Gf2_matrix.transpose (Gf2_matrix.transpose m)))
+
+let prop_transpose_preserves_rank =
+  QCheck.Test.make ~name:"rank(A) = rank(A^T)" ~count:50 QCheck.small_int (fun seed ->
+      let g = Prng.create seed in
+      let m = Gf2_matrix.random g ~rows:6 ~cols:4 in
+      Gf2_matrix.rank m = Gf2_matrix.rank (Gf2_matrix.transpose m))
+
+let prop_vec_mul_linear =
+  QCheck.Test.make ~name:"vec_mul linear in x" ~count:50 QCheck.small_int (fun seed ->
+      let g = Prng.create seed in
+      let m = Gf2_matrix.random g ~rows:5 ~cols:7 in
+      let x = Prng.bitvec g 5 and y = Prng.bitvec g 5 in
+      Bitvec.equal
+        (Gf2_matrix.vec_mul (Bitvec.xor x y) m)
+        (Bitvec.xor (Gf2_matrix.vec_mul x m) (Gf2_matrix.vec_mul y m)))
+
+let () =
+  Alcotest.run "gf2"
+    [
+      ( "matrix",
+        [
+          Alcotest.test_case "identity" `Quick test_identity;
+          Alcotest.test_case "rank simple" `Quick test_rank_simple;
+          Alcotest.test_case "mul identity" `Quick test_mul_identity;
+          Alcotest.test_case "mul known" `Quick test_mul_known;
+          Alcotest.test_case "vec_mul / mul_vec" `Quick test_vec_mul;
+          Alcotest.test_case "transpose" `Quick test_transpose;
+          Alcotest.test_case "a + a = 0" `Quick test_add_self_is_zero;
+          Alcotest.test_case "solve consistent" `Quick test_solve_consistent;
+          Alcotest.test_case "solve inconsistent" `Quick test_solve_inconsistent;
+          Alcotest.test_case "kernel" `Quick test_kernel;
+          Alcotest.test_case "top-left rank" `Quick test_rank_of_top_left;
+          Alcotest.test_case "row echelon" `Quick test_row_echelon_rank_matches;
+          Alcotest.test_case "bounded-rank sampler" `Quick test_random_of_rank_at_most;
+          Alcotest.test_case "set_row" `Quick test_set_row_diag;
+        ] );
+      ( "rank distribution",
+        [
+          Alcotest.test_case "sums to one" `Quick test_rank_dist_sums_to_one;
+          Alcotest.test_case "small cases exact" `Quick test_rank_dist_small_exact;
+          Alcotest.test_case "Kolchin limit Q_0" `Quick test_rank_dist_limit;
+          Alcotest.test_case "matches empirical" `Quick test_rank_dist_matches_empirical;
+          Alcotest.test_case "out of range" `Quick test_rank_dist_out_of_range;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_mul_associative;
+            prop_rank_bounds;
+            prop_rank_submultiplicative;
+            prop_transpose_involution;
+            prop_transpose_preserves_rank;
+            prop_vec_mul_linear;
+          ] );
+    ]

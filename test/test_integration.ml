@@ -1,0 +1,146 @@
+(* End-to-end integration tests: whole pipelines crossing module
+   boundaries, the way the paper composes its pieces. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* PRG construction protocol -> outputs become inputs -> attack detects. *)
+let test_prg_outputs_feed_seed_attack () =
+  let params = { Full_prg.n = 24; k = 8; m = 20 } in
+  let build = Full_prg.construction_protocol params in
+  let dummy = Array.init params.Full_prg.n (fun _ -> Bitvec.create 1) in
+  let built = Bcast.run build ~inputs:dummy ~rand:(Prng.create 1) in
+  (* The constructed pseudo-random strings, fed to the Theorem 8.1 attack,
+     are declared pseudo-random. *)
+  let attack = Seed_attack.protocol ~k:params.Full_prg.k in
+  let verdict = Bcast.run attack ~inputs:built.Bcast.outputs ~rand:(Prng.create 2) in
+  check_bool "attack recognises the construction" true verdict.Bcast.outputs.(0);
+  (* And truly uniform strings of the same shape are not. *)
+  let uniform =
+    Array.init params.Full_prg.n (fun i ->
+        Prng.bitvec (Prng.create (100 + i)) params.Full_prg.m)
+  in
+  let verdict' = Bcast.run attack ~inputs:uniform ~rand:(Prng.create 3) in
+  check_bool "uniform rejected" false verdict'.Bcast.outputs.(0)
+
+(* Toy PRG construction -> its outputs satisfy the exact lower-bound
+   machinery's support expectations. *)
+let test_toy_prg_outputs_on_hyperplane () =
+  let k = 6 and n = 8 in
+  let proto = Toy_prg.construction_protocol ~k in
+  let inputs = Array.init n (fun _ -> Bitvec.create 1) in
+  let result = Bcast.run proto ~inputs ~rand:(Prng.create 4) in
+  (* All outputs satisfy some common linear form (x, x.b): stacking them
+     as a matrix and solving for the last column must succeed. *)
+  let xs = Array.map (fun o -> Bitvec.sub o ~pos:0 ~len:k) result.Bcast.outputs in
+  let lasts = Bitvec.of_bool_array (Array.map (fun o -> Bitvec.get o k) result.Bcast.outputs) in
+  check_bool "common b exists" true
+    (Option.is_some (Gf2_matrix.solve (Gf2_matrix.of_rows xs) lasts))
+
+(* Planted graph -> B.1 protocol in the simulator -> recovered clique
+   verified by the graph layer's predicate. *)
+let test_b1_output_is_a_clique_of_the_input () =
+  let n = 100 and k = 48 in
+  let g = Prng.create 5 in
+  let graph, _ = Planted.sample_planted g ~n ~k in
+  let inputs = Array.init n (Digraph.out_row graph) in
+  let proto = Planted_clique_algo.protocol ~n ~k in
+  let result = Bcast.run proto ~inputs ~rand:g in
+  (match result.Bcast.outputs.(0) with
+  | Planted_clique_algo.Found c ->
+      check_bool "claimed set is a clique" true (Digraph.is_bidirectional_clique graph c);
+      check_bool "big enough" true (List.length c >= k)
+  | _ -> Alcotest.fail "expected recovery at this size");
+  (* Broadcast-bit accounting matches the budget. *)
+  check_int "broadcast bits"
+    (Planted_clique_algo.round_budget ~n ~k * n)
+    result.Bcast.broadcast_bits
+
+(* Connectivity protocol on an SBM graph: sketches do not care where the
+   graph came from. *)
+let test_connectivity_on_sbm () =
+  let g = Prng.create 6 in
+  let n = 24 in
+  let graph, _ = Sbm.sample g ~n ~p_in:0.8 ~p_out:0.0 in
+  (* p_out = 0: exactly two components (the two communities). *)
+  let cfg = Connectivity.default_config ~n ~seed:33 in
+  let got = Connectivity.run_on cfg graph g in
+  check_int "exact = 2 communities" (Connectivity.exact_components graph) got;
+  check_int "two components" 2 got
+
+(* The framework's three decompositions agree with their origin samplers:
+   indexed resampling stays inside one index. *)
+let test_framework_consistency_with_prg () =
+  let params = { Full_prg.n = 6; k = 4; m = 9 } in
+  let d = Framework.full_prg params in
+  let sampler = d.Framework.sampler_for_index (Prng.create 7) in
+  let a = sampler (Prng.create 8) in
+  let b = sampler (Prng.create 9) in
+  (* 12 rows from one secret stay within rank k. *)
+  check_bool "one secret across resamples" true
+    (Gf2_matrix.rank (Gf2_matrix.of_rows (Array.append a b)) <= params.Full_prg.k)
+
+(* Newman wraps the equality public-coin protocol; its sampled variant
+   still never errs on equal inputs even when composed with the BCAST
+   fingerprint protocol run separately. *)
+let test_newman_and_bcast_equality_agree () =
+  let g = Prng.create 10 in
+  let n = 6 and m = 12 in
+  let base = Equality.fingerprint_public_coin ~n ~m ~repetitions:2 in
+  let s = Newman.make_sampled g base ~t_count:32 in
+  let x = Prng.bitvec g m in
+  let equal = Array.make n x in
+  for _ = 1 to 30 do
+    check_bool "sampled Newman accepts equal" true
+      (Newman.run_sampled s ~rand:g ~inputs:equal)
+  done;
+  let bcast_result =
+    Bcast.run (Equality.fingerprint_protocol ~m ~repetitions:2) ~inputs:equal ~rand:g
+  in
+  check_bool "in-model protocol agrees" true bcast_result.Bcast.outputs.(0)
+
+(* Derandomized rank-test: the Cor 7.1 transform composed with the rank
+   distinguisher still computes the same answer (it is deterministic in
+   its inputs once the tape replaces the coins... the rank test uses no
+   randomness at all, making the transform a pure round overhead). *)
+let test_derandomize_deterministic_inner () =
+  let inner = Seed_attack.rank_test_protocol ~rounds:4 in
+  let p = { Full_prg.n = 8; k = 6; m = 10 } in
+  let proto = Derandomize.transform p inner in
+  let g = Prng.create 11 in
+  let inputs = Array.init 8 (fun i -> Prng.bitvec (Prng.split g i) 10) in
+  let direct = Bcast.run_deterministic inner ~inputs in
+  let wrapped = Bcast.run proto ~inputs ~rand:g in
+  check_bool "same verdict" true
+    (direct.Bcast.outputs.(0) = wrapped.Bcast.outputs.(0));
+  check_int "round overhead"
+    (inner.Bcast.rounds + Derandomize.rounds_overhead p)
+    wrapped.Bcast.rounds_used
+
+(* The experiments layer composes with the CSV exporter for every id. *)
+let test_all_cheap_tables_export () =
+  List.iter
+    (fun id ->
+      match Experiments.by_id id with
+      | Some f ->
+          let t = f ~seed:3 () in
+          let csv = Experiments.to_csv t in
+          check_bool (id ^ " csv nonempty") true (String.length csv > 20)
+      | None -> Alcotest.fail ("missing " ^ id))
+    [ "e1"; "e4"; "e13"; "e20"; "e29" ]
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "pipelines",
+        [
+          Alcotest.test_case "PRG build -> seed attack" `Quick test_prg_outputs_feed_seed_attack;
+          Alcotest.test_case "toy PRG -> hyperplane" `Quick test_toy_prg_outputs_on_hyperplane;
+          Alcotest.test_case "B.1 -> clique predicate" `Quick test_b1_output_is_a_clique_of_the_input;
+          Alcotest.test_case "connectivity on SBM" `Quick test_connectivity_on_sbm;
+          Alcotest.test_case "framework vs PRG sampler" `Quick test_framework_consistency_with_prg;
+          Alcotest.test_case "Newman vs in-model equality" `Quick test_newman_and_bcast_equality_agree;
+          Alcotest.test_case "derandomize deterministic inner" `Quick test_derandomize_deterministic_inner;
+          Alcotest.test_case "tables export to CSV" `Slow test_all_cheap_tables_export;
+        ] );
+    ]

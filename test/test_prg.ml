@@ -1,0 +1,288 @@
+(* Tests for the PRGs, the derandomization transform, and the Newman
+   simulation. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Toy PRG --- *)
+
+let test_extend () =
+  let x = Bitvec.of_string "101" and b = Bitvec.of_string "100" in
+  let e = Toy_prg.extend ~x ~b in
+  check_int "length" 4 (Bitvec.length e);
+  Alcotest.(check string) "value" "1011" (Bitvec.to_string e)
+(* x.b = 1*1 + 0*0 + 1*0 = 1 *)
+
+let test_extend_mismatch () =
+  Alcotest.check_raises "mismatch" (Invalid_argument "Toy_prg.extend: length mismatch")
+    (fun () ->
+      ignore (Toy_prg.extend ~x:(Bitvec.create 3) ~b:(Bitvec.create 4)))
+
+let test_sample_ub_in_support () =
+  let g = Prng.create 1 in
+  let b = Prng.bitvec g 8 in
+  for _ = 1 to 100 do
+    let s = Toy_prg.sample_ub g ~b in
+    let x = Bitvec.sub s ~pos:0 ~len:8 in
+    check_bool "last bit is x.b" true (Bitvec.get s 8 = Bitvec.dot x b)
+  done
+
+let test_sample_inputs_pseudo_consistent () =
+  let g = Prng.create 2 in
+  let inputs, b = Toy_prg.sample_inputs_pseudo g ~n:10 ~k:6 in
+  check_int "count" 10 (Array.length inputs);
+  Array.iter
+    (fun s ->
+      let x = Bitvec.sub s ~pos:0 ~len:6 in
+      check_bool "consistent with shared b" true (Bitvec.get s 6 = Bitvec.dot x b))
+    inputs
+
+let test_toy_construction_protocol () =
+  let k = 12 and n = 5 in
+  let proto = Toy_prg.construction_protocol ~k in
+  check_int "rounds = k" k proto.Bcast.rounds;
+  let inputs = Array.init n (fun _ -> Bitvec.create 1) in
+  let result = Bcast.run proto ~inputs ~rand:(Prng.create 3) in
+  (* All outputs have length k+1 and are consistent with a common b: the
+     shared vector is recoverable from the transcript. *)
+  let outputs = result.Bcast.outputs in
+  Array.iter (fun o -> check_int "output length" (k + 1) (Bitvec.length o)) outputs;
+  (* Reconstruct b from the transcript: round r's contributor is r mod n. *)
+  let b = Bitvec.create k in
+  List.iter
+    (fun e ->
+      if e.Transcript.sender = e.Transcript.round mod n then
+        Bitvec.set b e.Transcript.round (e.Transcript.value = 1))
+    (Transcript.entries result.Bcast.transcript);
+  Array.iter
+    (fun o ->
+      let x = Bitvec.sub o ~pos:0 ~len:k in
+      check_bool "output = (x, x.b)" true (Bitvec.get o k = Bitvec.dot x b))
+    outputs;
+  (* Seed budget: k private bits, plus 1 for each contributed share. *)
+  Array.iter
+    (fun bits -> check_bool "seed O(k)" true (bits >= k && bits <= k + (k / n) + 1))
+    result.Bcast.random_bits
+
+(* --- Full PRG --- *)
+
+let params = { Full_prg.n = 16; k = 8; m = 20 }
+
+let test_validate () =
+  Alcotest.check_raises "k >= m" (Invalid_argument "Full_prg: need 1 <= k < m")
+    (fun () -> Full_prg.validate { Full_prg.n = 4; k = 5; m = 5 });
+  Alcotest.check_raises "n < 1" (Invalid_argument "Full_prg: need n >= 1") (fun () ->
+      Full_prg.validate { Full_prg.n = 0; k = 1; m = 2 })
+
+let test_rounds_and_seed () =
+  (* k(m-k) = 96 secret bits over n=16 processors: 6 rounds. *)
+  check_int "construction rounds" 6 (Full_prg.construction_rounds params);
+  check_int "seed bits" (8 + 6) (Full_prg.seed_bits_per_processor params);
+  check_bool "fooling rounds" true (Full_prg.fooling_rounds params >= 1)
+
+let test_expand () =
+  let g = Prng.create 4 in
+  let secret = Full_prg.sample_secret g params in
+  let x = Prng.bitvec g 8 in
+  let out = Full_prg.expand secret x in
+  check_int "length m" 20 (Bitvec.length out);
+  check_bool "prefix is x" true (Bitvec.equal x (Bitvec.sub out ~pos:0 ~len:8));
+  check_bool "suffix is x^T M" true
+    (Bitvec.equal (Gf2_matrix.vec_mul x secret) (Bitvec.sub out ~pos:8 ~len:12))
+
+let test_expand_linear () =
+  (* The PRG map is linear: expand(x xor y) = expand(x) xor expand(y). *)
+  let g = Prng.create 5 in
+  let secret = Full_prg.sample_secret g params in
+  let x = Prng.bitvec g 8 and y = Prng.bitvec g 8 in
+  check_bool "linearity" true
+    (Bitvec.equal
+       (Full_prg.expand secret (Bitvec.xor x y))
+       (Bitvec.xor (Full_prg.expand secret x) (Full_prg.expand secret y)))
+
+let test_pseudo_inputs_low_rank () =
+  (* The joint pseudo-random outputs [x_i | x_i^T M] form a matrix of rank
+     at most k. *)
+  let g = Prng.create 6 in
+  let inputs, _ = Full_prg.sample_inputs_pseudo g params in
+  let m = Gf2_matrix.of_rows inputs in
+  check_bool "rank <= k" true (Gf2_matrix.rank m <= params.Full_prg.k);
+  (* Truly random inputs have rank min(n, m) = 16 with decent probability;
+     over many trials at least one should exceed k. *)
+  let exceeded = ref false in
+  for _ = 1 to 20 do
+    let rand_inputs = Full_prg.sample_inputs_rand g params in
+    if Gf2_matrix.rank (Gf2_matrix.of_rows rand_inputs) > params.Full_prg.k then
+      exceeded := true
+  done;
+  check_bool "uniform exceeds rank k" true !exceeded
+
+let test_full_construction_protocol () =
+  let proto = Full_prg.construction_protocol params in
+  let inputs = Array.init params.Full_prg.n (fun _ -> Bitvec.create 1) in
+  let result = Bcast.run proto ~inputs ~rand:(Prng.create 7) in
+  (* Outputs all have length m, and the joint matrix has rank <= k. *)
+  Array.iter
+    (fun o -> check_int "length" params.Full_prg.m (Bitvec.length o))
+    result.Bcast.outputs;
+  check_bool "joint rank <= k" true
+    (Gf2_matrix.rank (Gf2_matrix.of_rows result.Bcast.outputs) <= params.Full_prg.k);
+  (* Every processor's seed usage matches the account. *)
+  Array.iter
+    (fun bits ->
+      check_bool "seed usage" true (bits <= Full_prg.seed_bits_per_processor params))
+    result.Bcast.random_bits
+
+let test_all_processors_same_secret () =
+  (* The outputs must be mutually consistent: stacking any k+1 of them can
+     not exceed rank k (all expanded through the same M). *)
+  let proto = Full_prg.construction_protocol params in
+  let inputs = Array.init params.Full_prg.n (fun _ -> Bitvec.create 1) in
+  let result = Bcast.run proto ~inputs ~rand:(Prng.create 8) in
+  let subset = Array.sub result.Bcast.outputs 0 (params.Full_prg.k + 1) in
+  check_bool "consistent subset" true
+    (Gf2_matrix.rank (Gf2_matrix.of_rows subset) <= params.Full_prg.k)
+
+(* --- Derandomize --- *)
+
+let test_derandomize_structure () =
+  let inner = Equality.fingerprint_protocol ~m:8 ~repetitions:1 in
+  let p = { Full_prg.n = 6; k = 6; m = 12 } in
+  let proto = Derandomize.transform p inner in
+  check_int "rounds add up"
+    (Full_prg.construction_rounds p + inner.Bcast.rounds)
+    proto.Bcast.rounds;
+  check_int "overhead" (Full_prg.construction_rounds p) (Derandomize.rounds_overhead p)
+
+let test_derandomize_equal_inputs_accept () =
+  (* Equality on identical inputs accepts with probability 1, with true
+     randomness or pseudo-randomness alike. *)
+  let m = 8 in
+  let inner = Equality.fingerprint_protocol ~m ~repetitions:1 in
+  let p = { Full_prg.n = 6; k = 6; m = 12 } in
+  let proto = Derandomize.transform p inner in
+  let x = Prng.bitvec (Prng.create 9) m in
+  let inputs = Array.make 6 x in
+  for t = 1 to 20 do
+    let result = Bcast.run proto ~inputs ~rand:(Prng.create (100 + t)) in
+    Array.iter (fun o -> check_bool "accepts equal" true o) result.Bcast.outputs
+  done
+
+let test_derandomize_unequal_sometimes_rejects () =
+  let m = 8 in
+  let inner = Equality.fingerprint_protocol ~m ~repetitions:1 in
+  let p = { Full_prg.n = 6; k = 6; m = 12 } in
+  let proto = Derandomize.transform p inner in
+  let g = Prng.create 10 in
+  let inputs = Array.init 6 (fun _ -> Prng.bitvec g m) in
+  let rejections = ref 0 in
+  for t = 1 to 40 do
+    let result = Bcast.run proto ~inputs ~rand:(Prng.create (200 + t)) in
+    if not result.Bcast.outputs.(0) then incr rejections
+  done;
+  check_bool "detects inequality often" true (!rejections > 20)
+
+let test_derandomize_rejects_wide_messages () =
+  let bad = { (Equality.fingerprint_protocol ~m:4 ~repetitions:1) with Bcast.msg_bits = 2 } in
+  Alcotest.check_raises "msg_bits"
+    (Invalid_argument "Derandomize.transform: inner protocol must be BCAST(1)") (fun () ->
+      ignore (Derandomize.transform { Full_prg.n = 4; k = 4; m = 8 } bad))
+
+(* --- Newman --- *)
+
+let test_newman_sampled_strings () =
+  let g = Prng.create 11 in
+  let base = Equality.fingerprint_public_coin ~n:4 ~m:8 ~repetitions:1 in
+  let s = Newman.make_sampled g base ~t_count:16 in
+  check_int "strings" 16 (Array.length s.Newman.strings);
+  check_int "selection bits" 4 (Newman.selection_bits s);
+  Array.iter
+    (fun w -> check_int "coin length" base.Newman.coin_bits (Bitvec.length w))
+    s.Newman.strings
+
+let test_newman_one_sided () =
+  (* Equality always accepts equal inputs, under every hard-wired string. *)
+  let g = Prng.create 12 in
+  let base = Equality.fingerprint_public_coin ~n:4 ~m:8 ~repetitions:2 in
+  let s = Newman.make_sampled g base ~t_count:32 in
+  let x = Prng.bitvec g 8 in
+  let inputs = Array.make 4 x in
+  let gap = Newman.acceptance_gap s ~inputs ~value:(fun b -> b) ~master:g ~trials:200 in
+  Alcotest.(check (float 1e-9)) "gap on equal inputs" 0.0 gap
+
+let test_newman_gap_small_on_unequal () =
+  let g = Prng.create 13 in
+  let base = Equality.fingerprint_public_coin ~n:4 ~m:8 ~repetitions:2 in
+  let s = Newman.make_sampled g base ~t_count:128 in
+  let inputs = Array.init 4 (fun _ -> Prng.bitvec g 8) in
+  let gap = Newman.acceptance_gap s ~inputs ~value:(fun b -> b) ~master:g ~trials:2000 in
+  check_bool "gap shrinks with T" true (gap < 0.15)
+
+let test_newman_theoretical_t_enormous () =
+  check_bool "T astronomically large" true
+    (Newman.theoretical_t ~n:10 ~m:100 ~k:2 ~eps:0.01 > 1e12)
+
+let test_newman_invalid () =
+  let base = Equality.fingerprint_public_coin ~n:2 ~m:4 ~repetitions:1 in
+  Alcotest.check_raises "t_count" (Invalid_argument "Newman.make_sampled: need t_count >= 1")
+    (fun () -> ignore (Newman.make_sampled (Prng.create 1) base ~t_count:0))
+
+(* --- qcheck --- *)
+
+let prop_expand_deterministic =
+  QCheck.Test.make ~name:"expand is deterministic" ~count:50 QCheck.small_int
+    (fun seed ->
+      let g = Prng.create seed in
+      let secret = Full_prg.sample_secret g params in
+      let x = Prng.bitvec g params.Full_prg.k in
+      Bitvec.equal (Full_prg.expand secret x) (Full_prg.expand secret x))
+
+let prop_um_sample_in_range_space =
+  QCheck.Test.make ~name:"U_M samples lie in the PRG range" ~count:50 QCheck.small_int
+    (fun seed ->
+      let g = Prng.create seed in
+      let secret = Full_prg.sample_secret g params in
+      let s = Full_prg.sample_um g secret in
+      let x = Bitvec.sub s ~pos:0 ~len:params.Full_prg.k in
+      Bitvec.equal s (Full_prg.expand secret x))
+
+let () =
+  Alcotest.run "prg"
+    [
+      ( "toy",
+        [
+          Alcotest.test_case "extend" `Quick test_extend;
+          Alcotest.test_case "extend mismatch" `Quick test_extend_mismatch;
+          Alcotest.test_case "U_[b] support" `Quick test_sample_ub_in_support;
+          Alcotest.test_case "pseudo inputs consistent" `Quick test_sample_inputs_pseudo_consistent;
+          Alcotest.test_case "construction protocol" `Quick test_toy_construction_protocol;
+        ] );
+      ( "full",
+        [
+          Alcotest.test_case "validate" `Quick test_validate;
+          Alcotest.test_case "rounds and seed budget" `Quick test_rounds_and_seed;
+          Alcotest.test_case "expand" `Quick test_expand;
+          Alcotest.test_case "expand linear" `Quick test_expand_linear;
+          Alcotest.test_case "pseudo inputs low rank" `Quick test_pseudo_inputs_low_rank;
+          Alcotest.test_case "construction protocol" `Quick test_full_construction_protocol;
+          Alcotest.test_case "common secret" `Quick test_all_processors_same_secret;
+        ] );
+      ( "derandomize",
+        [
+          Alcotest.test_case "structure" `Quick test_derandomize_structure;
+          Alcotest.test_case "equal inputs accept" `Quick test_derandomize_equal_inputs_accept;
+          Alcotest.test_case "unequal rejected" `Quick test_derandomize_unequal_sometimes_rejects;
+          Alcotest.test_case "rejects wide messages" `Quick test_derandomize_rejects_wide_messages;
+        ] );
+      ( "newman",
+        [
+          Alcotest.test_case "sampled strings" `Quick test_newman_sampled_strings;
+          Alcotest.test_case "one sided" `Quick test_newman_one_sided;
+          Alcotest.test_case "gap small on unequal" `Quick test_newman_gap_small_on_unequal;
+          Alcotest.test_case "theoretical T" `Quick test_newman_theoretical_t_enormous;
+          Alcotest.test_case "invalid t_count" `Quick test_newman_invalid;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_expand_deterministic; prop_um_sample_in_range_space ] );
+    ]

@@ -1,0 +1,92 @@
+(* Tests for the exact toy-PRG verification machinery (Theorem 5.1). *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+let last_bit ~n ~k =
+  Turn_model.of_round_protocol ~n ~rounds:1 (fun ~id:_ ~input ~history:_ ->
+      Bitvec.get input k)
+
+let test_enumerate_rand_size () =
+  let d = Prg_progress.enumerate_rand ~n:2 ~k:2 in
+  check_int "2^(n(k+1))" 64 (Dist.support_size d)
+
+let test_enumerate_pseudo_support () =
+  let b = Bitvec.of_string "10" in
+  let d = Prg_progress.enumerate_pseudo ~n:2 ~k:2 ~b in
+  check_int "2^(nk)" 16 (Dist.support_size d);
+  (* Every joint input's rows lie in U_[b]'s support. *)
+  List.iter
+    (fun rows ->
+      Array.iter
+        (fun row ->
+          let x = Bitvec.sub row ~pos:0 ~len:2 in
+          check_bool "row on the hyperplane" true (Bitvec.get row 2 = Bitvec.dot x b))
+        rows)
+    (Dist.support d)
+
+let test_theorem_5_1_bound_shape () =
+  checkf "n 2^{-k/2}" (3.0 *. (2.0 ** -1.5)) (Prg_progress.theorem_5_1_bound ~n:3 ~k:3);
+  check_bool "decreasing in k" true
+    (Prg_progress.theorem_5_1_bound ~n:4 ~k:6 < Prg_progress.theorem_5_1_bound ~n:4 ~k:4)
+
+let test_exact_distances_ordered () =
+  List.iter
+    (fun (n, k) ->
+      let proto = last_bit ~n ~k in
+      let expected = Prg_progress.expected_distance_exact proto ~n ~k ~turns:n in
+      let mixture = Prg_progress.mixture_distance_exact proto ~n ~k ~turns:n in
+      check_bool "mixture <= expected" true (mixture <= expected +. 1e-12);
+      check_bool "expected <= bound" true
+        (expected <= Prg_progress.theorem_5_1_bound ~n ~k +. 1e-12))
+    [ (2, 3); (3, 3); (3, 4) ]
+
+let test_constant_protocol_zero () =
+  let proto =
+    Turn_model.of_round_protocol ~n:3 ~rounds:1 (fun ~id:_ ~input:_ ~history:_ -> true)
+  in
+  checkf "constants reveal nothing" 0.0
+    (Prg_progress.expected_distance_exact proto ~n:3 ~k:3 ~turns:3)
+
+let test_seed_prefix_protocol_zero () =
+  (* A protocol that only looks at the first k bits (the seed, which is
+     uniform in both cases) has exactly zero distance. *)
+  let proto =
+    Turn_model.of_round_protocol ~n:3 ~rounds:1 (fun ~id:_ ~input ~history:_ ->
+        Bitvec.get input 0)
+  in
+  checkf "seed bits are genuinely uniform" 0.0
+    (Prg_progress.expected_distance_exact proto ~n:3 ~k:3 ~turns:3)
+
+let test_distance_shrinks_with_k () =
+  let m3 =
+    Prg_progress.expected_distance_exact (last_bit ~n:3 ~k:3) ~n:3 ~k:3 ~turns:3
+  in
+  let m4 =
+    Prg_progress.expected_distance_exact (last_bit ~n:3 ~k:4) ~n:3 ~k:4 ~turns:3
+  in
+  check_bool "2^{-k/2} rate" true (m4 < m3);
+  (* The last-bit protocol's distance halves exactly when k grows by one:
+     0.109375 -> 0.0546875 at n=3. *)
+  checkf "exact halving" (m3 /. 2.0) m4
+
+let test_enumeration_guard () =
+  Alcotest.check_raises "too large" (Invalid_argument "Prg_progress: enumeration too large")
+    (fun () -> ignore (Prg_progress.enumerate_rand ~n:5 ~k:5))
+
+let () =
+  Alcotest.run "prg_exact"
+    [
+      ( "theorem 5.1 exact",
+        [
+          Alcotest.test_case "rand enumeration size" `Quick test_enumerate_rand_size;
+          Alcotest.test_case "pseudo support" `Quick test_enumerate_pseudo_support;
+          Alcotest.test_case "bound shape" `Quick test_theorem_5_1_bound_shape;
+          Alcotest.test_case "distances ordered" `Quick test_exact_distances_ordered;
+          Alcotest.test_case "constant protocol" `Quick test_constant_protocol_zero;
+          Alcotest.test_case "seed prefix blind" `Quick test_seed_prefix_protocol_zero;
+          Alcotest.test_case "k rate" `Quick test_distance_shrinks_with_k;
+          Alcotest.test_case "enumeration guard" `Quick test_enumeration_guard;
+        ] );
+    ]

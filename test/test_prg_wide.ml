@@ -1,0 +1,98 @@
+(* Tests for the BCAST(log n) PRG construction and the Corollary 7.1
+   transform applied to the paper's own Theorem B.1 algorithm. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let params = { Full_prg.n = 16; k = 8; m = 20 }
+
+let test_wide_rounds_shrink () =
+  (* k(m-k) = 96 bits over n=16: 6 rounds at width 1, 2 at width 4. *)
+  check_int "width 1" 6 (Full_prg.construction_rounds_wide params ~msg_bits:1);
+  check_int "width 4" 2 (Full_prg.construction_rounds_wide params ~msg_bits:4);
+  check_int "width 30" 1 (Full_prg.construction_rounds_wide params ~msg_bits:30);
+  check_bool "matches narrow formula" true
+    (Full_prg.construction_rounds_wide params ~msg_bits:1
+     = Full_prg.construction_rounds params)
+
+let test_wide_same_structure () =
+  (* The wide construction produces outputs with the same low-rank
+     structure and lengths. *)
+  let proto = Full_prg.construction_protocol_wide params ~msg_bits:4 in
+  let inputs = Array.init params.Full_prg.n (fun _ -> Bitvec.create 1) in
+  let result = Bcast.run proto ~inputs ~rand:(Prng.create 1) in
+  Array.iter
+    (fun o -> check_int "length m" params.Full_prg.m (Bitvec.length o))
+    result.Bcast.outputs;
+  check_bool "joint rank <= k" true
+    (Gf2_matrix.rank (Gf2_matrix.of_rows result.Bcast.outputs) <= params.Full_prg.k);
+  check_int "rounds" 2 result.Bcast.rounds_used
+
+let test_wide_consistent_secret () =
+  let proto = Full_prg.construction_protocol_wide params ~msg_bits:8 in
+  let inputs = Array.init params.Full_prg.n (fun _ -> Bitvec.create 1) in
+  let result = Bcast.run proto ~inputs ~rand:(Prng.create 2) in
+  (* Any k+1 outputs stay within rank k: all share one secret matrix. *)
+  let subset = Array.sub result.Bcast.outputs 0 (params.Full_prg.k + 1) in
+  check_bool "one shared secret" true
+    (Gf2_matrix.rank (Gf2_matrix.of_rows subset) <= params.Full_prg.k)
+
+let test_wide_seed_accounting () =
+  let proto = Full_prg.construction_protocol_wide params ~msg_bits:4 in
+  let inputs = Array.init params.Full_prg.n (fun _ -> Bitvec.create 1) in
+  let result = Bcast.run proto ~inputs ~rand:(Prng.create 3) in
+  Array.iter
+    (fun bits ->
+      check_bool "seed <= k + rounds * msg_bits" true
+        (bits <= params.Full_prg.k + (2 * 4)))
+    result.Bcast.random_bits
+
+let test_wide_invalid () =
+  Alcotest.check_raises "msg_bits" (Invalid_argument "Full_prg: msg_bits in [1,30]")
+    (fun () -> ignore (Full_prg.construction_rounds_wide params ~msg_bits:0))
+
+(* --- Corollary 7.1 applied to Theorem B.1 --- *)
+
+let test_derandomized_b1_still_finds_cliques () =
+  (* The paper's own randomized algorithm, run on a PRG tape: the only
+     randomness B.1 uses is the 30-bit activation draw per processor, so a
+     40-bit pseudo-random tape suffices.  Success should persist. *)
+  let n = 120 and k = 56 in
+  let inner = Planted_clique_algo.protocol ~n ~k in
+  let p = { Full_prg.n; k = 16; m = 40 } in
+  let proto = Derandomize.transform p inner in
+  let successes = ref 0 in
+  let trials = 6 in
+  for t = 1 to trials do
+    let g = Prng.create (500 + t) in
+    let graph, clique = Planted.sample_planted g ~n ~k in
+    let inputs = Array.init n (Digraph.out_row graph) in
+    let result = Bcast.run proto ~inputs ~rand:g in
+    (match result.Bcast.outputs.(0) with
+    | Planted_clique_algo.Found found when found = clique -> incr successes
+    | _ -> ());
+    (* Every processor's true-randomness budget is now O(k). *)
+    Array.iter
+      (fun bits ->
+        check_bool "seed budget" true (bits <= Full_prg.seed_bits_per_processor p))
+      result.Bcast.random_bits
+  done;
+  check_bool "derandomized B.1 still succeeds" true (!successes >= trials - 1)
+
+let () =
+  Alcotest.run "prg_wide"
+    [
+      ( "wide construction",
+        [
+          Alcotest.test_case "rounds shrink" `Quick test_wide_rounds_shrink;
+          Alcotest.test_case "same structure" `Quick test_wide_same_structure;
+          Alcotest.test_case "consistent secret" `Quick test_wide_consistent_secret;
+          Alcotest.test_case "seed accounting" `Quick test_wide_seed_accounting;
+          Alcotest.test_case "invalid width" `Quick test_wide_invalid;
+        ] );
+      ( "corollary 7.1 on theorem B.1",
+        [
+          Alcotest.test_case "derandomized clique finder" `Slow
+            test_derandomized_b1_still_finds_cliques;
+        ] );
+    ]

@@ -1,0 +1,202 @@
+(* Tests for the splittable PRNG: determinism, independence of splits, and
+   rough uniformity of the derived draws. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_deterministic () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 100 do
+    check_bool "same stream" true (Prng.bits64 a = Prng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create 7 and b = Prng.create 8 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.bits64 a = Prng.bits64 b then incr same
+  done;
+  check_int "different seeds differ" 0 !same
+
+let test_split_independent_of_parent_state () =
+  let parent = Prng.create 3 in
+  let child_before = Prng.split parent 5 in
+  ignore (Prng.bits64 parent);
+  let child_after = Prng.split parent 5 in
+  check_bool "split does not consume parent state" true
+    (Prng.bits64 child_before = Prng.bits64 child_after)
+
+let test_split_children_differ () =
+  let parent = Prng.create 3 in
+  let a = Prng.split parent 0 and b = Prng.split parent 1 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.bits64 a = Prng.bits64 b then incr same
+  done;
+  check_int "children differ" 0 !same
+
+let test_copy () =
+  let a = Prng.create 11 in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  check_bool "copy continues identically" true (Prng.bits64 a = Prng.bits64 b)
+
+let test_int_range () =
+  let g = Prng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 17 in
+    check_bool "in range" true (v >= 0 && v < 17)
+  done
+
+let test_int_bound_one () =
+  let g = Prng.create 1 in
+  check_int "bound 1" 0 (Prng.int g 1)
+
+let test_int_invalid () =
+  let g = Prng.create 1 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int g 0))
+
+let test_int_uniformity () =
+  let g = Prng.create 2 in
+  let counts = Array.make 8 0 in
+  let trials = 16000 in
+  for _ = 1 to trials do
+    let v = Prng.int g 8 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = float_of_int trials /. 8.0 in
+      check_bool
+        (Printf.sprintf "bucket %d near uniform (%d)" i c)
+        true
+        (Float.abs (float_of_int c -. expected) < 5.0 *. Float.sqrt expected))
+    counts
+
+let test_float_range () =
+  let g = Prng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Prng.float g in
+    check_bool "in [0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+let test_bitvec_length_and_balance () =
+  let g = Prng.create 9 in
+  let v = Prng.bitvec g 10000 in
+  check_int "length" 10000 (Bitvec.length v);
+  let ones = Bitvec.popcount v in
+  check_bool "roughly balanced" true (ones > 4700 && ones < 5300)
+
+let test_subset_properties () =
+  let g = Prng.create 4 in
+  for _ = 1 to 200 do
+    let s = Prng.subset g ~n:20 ~k:7 in
+    check_int "size" 7 (List.length s);
+    check_int "distinct" 7 (List.length (List.sort_uniq Int.compare s));
+    check_bool "sorted" true (List.sort Int.compare s = s);
+    List.iter (fun x -> check_bool "in range" true (x >= 0 && x < 20)) s
+  done;
+  check_int "k = 0" 0 (List.length (Prng.subset g ~n:5 ~k:0));
+  check_int "k = n" 5 (List.length (Prng.subset g ~n:5 ~k:5))
+
+let test_subset_invalid () =
+  let g = Prng.create 4 in
+  Alcotest.check_raises "k > n" (Invalid_argument "Prng.subset: need 0 <= k <= n")
+    (fun () -> ignore (Prng.subset g ~n:3 ~k:4))
+
+let test_subset_uniform_membership () =
+  (* Each element should appear with probability k/n. *)
+  let g = Prng.create 6 in
+  let n = 10 and k = 3 and trials = 6000 in
+  let counts = Array.make n 0 in
+  for _ = 1 to trials do
+    List.iter (fun i -> counts.(i) <- counts.(i) + 1) (Prng.subset g ~n ~k)
+  done;
+  let expected = float_of_int (trials * k) /. float_of_int n in
+  Array.iter
+    (fun c ->
+      check_bool "membership near k/n" true
+        (Float.abs (float_of_int c -. expected) < 6.0 *. Float.sqrt expected))
+    counts
+
+let test_permutation () =
+  let g = Prng.create 8 in
+  let p = Prng.permutation g 30 in
+  let sorted = Array.copy p in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 30 (fun i -> i)) sorted
+
+let test_shuffle_preserves_multiset () =
+  let g = Prng.create 8 in
+  let a = [| 3; 1; 4; 1; 5; 9; 2; 6 |] in
+  let b = Array.copy a in
+  Prng.shuffle g b;
+  Array.sort Int.compare a;
+  Array.sort Int.compare b;
+  Alcotest.(check (array int)) "same multiset" a b
+
+let test_bernoulli_bias () =
+  let g = Prng.create 10 in
+  let hits = ref 0 in
+  let trials = 20000 in
+  for _ = 1 to trials do
+    if Prng.bernoulli g 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int trials in
+  check_bool "close to 0.3" true (Float.abs (rate -. 0.3) < 0.02)
+
+let test_binomial_mean () =
+  let g = Prng.create 12 in
+  let total = ref 0 in
+  let trials = 2000 in
+  for _ = 1 to trials do
+    total := !total + Prng.binomial g ~n:40 ~p:0.5
+  done;
+  let mean = float_of_int !total /. float_of_int trials in
+  check_bool "mean near 20" true (Float.abs (mean -. 20.0) < 0.5)
+
+let prop_int_in_bounds =
+  QCheck.Test.make ~name:"int always within bound" ~count:500
+    QCheck.(pair (int_range 1 1000) small_int)
+    (fun (bound, seed) ->
+      let g = Prng.create seed in
+      let v = Prng.int g bound in
+      v >= 0 && v < bound)
+
+let prop_bitvec_deterministic =
+  QCheck.Test.make ~name:"bitvec deterministic per seed" ~count:100
+    QCheck.(pair (int_range 0 300) small_int)
+    (fun (len, seed) ->
+      let a = Prng.bitvec (Prng.create seed) len in
+      let b = Prng.bitvec (Prng.create seed) len in
+      Bitvec.equal a b)
+
+let () =
+  Alcotest.run "prng"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "split is pure" `Quick test_split_independent_of_parent_state;
+          Alcotest.test_case "split children differ" `Quick test_split_children_differ;
+          Alcotest.test_case "copy" `Quick test_copy;
+          Alcotest.test_case "int range" `Quick test_int_range;
+          Alcotest.test_case "int bound 1" `Quick test_int_bound_one;
+          Alcotest.test_case "int invalid" `Quick test_int_invalid;
+          Alcotest.test_case "int uniformity" `Quick test_int_uniformity;
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "bitvec balance" `Quick test_bitvec_length_and_balance;
+          Alcotest.test_case "subset properties" `Quick test_subset_properties;
+          Alcotest.test_case "subset invalid" `Quick test_subset_invalid;
+          Alcotest.test_case "subset membership" `Quick test_subset_uniform_membership;
+          Alcotest.test_case "permutation" `Quick test_permutation;
+          Alcotest.test_case "shuffle multiset" `Quick test_shuffle_preserves_multiset;
+          Alcotest.test_case "bernoulli bias" `Quick test_bernoulli_bias;
+          Alcotest.test_case "binomial mean" `Quick test_binomial_mean;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_int_in_bounds; prop_bitvec_deterministic ] );
+    ]

@@ -1,0 +1,146 @@
+(* Tests for the two-party communication complexity toolkit. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_matrices () =
+  let eq = Twoparty.equality 3 in
+  check_bool "eq diag" true (Twoparty.entry eq 5 5);
+  check_bool "eq off" false (Twoparty.entry eq 5 6);
+  let gt = Twoparty.greater_than 3 in
+  check_bool "gt" true (Twoparty.entry gt 6 2);
+  check_bool "not gt" false (Twoparty.entry gt 2 6);
+  check_bool "not gt self" false (Twoparty.entry gt 4 4);
+  let disj = Twoparty.disjointness 3 in
+  check_bool "disjoint" true (Twoparty.entry disj 0b101 0b010);
+  check_bool "intersecting" false (Twoparty.entry disj 0b101 0b100);
+  let ip = Twoparty.inner_product 3 in
+  check_bool "ip odd" true (Twoparty.entry ip 0b101 0b100);
+  check_bool "ip even" false (Twoparty.entry ip 0b101 0b101)
+
+let test_trivial_protocol_correct () =
+  List.iter
+    (fun mat ->
+      let proto = Twoparty.trivial_protocol mat in
+      check_bool "computes" true (Twoparty.computes proto mat);
+      check_int "cost m+1" (Twoparty.bits mat + 1) (Twoparty.max_cost proto))
+    [ Twoparty.equality 4; Twoparty.greater_than 3; Twoparty.disjointness 3;
+      Twoparty.inner_product 4 ]
+
+let test_run_counts_bits () =
+  let proto =
+    Twoparty.Alice ((fun x -> x land 1 = 1), Twoparty.Output false, Twoparty.Output true)
+  in
+  let result, cost = Twoparty.run proto ~x:3 ~y:0 in
+  check_bool "value" true result;
+  check_int "one bit" 1 cost
+
+let test_rank_bounds () =
+  (* EQ_m is the identity: full rank 2^m. *)
+  check_int "EQ rank" 16 (Twoparty.rank_gf2 (Twoparty.equality 4));
+  (* IP_m over GF(2) is the Gram matrix X Y^T of all m-bit vectors, so its
+     GF(2) rank is exactly m (the real rank is 2^m - 1, which is why the
+     log-rank bound for IP is usually stated over the reals). *)
+  check_int "IP rank" 4 (Twoparty.rank_gf2 (Twoparty.inner_product 4));
+  (* GT is upper triangular with zero diagonal: rank 2^m - 1. *)
+  check_int "GT rank" 15 (Twoparty.rank_gf2 (Twoparty.greater_than 4))
+
+let test_fooling_set () =
+  (* EQ's diagonal is a perfect fooling set. *)
+  check_int "EQ fooling" 16 (Twoparty.fooling_set_diagonal (Twoparty.equality 4));
+  (* DISJ: (x, complement x) is the standard set, but the diagonal variant
+     only picks x with x AND x = 0, i.e. x = 0. *)
+  check_int "DISJ diagonal fooling" 1
+    (Twoparty.fooling_set_diagonal (Twoparty.disjointness 4))
+
+let test_lower_vs_upper () =
+  (* The implemented lower bound is below the trivial upper bound, and for
+     EQ they pin D(EQ_m) to within one bit of m. *)
+  List.iter
+    (fun m ->
+      let eq = Twoparty.equality m in
+      let lower = Twoparty.deterministic_lower_bound eq in
+      let upper = Twoparty.max_cost (Twoparty.trivial_protocol eq) in
+      check_int "EQ log-rank = m" m lower;
+      check_int "EQ trivial = m+1" (m + 1) upper)
+    [ 2; 3; 4; 5 ]
+
+let test_rectangle_cover () =
+  (* EQ_m needs at least 2^m monochromatic 1-rectangles; greedy finds a
+     cover whose size is >= 2^m and certifies the structure. *)
+  let eq = Twoparty.equality 3 in
+  let cover = Twoparty.monochromatic_rectangle_cover_greedy eq in
+  check_bool "cover at least 2^m" true (cover >= 8);
+  (* The all-ones function is one rectangle. *)
+  let ones = Twoparty.matrix_of_fun 3 (fun _ _ -> true) in
+  check_int "constant is one rectangle" 1
+    (Twoparty.monochromatic_rectangle_cover_greedy ones)
+
+let test_fingerprint_separation () =
+  (* The randomized-deterministic separation: one-sided error equality
+     with O(1) bits vs the Omega(m) deterministic bound. *)
+  let g = Prng.create 3 in
+  let test, cost = Twoparty.equality_fingerprint g ~bits:8 ~repetitions:6 in
+  check_int "cost is repetitions" 6 cost;
+  (* Equal inputs always accepted. *)
+  for x = 0 to 255 do
+    check_bool "one-sided" true (test x x)
+  done;
+  (* Unequal inputs rejected most of the time. *)
+  let errors = ref 0 in
+  let trials = ref 0 in
+  for x = 0 to 63 do
+    for y = 0 to 63 do
+      if x <> y then begin
+        incr trials;
+        if test x y then incr errors
+      end
+    done
+  done;
+  check_bool "error rate ~ 2^-6" true
+    (float_of_int !errors /. float_of_int !trials < 0.1)
+
+let test_out_of_range () =
+  Alcotest.check_raises "bits" (Invalid_argument "Twoparty.matrix_of_fun: bits in [1,8]")
+    (fun () -> ignore (Twoparty.matrix_of_fun 9 (fun _ _ -> true)));
+  let eq = Twoparty.equality 2 in
+  Alcotest.check_raises "entry" (Invalid_argument "Twoparty.entry") (fun () ->
+      ignore (Twoparty.entry eq 4 0))
+
+let prop_trivial_always_correct =
+  QCheck.Test.make ~name:"trivial protocol computes random functions" ~count:30
+    QCheck.small_int (fun seed ->
+      let g = Prng.create seed in
+      let mat = Twoparty.matrix_of_fun 3 (fun _ _ -> Prng.bool g) in
+      Twoparty.computes (Twoparty.trivial_protocol mat) mat)
+
+let prop_lower_below_upper =
+  QCheck.Test.make ~name:"lower bound <= trivial upper bound" ~count:30
+    QCheck.small_int (fun seed ->
+      let g = Prng.create seed in
+      let mat = Twoparty.matrix_of_fun 4 (fun _ _ -> Prng.bool g) in
+      Twoparty.deterministic_lower_bound mat
+      <= Twoparty.max_cost (Twoparty.trivial_protocol mat))
+
+let () =
+  Alcotest.run "twoparty"
+    [
+      ( "matrices & protocols",
+        [
+          Alcotest.test_case "classic matrices" `Quick test_matrices;
+          Alcotest.test_case "trivial protocol" `Quick test_trivial_protocol_correct;
+          Alcotest.test_case "run counts bits" `Quick test_run_counts_bits;
+          Alcotest.test_case "out of range" `Quick test_out_of_range;
+        ] );
+      ( "bounds",
+        [
+          Alcotest.test_case "log-rank" `Quick test_rank_bounds;
+          Alcotest.test_case "fooling sets" `Quick test_fooling_set;
+          Alcotest.test_case "lower vs upper" `Quick test_lower_vs_upper;
+          Alcotest.test_case "rectangle cover" `Quick test_rectangle_cover;
+          Alcotest.test_case "fingerprint separation" `Quick test_fingerprint_separation;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_trivial_always_correct; prop_lower_below_upper ] );
+    ]
