@@ -23,7 +23,20 @@ let run_tables () =
   Format.printf "=====================================================@.";
   Format.printf " Experiment tables (one per theorem; see EXPERIMENTS.md)@.";
   Format.printf "=====================================================@.";
-  List.iter (Experiments.print Format.std_formatter) (Experiments.all ~seed:42 ());
+  let seed = 42 in
+  Metrics.set_collecting true;
+  List.iter
+    (fun table ->
+      Experiments.print Format.std_formatter table;
+      ignore (Experiments.write_artifact ~seed table))
+    (Experiments.all ~seed ());
+  Metrics.set_collecting false;
+  (* The populated registry rides along with the tables. *)
+  Artifact.write_file
+    ~path:(Filename.concat Artifact.default_dir "METRICS_tables.json")
+    (Artifact.make ~kind:"metrics" ~id:"tables" ~seed
+       (Metrics.to_json (Metrics.snapshot ())));
+  Format.printf "@.artifacts written to %s/@." Artifact.default_dir;
   Format.printf "@."
 
 (* ------------------------------------------------------- micro bench *)
@@ -283,6 +296,33 @@ let run_micro () =
             (String.concat " " (List.map (Printf.sprintf "%.1f") ests))
       | None -> Format.printf "%-45s (no estimate)@." name)
     rows;
+  (* Machine-readable mirror of the printed estimates, so the perf
+     trajectory can be tracked across commits (BENCH_micro.json). *)
+  let estimates =
+    List.map
+      (fun (name, r) ->
+        let ns =
+          match Analyze.OLS.estimates r with
+          | Some [ est ] -> Artifact.Float est
+          | Some ests ->
+              Artifact.List (List.map (fun e -> Artifact.Float e) ests)
+          | None -> Artifact.Null
+        in
+        Artifact.Obj
+          [ ("name", Artifact.String name); ("ns_per_run", ns) ])
+      rows
+  in
+  Artifact.write_file
+    ~path:(Filename.concat Artifact.default_dir "BENCH_micro.json")
+    (Artifact.make ~kind:"bench" ~id:"micro"
+       ~params:
+         [
+           ("instance", Artifact.String "monotonic_clock");
+           ("limit", Artifact.Int 500);
+           ("quota_seconds", Artifact.Float 0.25);
+         ]
+       (Artifact.List estimates));
+  Format.printf "@.artifact written to %s/BENCH_micro.json@." Artifact.default_dir;
   Format.printf "@."
 
 let () =

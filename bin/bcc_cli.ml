@@ -1,19 +1,18 @@
-(* Command-line driver: run any experiment from DESIGN.md's index. *)
+(* Command-line driver.
+
+     bcc_cli [run] [IDS...]      run experiment tables (the default)
+     bcc_cli trace PROTO         run a named protocol with a trace sink
+     bcc_cli metrics [IDS...]    run experiments and dump the metrics registry
+
+   `bcc_cli e1 e2` (no subcommand) keeps working: `run` is the default. *)
 
 open Cmdliner
 
-let run_experiments list_only csv ids seed =
+(* ----------------------------------------------------------------- run *)
+
+let run_experiments list_only csv artifacts_dir ids seed =
   if list_only then begin
-    List.iter
-      (fun id ->
-        match Experiments.by_id id with
-        | Some f ->
-            (* Titles are cheap to compute only for table-free lookup; print
-               id and let the table carry its own description when run. *)
-            ignore f;
-            Format.printf "%s@." id
-        | None -> ())
-      Experiments.ids;
+    List.iter (Format.printf "%s@.") Experiments.ids;
     Ok ()
   end
   else begin
@@ -29,7 +28,12 @@ let run_experiments list_only csv ids seed =
         | Some f ->
             let table = f ~seed () in
             if csv then print_string (Experiments.to_csv table)
-            else Experiments.print Format.std_formatter table
+            else Experiments.print Format.std_formatter table;
+            Option.iter
+              (fun dir ->
+                let path = Experiments.write_artifact ~dir ~seed table in
+                Format.eprintf "wrote %s@." path)
+              artifacts_dir
         | None ->
             Format.eprintf "unknown experiment %S (known: %s)@." id
               (String.concat ", " Experiments.ids);
@@ -46,18 +50,165 @@ let csv_arg =
   let doc = "Emit tables as CSV instead of aligned text." in
   Arg.(value & flag & info [ "csv" ] ~doc)
 
+let artifacts_arg =
+  let doc = "Also write each table as an EXP_<id>.json artifact under $(docv)." in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "artifacts" ] ~docv:"DIR" ~doc)
+
 let ids_arg =
-  let doc = "Experiment ids to run (e1..e25); all when omitted." in
+  let doc = "Experiment ids to run (e1..e29); all when omitted." in
   Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
 
 let seed_arg =
   let doc = "PRNG seed shared by all experiments." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let run_term =
+  Term.(
+    term_result
+      (const run_experiments $ list_arg $ csv_arg $ artifacts_arg $ ids_arg
+     $ seed_arg))
+
+let run_cmd =
+  let doc = "Run experiment tables (the default command)" in
+  Cmd.v (Cmd.info "run" ~doc) run_term
+
+(* --------------------------------------------------------------- trace *)
+
+let run_trace list_only jsonl out proto seed =
+  if list_only then begin
+    List.iter
+      (fun name ->
+        Format.printf "%-16s %s@." name
+          (Option.value (Runner.describe name) ~default:""))
+      Runner.names;
+    Ok ()
+  end
+  else
+    match proto with
+    | None -> Error (`Msg "missing PROTO argument (try --list)")
+    | Some name when not (List.mem name Runner.names) ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown protocol %S (known: %s)" name
+                (String.concat ", " Runner.names)))
+    | Some name ->
+        let text =
+          if jsonl then
+            let events, _summary = Runner.trace ~name ~seed in
+            Sink.to_jsonl events
+          else
+            Artifact.to_string ~pretty:true (Runner.trace_artifact ~name ~seed)
+            ^ "\n"
+        in
+        (match out with
+        | None ->
+            print_string text;
+            Ok ()
+        | Some path -> (
+            try
+              let oc = open_out path in
+              output_string oc text;
+              close_out oc;
+              Format.eprintf "wrote %s@." path;
+              Ok ()
+            with Sys_error msg -> Error (`Msg msg)))
+
+let trace_list_arg =
+  let doc = "List the traceable protocol names and exit." in
+  Arg.(value & flag & info [ "list" ] ~doc)
+
+let jsonl_arg =
+  let doc =
+    "Emit raw JSONL (one event per line) instead of the wrapped artifact."
+  in
+  Arg.(value & flag & info [ "jsonl" ] ~doc)
+
+let out_arg =
+  let doc = "Write to $(docv) instead of standard output." in
+  Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+
+let proto_arg =
+  let doc = "Named protocol to trace (see --list)." in
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"PROTO" ~doc)
+
+let trace_cmd =
+  let doc = "Run a named protocol with a trace sink attached and dump the events" in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      term_result
+        (const run_trace $ trace_list_arg $ jsonl_arg $ out_arg $ proto_arg
+       $ seed_arg))
+
+(* ------------------------------------------------------------- metrics *)
+
+let run_metrics json protos ids seed =
+  Metrics.set_collecting true;
+  let ok = ref true in
+  List.iter
+    (fun name ->
+      if List.mem name Runner.names then ignore (Runner.run ~name ~seed)
+      else begin
+        Format.eprintf "unknown protocol %S (known: %s)@." name
+          (String.concat ", " Runner.names);
+        ok := false
+      end)
+    protos;
+  let targets = if ids = [] && protos = [] then Experiments.ids else ids in
+  List.iter
+    (fun id ->
+      match Experiments.by_id id with
+      | Some f -> ignore (f ~seed ())
+      | None ->
+          Format.eprintf "unknown experiment %S (known: %s)@." id
+            (String.concat ", " Experiments.ids);
+          ok := false)
+    targets;
+  Metrics.set_collecting false;
+  let samples = Metrics.snapshot () in
+  if json then
+    print_string (Artifact.to_string ~pretty:true (Metrics.to_json samples) ^ "\n")
+  else Metrics.pp Format.std_formatter samples;
+  if !ok then Ok () else Error (`Msg "unknown experiment or protocol id")
+
+let metrics_json_arg =
+  let doc = "Emit the metrics snapshot as JSON instead of text." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let metrics_proto_arg =
+  let doc = "Also run the named protocol(s) (as in $(b,trace)) before dumping." in
+  Arg.(value & opt_all string [] & info [ "proto" ] ~docv:"PROTO" ~doc)
+
+let metrics_cmd =
+  let doc =
+    "Run experiments (all by default) with the metrics registry collecting, \
+     then dump the snapshot"
+  in
+  Cmd.v (Cmd.info "metrics" ~doc)
+    Term.(
+      term_result
+        (const run_metrics $ metrics_json_arg $ metrics_proto_arg $ ids_arg
+       $ seed_arg))
+
+(* ---------------------------------------------------------------- main *)
+
 let cmd =
   let doc = "Reproduce the experiments for Chen-Grossman PODC'19 (Broadcast Congested Clique)" in
   let info = Cmd.info "bcc_cli" ~doc in
-  Cmd.v info
-    Term.(term_result (const run_experiments $ list_arg $ csv_arg $ ids_arg $ seed_arg))
+  Cmd.group ~default:run_term info [ run_cmd; trace_cmd; metrics_cmd ]
 
-let () = exit (Cmd.eval cmd)
+(* Keep `bcc_cli e1 e2` working: a leading positional that is not a
+   subcommand name is an experiment id for the default `run` command. *)
+let argv =
+  let argv = Sys.argv in
+  if
+    Array.length argv > 1
+    && (not (List.mem argv.(1) [ "run"; "trace"; "metrics" ]))
+    && String.length argv.(1) > 0
+    && argv.(1).[0] <> '-'
+  then Array.concat [ [| argv.(0); "run" |]; Array.sub argv 1 (Array.length argv - 1) ]
+  else argv
+
+let () = exit (Cmd.eval ~argv cmd)

@@ -1,13 +1,20 @@
 module Rand_counter = struct
   type source = Stream of Prng.t | Deterministic | Tape of Bitvec.t * int ref
 
-  type t = { source : source; mutable used : int }
+  (* [owner] is the processor id the charges belong to (-1 outside a
+     run); the runners set it so trace events attribute draws. *)
+  type t = { source : source; mutable used : int; mutable owner : int }
 
-  let make g = { source = Stream g; used = 0 }
-  let deterministic () = { source = Deterministic; used = 0 }
-  let of_tape tape = { source = Tape (tape, ref 0); used = 0 }
+  let make g = { source = Stream g; used = 0; owner = -1 }
+  let deterministic () = { source = Deterministic; used = 0; owner = -1 }
+  let of_tape tape = { source = Tape (tape, ref 0); used = 0; owner = -1 }
 
   let bits_used r = r.used
+  let set_owner r id = r.owner <- id
+
+  let trace_draw r op bits =
+    if Trace.enabled () then
+      Trace.emit ~scope:"rand" (Trace.Rand_draw { owner = r.owner; op; bits })
 
   let tape_bit tape pos =
     if !pos >= Bitvec.length tape then failwith "Rand_counter: tape exhausted";
@@ -17,6 +24,7 @@ module Rand_counter = struct
 
   let bool r =
     r.used <- r.used + 1;
+    trace_draw r "bool" 1;
     match r.source with
     | Stream g -> Prng.bool g
     | Tape (tape, pos) -> tape_bit tape pos
@@ -31,6 +39,7 @@ module Rand_counter = struct
   let bits r w =
     if w < 0 || w > 30 then invalid_arg "Rand_counter.bits: width in [0,30]";
     r.used <- r.used + w;
+    trace_draw r "bits" w;
     let v = ref 0 in
     for i = 0 to w - 1 do
       if bool_uncounted r then v := !v lor (1 lsl i)
@@ -39,6 +48,7 @@ module Rand_counter = struct
 
   let bitvec r len =
     r.used <- r.used + len;
+    trace_draw r "bitvec" len;
     Bitvec.init len (fun _ -> bool_uncounted r)
 
   let int_below r bound =
@@ -56,10 +66,16 @@ module Rand_counter = struct
       draw ()
     end
 
+  let bernoulli_bits = 30
+
   let bernoulli r p =
-    (* Fixed-precision threshold comparison on 30 fresh bits. *)
-    let v = bits r 30 in
-    float_of_int v /. float_of_int (1 lsl 30) < p
+    (* Fixed-precision threshold comparison on exactly [bernoulli_bits]
+       fresh bits — the documented charge; the assertion pins the
+       accounting to the documentation. *)
+    let before = r.used in
+    let v = bits r bernoulli_bits in
+    assert (r.used - before = bernoulli_bits);
+    float_of_int v /. float_of_int (1 lsl bernoulli_bits) < p
 end
 
 type 'out processor = {
@@ -83,30 +99,85 @@ type 'out result = {
   random_bits : int array;
 }
 
+(* Built-in instrumentation, active only while [Metrics.collecting ()]. *)
+let m_runs = lazy (Metrics.counter "bcast_runs_total")
+let m_rounds = lazy (Metrics.counter "bcast_rounds_total")
+let m_broadcast_bits = lazy (Metrics.counter "bcast_broadcast_bits_total")
+
+let m_bits_per_round =
+  lazy
+    (Metrics.histogram ~buckets:[| 1.; 8.; 32.; 128.; 512.; 2048.; 8192. |]
+       "bcast_broadcast_bits_per_round")
+
+let m_rand_bits =
+  lazy
+    (Metrics.histogram ~buckets:[| 0.; 1.; 8.; 32.; 128.; 512.; 2048.; 8192. |]
+       "bcast_random_bits_per_processor")
+
 let run_with_sources proto ~inputs ~sources =
   let n = Array.length inputs in
   if n = 0 then invalid_arg "Bcast.run: no processors";
   if Array.length sources <> n then invalid_arg "Bcast.run: sources/inputs mismatch";
+  Array.iteri (fun id r -> Rand_counter.set_owner r id) sources;
+  let scope = proto.name in
+  let traced = Trace.enabled () in
+  if traced then begin
+    Trace.emit ~scope (Trace.Span_start { name = proto.name });
+    Array.iteri
+      (fun id input ->
+        Trace.emit ~scope
+          (Trace.Spawn { id; n; input_bits = Bitvec.length input }))
+      inputs
+  end;
   let procs =
     Array.init n (fun id -> proto.spawn ~id ~n ~input:inputs.(id) ~rand:sources.(id))
   in
   let transcript = ref (Transcript.empty ~msg_bits:proto.msg_bits) in
   let turn = ref 0 in
   for round = 0 to proto.rounds - 1 do
+    if traced then Trace.emit ~scope (Trace.Round_start { round; n });
     let messages = Array.map (fun p -> p.send ~round) procs in
     Array.iteri
       (fun sender value ->
+        if traced then
+          Trace.emit ~scope
+            (Trace.Broadcast { round; sender; value; msg_bits = proto.msg_bits });
         transcript :=
           Transcript.append !transcript { Transcript.turn = !turn; round; sender; value };
         incr turn)
       messages;
-    Array.iter (fun p -> p.receive ~round messages) procs
+    Array.iter (fun p -> p.receive ~round messages) procs;
+    if traced then
+      Trace.emit ~scope (Trace.Round_end { round; n; msg_bits = proto.msg_bits })
   done;
+  let outputs =
+    Array.mapi
+      (fun id p ->
+        let out = p.finish () in
+        if traced then Trace.emit ~scope (Trace.Finish { id });
+        out)
+      procs
+  in
+  if traced then Trace.emit ~scope (Trace.Span_end { name = proto.name });
+  let broadcast_bits = proto.rounds * n * proto.msg_bits in
+  if Metrics.collecting () then begin
+    Metrics.inc (Lazy.force m_runs);
+    Metrics.inc ~by:proto.rounds (Lazy.force m_rounds);
+    Metrics.inc ~by:broadcast_bits (Lazy.force m_broadcast_bits);
+    if proto.rounds > 0 then
+      Metrics.observe (Lazy.force m_bits_per_round)
+        (float_of_int (n * proto.msg_bits));
+    Array.iter
+      (fun r ->
+        Metrics.observe (Lazy.force m_rand_bits)
+          (float_of_int (Rand_counter.bits_used r)))
+      sources
+  end;
   {
     transcript = !transcript;
-    outputs = Array.map (fun p -> p.finish ()) procs;
+    outputs;
     rounds_used = proto.rounds;
-    broadcast_bits = proto.rounds * n * proto.msg_bits;
+    broadcast_bits;
     random_bits = Array.map Rand_counter.bits_used sources;
   }
 

@@ -30,6 +30,11 @@ module Rand_counter : sig
       of Corollary 7.1 feeds a protocol its pseudo-random bits this way. *)
 
   val bits_used : t -> int
+
+  val set_owner : t -> int -> unit
+  (** Attributes subsequent draws to a processor id in trace events; the
+      runners call this, protocol code normally should not. *)
+
   val bool : t -> bool
   val bits : t -> int -> int
   (** [bits r w]: [w] fresh bits as an integer, [w <= 30]. *)
@@ -39,8 +44,12 @@ module Rand_counter : sig
   (** Uniform in [0, bound); accounting charges [ceil(log2 bound)] bits per
       rejection-sampling attempt. *)
 
+  val bernoulli_bits : int
+  (** 30 — the exact per-call charge of {!bernoulli}. *)
+
   val bernoulli : t -> float -> bool
-  (** Charged as 30 bits (fixed-precision threshold comparison). *)
+  (** Charged as exactly {!bernoulli_bits} bits (fixed-precision
+      threshold comparison); the implementation asserts the charge. *)
 end
 
 type 'out processor = {

@@ -11,8 +11,10 @@ let run proto ~inputs =
   let history = Array.make proto.turns false in
   for t = 0 to proto.turns - 1 do
     let id = t mod proto.n in
-    history.(t) <-
-      proto.next_bit ~id ~input:inputs.(id) ~history:(Array.sub history 0 t)
+    let bit = proto.next_bit ~id ~input:inputs.(id) ~history:(Array.sub history 0 t) in
+    history.(t) <- bit;
+    if Trace.enabled () then
+      Trace.emit ~scope:"turn_model" (Trace.Turn { turn = t; speaker = id; bit })
   done;
   history
 

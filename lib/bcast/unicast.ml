@@ -18,14 +18,30 @@ type 'out result = {
   random_bits : int array;
 }
 
+(* Built-in instrumentation, active only while [Metrics.collecting ()]. *)
+let m_runs = lazy (Metrics.counter "unicast_runs_total")
+let m_rounds = lazy (Metrics.counter "unicast_rounds_total")
+let m_channel_bits = lazy (Metrics.counter "unicast_channel_bits_total")
+
 let run_with_sources proto ~inputs ~sources =
   let n = Array.length inputs in
   if n = 0 then invalid_arg "Unicast.run: no processors";
+  Array.iteri (fun id r -> Bcast.Rand_counter.set_owner r id) sources;
+  let scope = proto.name in
+  let traced = Trace.enabled () in
+  if traced then begin
+    Trace.emit ~scope (Trace.Span_start { name = proto.name });
+    Array.iteri
+      (fun id input ->
+        Trace.emit ~scope (Trace.Spawn { id; n; input_bits = Bitvec.length input }))
+      inputs
+  end;
   let max_value = 1 lsl proto.msg_bits in
   let procs =
     Array.init n (fun id -> proto.spawn ~id ~n ~input:inputs.(id) ~rand:sources.(id))
   in
   for round = 0 to proto.rounds - 1 do
+    if traced then Trace.emit ~scope (Trace.Round_start { round; n });
     (* outboxes.(i).(j): i's message to j. *)
     let outboxes = Array.map (fun p -> p.send ~round) procs in
     Array.iteri
@@ -35,18 +51,38 @@ let run_with_sources proto ~inputs ~sources =
           (fun v -> if v < 0 || v >= max_value then
               invalid_arg "Unicast.run: message value out of range")
           out;
-        ignore i)
+        if traced then
+          Trace.emit ~scope
+            (Trace.Unicast_send
+               { round; sender = i; messages = n - 1; msg_bits = proto.msg_bits }))
       outboxes;
     Array.iteri
       (fun j p ->
         let inbox = Array.init n (fun i -> outboxes.(i).(j)) in
         p.receive ~round inbox)
-      procs
+      procs;
+    if traced then
+      Trace.emit ~scope (Trace.Round_end { round; n; msg_bits = proto.msg_bits })
   done;
+  let outputs =
+    Array.mapi
+      (fun id p ->
+        let out = p.finish () in
+        if traced then Trace.emit ~scope (Trace.Finish { id });
+        out)
+      procs
+  in
+  if traced then Trace.emit ~scope (Trace.Span_end { name = proto.name });
+  let channel_bits = proto.rounds * n * (n - 1) * proto.msg_bits in
+  if Metrics.collecting () then begin
+    Metrics.inc (Lazy.force m_runs);
+    Metrics.inc ~by:proto.rounds (Lazy.force m_rounds);
+    Metrics.inc ~by:channel_bits (Lazy.force m_channel_bits)
+  end;
   {
-    outputs = Array.map (fun p -> p.finish ()) procs;
+    outputs;
     rounds_used = proto.rounds;
-    channel_bits = proto.rounds * n * (n - 1) * proto.msg_bits;
+    channel_bits;
     random_bits = Array.map Bcast.Rand_counter.bits_used sources;
   }
 

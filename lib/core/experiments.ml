@@ -410,6 +410,7 @@ let e10_full_rank_average_case ?(seed = 42) () =
     for _ = 1 to trials do
       if Gf2_matrix.is_full_rank (Full_rank.sample_uniform ~n g) then incr hits
     done;
+    Metrics.record_many (Metrics.ratio "e10_full_rank_rate") ~successes:!hits ~trials;
     foi !hits /. foi trials
   in
   let rows = ref [] in
@@ -513,6 +514,9 @@ let e12_planted_clique_algorithm ?(seed = 42) () =
         | Planted_clique_algo.Found found when found = clique -> incr successes
         | _ -> ())
       done;
+      Metrics.record_many
+        (Metrics.ratio "e12_success_rate")
+        ~successes:!successes ~trials;
       rows :=
         [ string_of_int n; string_of_int k;
           f4 (foi !successes /. foi trials);
@@ -1260,7 +1264,83 @@ let e29_progress_growth ?(seed = 42) () =
         "the real distance stays below the progress function at every prefix" ];
   }
 
+(* ------------------------------------------------- structured results *)
+
+let to_json t =
+  let strings l = Artifact.List (List.map (fun s -> Artifact.String s) l) in
+  Artifact.Obj
+    [
+      ("id", Artifact.String t.id);
+      ("title", Artifact.String t.title);
+      ("columns", strings t.columns);
+      ("rows", Artifact.List (List.map strings t.rows));
+      ("notes", strings t.notes);
+    ]
+
+let of_json j =
+  let strings field =
+    match Option.bind (Artifact.member field j) Artifact.to_list_opt with
+    | Some items ->
+        let l = List.filter_map Artifact.to_string_opt items in
+        if List.length l = List.length items then Some l else None
+    | None -> None
+  in
+  match
+    ( Option.bind (Artifact.member "id" j) Artifact.to_string_opt,
+      Option.bind (Artifact.member "title" j) Artifact.to_string_opt,
+      strings "columns",
+      Option.bind (Artifact.member "rows" j) Artifact.to_list_opt,
+      strings "notes" )
+  with
+  | Some id, Some title, Some columns, Some row_items, Some notes ->
+      let rows =
+        List.filter_map
+          (fun r ->
+            match Artifact.to_list_opt r with
+            | Some cells ->
+                let s = List.filter_map Artifact.to_string_opt cells in
+                if List.length s = List.length cells then Some s else None
+            | None -> None)
+          row_items
+      in
+      if List.length rows = List.length row_items then
+        Some { id; title; columns; rows; notes }
+      else None
+  | _ -> None
+
+let artifact ?seed t =
+  Artifact.make ~kind:"experiment" ~id:t.id ?seed
+    ~params:
+      [
+        ("columns", Artifact.Int (List.length t.columns));
+        ("rows", Artifact.Int (List.length t.rows));
+      ]
+    (to_json t)
+
+let write_artifact ?(dir = Artifact.default_dir) ?seed t =
+  let path = Filename.concat dir (Printf.sprintf "EXP_%s.json" t.id) in
+  Artifact.write_file ~path (artifact ?seed t);
+  path
+
 (* ------------------------------------------------------------------ all *)
+
+(* Every driver invocation feeds the metrics registry: an aggregate
+   wall-clock histogram, a per-experiment wall-clock gauge, and run/row
+   counters.  The drivers themselves additionally record Monte-Carlo
+   ratios (e10, e12) so advantage estimates carry Wilson half-widths. *)
+let m_experiments = lazy (Metrics.counter "experiments_run_total")
+let m_rows = lazy (Metrics.counter "experiment_rows_total")
+
+let m_wall =
+  lazy (Metrics.histogram ~buckets:Metrics.duration_buckets "experiment_wall_seconds")
+
+let run_metered id f ?seed () =
+  let table, dt = Metrics.time (fun () -> f ?seed ()) in
+  Metrics.observe (Lazy.force m_wall) dt;
+  Metrics.set (Metrics.gauge (Printf.sprintf "experiment_wall_seconds_%s" id)) dt;
+  Metrics.inc (Lazy.force m_experiments);
+  Metrics.inc ~by:(List.length table.rows) (Lazy.force m_rows);
+  table
 
 let drivers =
   [
@@ -1297,6 +1377,8 @@ let drivers =
 
 let ids = List.map fst drivers
 
-let by_id id = List.assoc_opt (String.lowercase_ascii id) drivers
+let by_id id =
+  let id = String.lowercase_ascii id in
+  Option.map (fun f -> run_metered id f) (List.assoc_opt id drivers)
 
-let all ?seed () = List.map (fun (_, f) -> f ?seed ()) drivers
+let all ?seed () = List.map (fun (id, f) -> run_metered id f ?seed ()) drivers

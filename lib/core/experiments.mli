@@ -25,6 +25,20 @@ val to_csv : table -> string
 (** Comma-separated rendering: a header row of column names, then the
     data rows; cells containing commas or quotes are quoted. *)
 
+val to_json : table -> Artifact.json
+(** The structured form of a table (id, title, columns, rows, notes). *)
+
+val of_json : Artifact.json -> table option
+(** Inverse of {!to_json}; [None] if the value is not a table. *)
+
+val artifact : ?seed:int -> table -> Artifact.json
+(** {!to_json} wrapped in the artifact envelope (schema version, seed,
+    row/column counts, git describe). *)
+
+val write_artifact : ?dir:string -> ?seed:int -> table -> string
+(** Writes [EXP_<id>.json] under [dir] (default [Artifact.default_dir])
+    and returns the path. *)
+
 val e1_lemma_1_10 : ?seed:int -> unit -> table
 val e2_lemma_1_8 : ?seed:int -> unit -> table
 val e3_restricted_lemmas : ?seed:int -> unit -> table

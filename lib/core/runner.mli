@@ -1,0 +1,39 @@
+(** Named protocol configurations for observability tooling.
+
+    [bcc_cli trace <name>] and [bcc_cli metrics] run these with a sink or
+    the metrics registry attached.  Every entry fixes all parameters
+    except the PRNG seed, so a (name, seed) pair determines the run — and
+    with it the trace, byte for byte. *)
+
+type summary = {
+  protocol : string;  (** The protocol's self-reported name. *)
+  model : string;  (** "bcast", "unicast" or "turn". *)
+  n : int;
+  msg_bits : int;
+  rounds_used : int;
+  channel_bits : int;
+      (** Broadcast bits for BCAST, total channel bits for unicast,
+          turns for the turn model. *)
+  random_bits : int array;  (** Per-processor private random bits. *)
+  transcript_length : int;
+}
+
+val names : string list
+(** The known protocol names. *)
+
+val describe : string -> string option
+
+val run : name:string -> seed:int -> summary
+(** Runs the named configuration (with whatever sink/metrics state is
+    currently installed).  Raises [Invalid_argument] on unknown names. *)
+
+val trace : name:string -> seed:int -> Trace.event list * summary
+(** Runs with a fresh memory sink installed; returns the captured events
+    in emission order. *)
+
+val summary_to_json : summary -> Artifact.json
+
+val trace_artifact : name:string -> seed:int -> Artifact.json
+(** The full trace as an artifact: envelope + summary + events.  Feeding
+    it back through [Artifact.of_string] and [Sink.event_of_json]
+    reconstructs the run exactly. *)

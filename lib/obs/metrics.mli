@@ -1,0 +1,90 @@
+(** A process-wide metrics registry.
+
+    Four metric kinds, all named and registered on first use:
+
+    - {b counters}: monotone integer totals (runs, rounds, broadcast bits);
+    - {b gauges}: last-written float values;
+    - {b histograms}: fixed-bucket distributions (broadcast bits per
+      round, random bits per processor, wall-clock per experiment);
+    - {b ratios}: binomial success counts whose snapshots carry the
+      Wilson score interval at [z = 1.96], so Monte-Carlo advantage
+      estimates come with trustworthy half-widths.
+
+    Handles are cheap mutable records; look them up once and update in
+    loops.  {!snapshot} freezes everything, sorted by name, for the
+    artifact layer. *)
+
+val set_collecting : bool -> unit
+(** Turns the simulator's built-in instrumentation on or off (default
+    off).  Updates through handles below always apply; this flag only
+    gates the hooks inside [Bcast.run], [Unicast.run] and
+    [Turn_model.run] so that un-instrumented code pays a single branch. *)
+
+val collecting : unit -> bool
+
+type counter
+type gauge
+type histogram
+type ratio
+
+val counter : string -> counter
+(** Registers (or retrieves) the counter [name].  All registration
+    functions raise [Invalid_argument] if the name is already bound to a
+    different metric kind. *)
+
+val inc : ?by:int -> counter -> unit
+
+val gauge : string -> gauge
+val set : gauge -> float -> unit
+
+val default_buckets : float array
+(** [1, 10, 100, ..., 1e5]. *)
+
+val duration_buckets : float array
+(** Seconds: [1e-4 .. 60]. *)
+
+val histogram : ?buckets:float array -> string -> histogram
+(** Buckets are strictly increasing upper bounds; an implicit overflow
+    bucket is appended.  Defaults to {!default_buckets}. *)
+
+val observe : histogram -> float -> unit
+
+val ratio : string -> ratio
+val record : ratio -> success:bool -> unit
+val record_many : ratio -> successes:int -> trials:int -> unit
+
+val timed : histogram -> (unit -> 'a) -> 'a
+(** Runs the thunk and observes its wall-clock duration in seconds. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** The thunk's result and its wall-clock duration in seconds. *)
+
+(** {1 Snapshots} *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { buckets : float array; counts : int array; sum : float; count : int }
+  | Ratio of {
+      successes : int;
+      trials : int;
+      estimate : float;
+      wilson_low : float;
+      wilson_high : float;
+      half_width : float;
+    }
+
+type sample = { name : string; value : value }
+
+val wilson_z : float
+(** 1.96 — the z-score used for ratio intervals. *)
+
+val snapshot : unit -> sample list
+(** The current state of every registered metric, sorted by name. *)
+
+val reset : unit -> unit
+(** Zeroes every registered metric in place.  Handles stay valid and
+    registered (names still appear in snapshots, at zero). *)
+
+val to_json : sample list -> Artifact.json
+val pp : Format.formatter -> sample list -> unit

@@ -1,0 +1,39 @@
+(** Trace sinks: where {!Trace} events go, and the JSONL wire format.
+
+    A sink is an [emit] function plus a [close] hook.  {!with_sink}
+    installs one for the duration of a run; the JSONL form (one event
+    object per line) is what [bcc_cli trace] emits and what the trace
+    replay/diff tooling consumes. *)
+
+type t = { emit : Trace.event -> unit; close : unit -> unit }
+
+val null : t
+(** Discards everything (useful to measure tracing overhead). *)
+
+val memory : unit -> t * (unit -> Trace.event list)
+(** A sink that accumulates events in memory; the second component
+    returns them in emission order. *)
+
+val jsonl : out_channel -> t
+(** Writes one JSON object per event per line; [close] flushes but does
+    not close the channel. *)
+
+val install : t -> unit
+val uninstall : t -> unit
+(** [uninstall s] clears the global sink and closes [s]. *)
+
+val with_sink : t -> (unit -> 'a) -> 'a
+(** Install, run, always clear the global sink and close. *)
+
+(** {1 Serialization} *)
+
+exception Decode_error of string
+
+val event_to_json : Trace.event -> Artifact.json
+val event_of_json : Artifact.json -> Trace.event
+(** Inverse of {!event_to_json}; raises {!Decode_error} on malformed
+    input. *)
+
+val to_jsonl : Trace.event list -> string
+val of_jsonl : string -> Trace.event list
+(** Parses the output of {!to_jsonl}; blank lines are skipped. *)

@@ -1,0 +1,54 @@
+(* Structured tracing with a pluggable sink.
+
+   The simulator's hot loops guard every emission with [enabled], so with
+   no sink installed no event value is ever allocated — the cost is one
+   pointer load and branch per potential event.  Events carry a logical
+   sequence number instead of wall-clock time, so two runs of the same
+   protocol with the same seed produce byte-identical traces. *)
+
+type payload =
+  | Span_start of { name : string }
+  | Span_end of { name : string }
+  | Spawn of { id : int; n : int; input_bits : int }
+  | Finish of { id : int }
+  | Round_start of { round : int; n : int }
+  | Round_end of { round : int; n : int; msg_bits : int }
+  | Broadcast of { round : int; sender : int; value : int; msg_bits : int }
+  | Unicast_send of { round : int; sender : int; messages : int; msg_bits : int }
+  | Turn of { turn : int; speaker : int; bit : bool }
+  | Rand_draw of { owner : int; op : string; bits : int }
+  | Mark of { name : string; fields : (string * string) list }
+
+type event = { seq : int; scope : string; payload : payload }
+
+let current : (event -> unit) option ref = ref None
+let seq = ref 0
+
+let[@inline] enabled () = !current <> None
+
+let emit ~scope payload =
+  match !current with
+  | None -> ()
+  | Some f ->
+      let e = { seq = !seq; scope; payload } in
+      incr seq;
+      f e
+
+let set_sink f =
+  seq := 0;
+  current := Some f
+
+let clear_sink () = current := None
+
+let with_sink f body =
+  set_sink f;
+  Fun.protect ~finally:clear_sink body
+
+let span ~scope name body =
+  if enabled () then begin
+    emit ~scope (Span_start { name });
+    Fun.protect ~finally:(fun () -> emit ~scope (Span_end { name })) body
+  end
+  else body ()
+
+let event ~scope ?(fields = []) name = emit ~scope (Mark { name; fields })

@@ -1,0 +1,58 @@
+(** Structured tracing for the simulator and harness.
+
+    A single process-wide sink receives {!event} values; with no sink
+    installed ({!enabled} is [false]) instrumented code allocates nothing
+    — call sites guard construction with [if Trace.enabled () then ...].
+
+    Events carry a logical sequence number, not wall-clock time: running
+    the same protocol twice with the same seed yields byte-identical
+    traces, which is what makes trace diffing meaningful
+    (see [docs/OBSERVABILITY.md]). *)
+
+type payload =
+  | Span_start of { name : string }
+  | Span_end of { name : string }
+  | Spawn of { id : int; n : int; input_bits : int }
+      (** Processor [id] of [n] created with an [input_bits]-bit input. *)
+  | Finish of { id : int }  (** Processor [id] produced its output. *)
+  | Round_start of { round : int; n : int }
+  | Round_end of { round : int; n : int; msg_bits : int }
+      (** The round put [n * msg_bits] bits on the channel. *)
+  | Broadcast of { round : int; sender : int; value : int; msg_bits : int }
+      (** One broadcast message: sender, payload value, bit-width. *)
+  | Unicast_send of { round : int; sender : int; messages : int; msg_bits : int }
+      (** One unicast outbox: [messages] point-to-point values of
+          [msg_bits] bits each. *)
+  | Turn of { turn : int; speaker : int; bit : bool }
+      (** One turn of the sequential turn model. *)
+  | Rand_draw of { owner : int; op : string; bits : int }
+      (** A randomness draw charged [bits] bits to processor [owner]
+          ([-1] when drawn outside a run); [op] names the primitive
+          ("bool", "bits", "bitvec"). *)
+  | Mark of { name : string; fields : (string * string) list }
+      (** A generic point event (the {!event} helper). *)
+
+type event = { seq : int; scope : string; payload : payload }
+
+val enabled : unit -> bool
+(** [true] iff a sink is installed.  Guard event construction with this
+    so disabled tracing stays allocation-free. *)
+
+val emit : scope:string -> payload -> unit
+(** Sends the payload to the installed sink (no-op without one);
+    assigns the next sequence number. *)
+
+val set_sink : (event -> unit) -> unit
+(** Installs a sink and resets the sequence counter to 0. *)
+
+val clear_sink : unit -> unit
+
+val with_sink : (event -> unit) -> (unit -> 'a) -> 'a
+(** [with_sink f body]: install [f], run [body], always uninstall. *)
+
+val span : scope:string -> string -> (unit -> 'a) -> 'a
+(** [span ~scope name body] brackets [body] with [Span_start]/[Span_end]
+    events (emitted only when a sink is installed). *)
+
+val event : scope:string -> ?fields:(string * string) list -> string -> unit
+(** A generic named point event with string fields. *)

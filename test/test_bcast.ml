@@ -97,6 +97,45 @@ let test_rand_counter_int_below () =
   done;
   check_int "bound 1 free" 0 (Bcast.Rand_counter.int_below r 1)
 
+(* Regression: int_below charges exactly ceil(log2 bound) bits per
+   rejection-sampling attempt.  A fixed tape makes the attempts visible:
+   bound 5 draws 3-bit values, "111" = 7 is rejected, "001" = 4 accepted. *)
+let test_int_below_charge_per_attempt () =
+  let r = Bcast.Rand_counter.of_tape (Bitvec.of_string "111001") in
+  check_int "second attempt accepted" 4 (Bcast.Rand_counter.int_below r 5);
+  check_int "3 bits per attempt, 2 attempts" 6 (Bcast.Rand_counter.bits_used r);
+  (* Power-of-two bound: every 3-bit value is below 8, so one attempt. *)
+  let r = Bcast.Rand_counter.of_tape (Bitvec.of_string "101") in
+  check_int "value" 5 (Bcast.Rand_counter.int_below r 8);
+  check_int "single attempt" 3 (Bcast.Rand_counter.bits_used r);
+  (* bound 2 is a single 1-bit draw. *)
+  let r = Bcast.Rand_counter.of_tape (Bitvec.of_string "1") in
+  check_int "coin" 1 (Bcast.Rand_counter.int_below r 2);
+  check_int "one bit" 1 (Bcast.Rand_counter.bits_used r)
+
+(* Regression: bernoulli charges exactly [bernoulli_bits] = 30 bits per
+   call, independent of p and of the outcome. *)
+let test_bernoulli_charge () =
+  check_int "documented charge" 30 Bcast.Rand_counter.bernoulli_bits;
+  let r = Bcast.Rand_counter.make (Prng.create 17) in
+  ignore (Bcast.Rand_counter.bernoulli r 0.3);
+  check_int "one call" Bcast.Rand_counter.bernoulli_bits
+    (Bcast.Rand_counter.bits_used r);
+  ignore (Bcast.Rand_counter.bernoulli r 0.0);
+  ignore (Bcast.Rand_counter.bernoulli r 1.0);
+  check_int "every call, any p" (3 * Bcast.Rand_counter.bernoulli_bits)
+    (Bcast.Rand_counter.bits_used r);
+  (* Extreme probabilities are decided, never free. *)
+  let r = Bcast.Rand_counter.make (Prng.create 18) in
+  check_bool "p=0 false" false (Bcast.Rand_counter.bernoulli r 0.0);
+  check_bool "p=1 true" true (Bcast.Rand_counter.bernoulli r 1.0);
+  check_int "still charged" (2 * Bcast.Rand_counter.bernoulli_bits)
+    (Bcast.Rand_counter.bits_used r);
+  (* An all-zero tape draws threshold value 0: true for any p > 0. *)
+  let r = Bcast.Rand_counter.of_tape (Bitvec.create 30) in
+  check_bool "zero tape" true (Bcast.Rand_counter.bernoulli r 0.0001);
+  check_int "tape charged" 30 (Bcast.Rand_counter.bits_used r)
+
 (* --- Bcast runner --- *)
 
 (* Everyone broadcasts its input bit for round r; output = count of 1s seen. *)
@@ -366,6 +405,9 @@ let () =
           Alcotest.test_case "deterministic raises" `Quick test_rand_counter_deterministic_raises;
           Alcotest.test_case "tape source" `Quick test_rand_counter_tape;
           Alcotest.test_case "int_below" `Quick test_rand_counter_int_below;
+          Alcotest.test_case "int_below charge per attempt" `Quick
+            test_int_below_charge_per_attempt;
+          Alcotest.test_case "bernoulli exact charge" `Quick test_bernoulli_charge;
         ] );
       ( "runner",
         [

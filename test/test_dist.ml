@@ -197,6 +197,35 @@ let test_wilson () =
   let lo0, hi0 = Stats.wilson_interval ~successes:0 ~trials:100 ~z:1.96 in
   check_bool "zero successes" true (lo0 = 0.0 && hi0 > 0.0 && hi0 < 0.1)
 
+let test_wilson_edges () =
+  let eps = 1e-9 in
+  (* Zero successes: the lower end collapses to 0 but the upper end stays
+     strictly positive — the interval never degenerates to a point. *)
+  let lo, hi = Stats.wilson_interval ~successes:0 ~trials:50 ~z:1.96 in
+  check_bool "0/n lower" true (lo >= 0.0 && lo < eps);
+  check_bool "0/n upper positive" true (hi > 0.0 && hi < 0.2);
+  (* All successes: mirror image of the zero-successes case. *)
+  let lo1, hi1 = Stats.wilson_interval ~successes:50 ~trials:50 ~z:1.96 in
+  check_bool "n/n upper" true (hi1 <= 1.0 && hi1 > 1.0 -. eps);
+  check_bool "n/n lower below 1" true (lo1 < 1.0 && lo1 > 0.8);
+  check_bool "mirror symmetry" true
+    (Float.abs (lo +. hi1 -. 1.0) < 1e-9 && Float.abs (hi +. lo1 -. 1.0) < 1e-9);
+  (* n = 1: one Bernoulli trial pins almost nothing; with z = 1.96 the
+     interval still covers well past 1/2 on the unobserved side. *)
+  let lo, hi = Stats.wilson_interval ~successes:0 ~trials:1 ~z:1.96 in
+  check_bool "0/1 lower" true (lo >= 0.0 && lo < eps);
+  checkf4 "0/1 upper" 0.7935 hi;
+  let lo, hi = Stats.wilson_interval ~successes:1 ~trials:1 ~z:1.96 in
+  checkf4 "1/1 lower" 0.2065 lo;
+  check_bool "1/1 upper" true (hi <= 1.0 && hi > 1.0 -. eps);
+  (* No trials: the vacuous interval is the whole of [0,1]. *)
+  let lo, hi = Stats.wilson_interval ~successes:0 ~trials:0 ~z:1.96 in
+  check_bool "0 trials" true (lo = 0.0 && hi = 1.0);
+  (* z = 0 degenerates to the point estimate. *)
+  let lo, hi = Stats.wilson_interval ~successes:3 ~trials:4 ~z:0.0 in
+  checkf "z=0 lower" 0.75 lo;
+  checkf "z=0 upper" 0.75 hi
+
 let test_mean_var () =
   let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
   checkf "mean" 2.5 (Stats.mean xs);
@@ -290,6 +319,7 @@ let () =
           Alcotest.test_case "choose_float" `Quick test_choose_float;
           Alcotest.test_case "chernoff" `Quick test_chernoff_monotone;
           Alcotest.test_case "wilson" `Quick test_wilson;
+          Alcotest.test_case "wilson edges" `Quick test_wilson_edges;
           Alcotest.test_case "mean/variance" `Quick test_mean_var;
           Alcotest.test_case "quantile" `Quick test_quantile;
         ] );

@@ -1,0 +1,478 @@
+(* Tests for the observability layer: tracing, sinks, the metrics
+   registry, JSON artifacts, and the resource-accounting invariants the
+   traces and metrics are meant to guard. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let checkf = Alcotest.(check (float 1e-9))
+
+(* A constant protocol: every processor broadcasts [v] each round. *)
+let const_proto name msg_bits rounds v =
+  {
+    Bcast.name;
+    msg_bits;
+    rounds;
+    spawn =
+      (fun ~id:_ ~n:_ ~input:_ ~rand:_ ->
+        {
+          Bcast.send = (fun ~round:_ -> v);
+          receive = (fun ~round:_ _ -> ());
+          finish = (fun () -> ());
+        });
+  }
+
+(* A chatty protocol: every processor broadcasts fresh random bits. *)
+let random_proto msg_bits rounds =
+  {
+    Bcast.name = "random";
+    msg_bits;
+    rounds;
+    spawn =
+      (fun ~id:_ ~n:_ ~input:_ ~rand ->
+        {
+          Bcast.send = (fun ~round:_ -> Bcast.Rand_counter.bits rand msg_bits);
+          receive = (fun ~round:_ _ -> ());
+          finish = (fun () -> ());
+        });
+  }
+
+let inputs n = Array.init n (fun i -> Bitvec.of_int ~width:4 i)
+
+(* --- tracing --- *)
+
+let test_no_sink_by_default () =
+  check_bool "disabled" false (Trace.enabled ());
+  (* Emitting without a sink is a no-op, not an error. *)
+  Trace.emit ~scope:"test" (Trace.Finish { id = 0 });
+  let r = Bcast.run_deterministic (const_proto "c" 1 2 0) ~inputs:(inputs 3) in
+  check_int "still runs" 2 r.Bcast.rounds_used
+
+let test_memory_sink_captures_run () =
+  let n = 3 and rounds = 2 in
+  let sink, events = Sink.memory () in
+  let _ =
+    Sink.with_sink sink (fun () ->
+        Bcast.run_deterministic (const_proto "traced" 2 rounds 1) ~inputs:(inputs n))
+  in
+  let events = events () in
+  check_bool "sink uninstalled after" false (Trace.enabled ());
+  (* span pair + n spawns + per round (start + n broadcasts + end) + n
+     finishes. *)
+  check_int "event count" (2 + n + (rounds * (n + 2)) + n) (List.length events);
+  let broadcasts =
+    List.filter
+      (fun e -> match e.Trace.payload with Trace.Broadcast _ -> true | _ -> false)
+      events
+  in
+  check_int "broadcast events" (rounds * n) (List.length broadcasts);
+  List.iter
+    (fun e ->
+      match e.Trace.payload with
+      | Trace.Broadcast { value; msg_bits; sender; _ } ->
+          check_int "value" 1 value;
+          check_int "width" 2 msg_bits;
+          check_bool "sender in range" true (sender >= 0 && sender < n)
+      | _ -> ())
+    broadcasts;
+  (* Sequence numbers are 0..len-1 in order. *)
+  List.iteri (fun i e -> check_int "seq" i e.Trace.seq) events
+
+let test_rand_draw_events_match_accounting () =
+  let n = 3 and rounds = 2 and msg_bits = 3 in
+  let sink, events = Sink.memory () in
+  let result =
+    Sink.with_sink sink (fun () ->
+        Bcast.run (random_proto msg_bits rounds) ~inputs:(inputs n)
+          ~rand:(Prng.create 11))
+  in
+  let charged = Array.make n 0 in
+  List.iter
+    (fun e ->
+      match e.Trace.payload with
+      | Trace.Rand_draw { owner; bits; op } ->
+          check_string "op" "bits" op;
+          charged.(owner) <- charged.(owner) + bits
+      | _ -> ())
+    (events ());
+  Array.iteri
+    (fun i used -> check_int (Printf.sprintf "proc %d" i) used charged.(i))
+    result.Bcast.random_bits
+
+let test_turn_model_trace () =
+  let proto =
+    Turn_model.of_round_protocol ~n:3 ~rounds:2 (fun ~id:_ ~input ~history:_ ->
+        Bitvec.get input 0)
+  in
+  let sink, events = Sink.memory () in
+  let history =
+    Sink.with_sink sink (fun () ->
+        Turn_model.run proto ~inputs:(inputs 3))
+  in
+  let turns =
+    List.filter_map
+      (fun e ->
+        match e.Trace.payload with
+        | Trace.Turn { turn; speaker; bit } -> Some (turn, speaker, bit)
+        | _ -> None)
+      (events ())
+  in
+  check_int "one event per turn" (Array.length history) (List.length turns);
+  List.iteri
+    (fun i (turn, speaker, bit) ->
+      check_int "turn" i turn;
+      check_int "speaker" (i mod 3) speaker;
+      check_bool "bit" history.(i) bit)
+    turns
+
+let test_unicast_trace () =
+  let n = 3 and rounds = 2 in
+  let proto = Unicast.lift_broadcast (const_proto "u" 1 rounds 0) in
+  let sink, events = Sink.memory () in
+  let _ =
+    Sink.with_sink sink (fun () -> Unicast.run_deterministic proto ~inputs:(inputs n))
+  in
+  let sends =
+    List.filter
+      (fun e ->
+        match e.Trace.payload with Trace.Unicast_send _ -> true | _ -> false)
+      (events ())
+  in
+  check_int "one outbox event per sender per round" (rounds * n) (List.length sends)
+
+let test_span_and_event_helpers () =
+  let sink, events = Sink.memory () in
+  Sink.with_sink sink (fun () ->
+      Trace.span ~scope:"s" "work" (fun () ->
+          Trace.event ~scope:"s" ~fields:[ ("k", "v") ] "inner"));
+  match events () with
+  | [ a; b; c ] ->
+      check_bool "start" true (a.Trace.payload = Trace.Span_start { name = "work" });
+      check_bool "mark" true
+        (b.Trace.payload = Trace.Mark { name = "inner"; fields = [ ("k", "v") ] });
+      check_bool "end" true (c.Trace.payload = Trace.Span_end { name = "work" })
+  | l -> Alcotest.failf "expected 3 events, got %d" (List.length l)
+
+let test_trace_determinism () =
+  let trace_of seed =
+    let events, _ = Runner.trace ~name:"equality-fp" ~seed in
+    Sink.to_jsonl events
+  in
+  check_string "same seed, byte-identical" (trace_of 7) (trace_of 7);
+  let planted seed =
+    let events, _ = Runner.trace ~name:"planted-clique" ~seed in
+    Sink.to_jsonl events
+  in
+  check_string "randomized protocol too" (planted 3) (planted 3)
+
+(* --- JSONL and artifact round-trips --- *)
+
+let test_jsonl_roundtrip () =
+  let events, _ = Runner.trace ~name:"equality-fp" ~seed:5 in
+  let text = Sink.to_jsonl events in
+  let back = Sink.of_jsonl text in
+  check_bool "roundtrip" true (events = back);
+  check_string "reserialize" text (Sink.to_jsonl back)
+
+let test_event_json_all_kinds () =
+  let payloads =
+    [
+      Trace.Span_start { name = "a" };
+      Trace.Span_end { name = "a" };
+      Trace.Spawn { id = 1; n = 4; input_bits = 16 };
+      Trace.Finish { id = 1 };
+      Trace.Round_start { round = 0; n = 4 };
+      Trace.Round_end { round = 0; n = 4; msg_bits = 2 };
+      Trace.Broadcast { round = 0; sender = 3; value = 2; msg_bits = 2 };
+      Trace.Unicast_send { round = 1; sender = 0; messages = 3; msg_bits = 5 };
+      Trace.Turn { turn = 7; speaker = 2; bit = true };
+      Trace.Rand_draw { owner = -1; op = "bitvec"; bits = 12 };
+      Trace.Mark { name = "m"; fields = [ ("x", "1"); ("y", "z") ] };
+    ]
+  in
+  List.iteri
+    (fun i payload ->
+      let e = { Trace.seq = i; scope = "t"; payload } in
+      let back = Sink.event_of_json (Sink.event_to_json e) in
+      check_bool "roundtrip" true (e = back))
+    payloads
+
+let test_trace_artifact_roundtrip () =
+  let j = Runner.trace_artifact ~name:"equality-det" ~seed:42 in
+  let back = Artifact.of_string (Artifact.to_string j) in
+  check_bool "compact roundtrip" true (j = back);
+  let back_pretty = Artifact.of_string (Artifact.to_string ~pretty:true j) in
+  check_bool "pretty roundtrip" true (j = back_pretty);
+  (* The envelope is present and well-formed. *)
+  check_bool "schema version" true
+    (Artifact.member "schema_version" j = Some (Artifact.Int Artifact.schema_version));
+  check_bool "seed" true (Artifact.member "seed" j = Some (Artifact.Int 42));
+  match Option.bind (Artifact.member "payload" j) (Artifact.member "events") with
+  | Some (Artifact.List evs) ->
+      check_bool "has events" true (List.length evs > 0);
+      (* Every serialized event decodes. *)
+      List.iter (fun ev -> ignore (Sink.event_of_json ev)) evs
+  | _ -> Alcotest.fail "missing events list"
+
+let test_json_parser_edges () =
+  let roundtrip s = Artifact.to_string (Artifact.of_string s) in
+  check_string "escapes" {|{"a":"line\nbreak \"q\" \\ tab\t"}|}
+    (roundtrip {|{"a":"line\nbreak \"q\" \\ tab\t"}|});
+  check_string "nested" {|[1,[2,[3,{}]],null,true,false]|}
+    (roundtrip {|[ 1 , [2,[3, {} ]], null, true , false ]|});
+  check_bool "negative int" true (Artifact.of_string "-42" = Artifact.Int (-42));
+  check_bool "float" true
+    (match Artifact.of_string "2.5e-3" with
+    | Artifact.Float x -> Float.abs (x -. 0.0025) < 1e-12
+    | _ -> false);
+  check_bool "control escape" true
+    (Artifact.of_string "\"\\u0007\"" = Artifact.String "\007");
+  Alcotest.check_raises "trailing garbage"
+    (Artifact.Parse_error "trailing garbage at offset 2") (fun () ->
+      ignore (Artifact.of_string "1 x"));
+  (match Artifact.of_string "1e999" with
+  | Artifact.Float x -> check_bool "inf parses" true (Float.is_integer x || x = Float.infinity)
+  | _ -> Alcotest.fail "expected float");
+  (* NaN serializes as null (never emits invalid JSON). *)
+  check_string "nan" "null" (Artifact.to_string (Artifact.Float Float.nan))
+
+let test_float_repr_roundtrips () =
+  List.iter
+    (fun x ->
+      match Artifact.of_string (Artifact.to_string (Artifact.Float x)) with
+      | Artifact.Float y -> check_bool "exact" true (x = y)
+      | Artifact.Int y -> check_bool "integral" true (float_of_int y = x)
+      | _ -> Alcotest.fail "not a number")
+    [ 0.0; 1.0; -1.5; 0.1; 1.0 /. 3.0; 1e-300; 1.2020569031595942; 6.02e23 ]
+
+let test_experiments_table_json_roundtrip () =
+  let t =
+    {
+      Experiments.id = "t0";
+      title = "a, \"quoted\" title";
+      columns = [ "x"; "y" ];
+      rows = [ [ "1"; "2" ]; [ "3"; "4" ] ];
+      notes = [ "note" ];
+    }
+  in
+  (match Experiments.of_json (Experiments.to_json t) with
+  | Some t' -> check_bool "roundtrip" true (t = t')
+  | None -> Alcotest.fail "of_json failed");
+  (* Through the envelope and the serializer too. *)
+  let j = Artifact.of_string (Artifact.to_string (Experiments.artifact ~seed:1 t)) in
+  match Option.bind (Artifact.member "payload" j) Experiments.of_json with
+  | Some t' -> check_bool "envelope roundtrip" true (t = t')
+  | None -> Alcotest.fail "payload did not decode"
+
+(* --- metrics --- *)
+
+let test_metrics_counter_gauge () =
+  Metrics.reset ();
+  let c = Metrics.counter "test_counter" in
+  Metrics.inc c;
+  Metrics.inc ~by:41 c;
+  let g = Metrics.gauge "test_gauge" in
+  Metrics.set g 2.5;
+  let find name =
+    List.find_opt (fun s -> s.Metrics.name = name) (Metrics.snapshot ())
+  in
+  (match find "test_counter" with
+  | Some { Metrics.value = Metrics.Counter v; _ } -> check_int "counter" 42 v
+  | _ -> Alcotest.fail "counter missing");
+  (match find "test_gauge" with
+  | Some { Metrics.value = Metrics.Gauge v; _ } -> checkf "gauge" 2.5 v
+  | _ -> Alcotest.fail "gauge missing");
+  (* Same name, same kind: the same handle. *)
+  Metrics.inc (Metrics.counter "test_counter");
+  (match find "test_counter" with
+  | Some { Metrics.value = Metrics.Counter v; _ } -> check_int "shared" 43 v
+  | _ -> Alcotest.fail "counter missing");
+  (* Same name, different kind: rejected. *)
+  check_bool "kind clash" true
+    (try
+       ignore (Metrics.gauge "test_counter");
+       false
+     with Invalid_argument _ -> true)
+
+let test_metrics_histogram () =
+  Metrics.reset ();
+  let h = Metrics.histogram ~buckets:[| 1.0; 10.0 |] "test_hist" in
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 5.0; 100.0 ];
+  match
+    List.find_opt (fun s -> s.Metrics.name = "test_hist") (Metrics.snapshot ())
+  with
+  | Some { Metrics.value = Metrics.Histogram { counts; sum; count; _ }; _ } ->
+      check_int "le 1" 2 counts.(0);
+      check_int "le 10" 1 counts.(1);
+      check_int "overflow" 1 counts.(2);
+      check_int "count" 4 count;
+      checkf "sum" 106.5 sum
+  | _ -> Alcotest.fail "histogram missing"
+
+let test_metrics_ratio_wilson () =
+  Metrics.reset ();
+  let r = Metrics.ratio "test_ratio" in
+  Metrics.record_many r ~successes:30 ~trials:100;
+  Metrics.record r ~success:true;
+  (* 31 successes in 101 trials; the snapshot's interval must agree with
+     Stats.wilson_interval at the same z. *)
+  let lo, hi = Stats.wilson_interval ~successes:31 ~trials:101 ~z:Metrics.wilson_z in
+  match
+    List.find_opt (fun s -> s.Metrics.name = "test_ratio") (Metrics.snapshot ())
+  with
+  | Some
+      {
+        Metrics.value =
+          Metrics.Ratio { successes; trials; estimate; wilson_low; wilson_high; half_width };
+        _;
+      } ->
+      check_int "successes" 31 successes;
+      check_int "trials" 101 trials;
+      checkf "estimate" (31.0 /. 101.0) estimate;
+      checkf "low" lo wilson_low;
+      checkf "high" hi wilson_high;
+      checkf "half width" ((hi -. lo) /. 2.0) half_width
+  | _ -> Alcotest.fail "ratio missing"
+
+let test_metrics_json_parses () =
+  Metrics.reset ();
+  Metrics.inc (Metrics.counter "json_counter");
+  Metrics.observe (Metrics.histogram "json_hist") 3.0;
+  Metrics.record (Metrics.ratio "json_ratio") ~success:false;
+  let j = Metrics.to_json (Metrics.snapshot ()) in
+  let back = Artifact.of_string (Artifact.to_string ~pretty:true j) in
+  check_bool "roundtrip" true (j = back);
+  match Artifact.member "json_counter" back with
+  | Some c ->
+      check_bool "typed" true
+        (Artifact.member "type" c = Some (Artifact.String "counter"))
+  | None -> Alcotest.fail "counter missing from json"
+
+let test_simulator_metrics_gated () =
+  Metrics.reset ();
+  let run () =
+    ignore (Bcast.run_deterministic (const_proto "gated" 1 2 0) ~inputs:(inputs 3))
+  in
+  let runs () =
+    match
+      List.find_opt (fun s -> s.Metrics.name = "bcast_runs_total") (Metrics.snapshot ())
+    with
+    | Some { Metrics.value = Metrics.Counter v; _ } -> v
+    | _ -> 0
+  in
+  Metrics.set_collecting false;
+  run ();
+  check_int "off: nothing recorded" 0 (runs ());
+  Metrics.set_collecting true;
+  Fun.protect ~finally:(fun () -> Metrics.set_collecting false) run;
+  check_int "on: one run recorded" 1 (runs ());
+  match
+    List.find_opt
+      (fun s -> s.Metrics.name = "bcast_broadcast_bits_total")
+      (Metrics.snapshot ())
+  with
+  | Some { Metrics.value = Metrics.Counter v; _ } -> check_int "bits" (2 * 3 * 1) v
+  | _ -> Alcotest.fail "bits counter missing"
+
+(* --- resource-accounting invariants (satellite: combinators) --- *)
+
+let check_resource_law proto ~n =
+  let r = Bcast.run proto ~inputs:(inputs n) ~rand:(Prng.create 9) in
+  check_int
+    (Printf.sprintf "%s: broadcast_bits = rounds * n * msg_bits" proto.Bcast.name)
+    (r.Bcast.rounds_used * n * proto.Bcast.msg_bits)
+    r.Bcast.broadcast_bits;
+  check_int
+    (Printf.sprintf "%s: transcript carries the same bits" proto.Bcast.name)
+    r.Bcast.broadcast_bits
+    (Transcript.bit_length r.Bcast.transcript)
+
+let test_broadcast_bits_invariant () =
+  let p1 = random_proto 2 3 in
+  let p2 = const_proto "c2" 2 2 1 in
+  let n = 4 in
+  check_resource_law p1 ~n;
+  check_resource_law (Bcast.sequential p1 p2) ~n;
+  check_resource_law (Bcast.parallel_pair p1 (const_proto "c3" 3 2 1)) ~n;
+  check_resource_law (Bcast.with_rounds 7 p1) ~n;
+  check_resource_law
+    (Bcast.with_rounds 5 (Bcast.sequential p1 p2))
+    ~n;
+  (* The combinator algebra: sequential sums rounds, parallel_pair packs
+     widths and takes the max of rounds. *)
+  check_int "sequential rounds" (3 + 2) (Bcast.sequential p1 p2).Bcast.rounds;
+  check_int "parallel msg_bits" (2 + 3)
+    (Bcast.parallel_pair p1 (const_proto "c3" 3 2 1)).Bcast.msg_bits;
+  check_int "parallel rounds" 3
+    (Bcast.parallel_pair p1 (const_proto "c3" 3 2 1)).Bcast.rounds
+
+let test_deterministic_runs_draw_nothing () =
+  let check_det : 'a. 'a Bcast.protocol -> unit =
+   fun proto ->
+    let r = Bcast.run_deterministic proto ~inputs:(inputs 5) in
+    Array.iteri
+      (fun i bits ->
+        check_int (Printf.sprintf "%s proc %d" proto.Bcast.name i) 0 bits)
+      r.Bcast.random_bits
+  in
+  check_det (const_proto "d1" 1 3 0);
+  check_det (Bcast.sequential (const_proto "d2" 2 2 1) (const_proto "d3" 2 1 2));
+  check_det (Bcast.parallel_pair (const_proto "d4" 1 2 1) (const_proto "d5" 3 1 0));
+  check_det (Bcast.with_rounds 4 (const_proto "d6" 1 1 0))
+
+let test_runner_summary_consistent () =
+  List.iter
+    (fun name ->
+      let events, s = Runner.trace ~name ~seed:3 in
+      check_bool (name ^ ": events captured") true (List.length events > 0);
+      check_bool (name ^ ": rounds nonneg") true (s.Runner.rounds_used >= 0);
+      if s.Runner.model = "bcast" then
+        check_int
+          (name ^ ": channel bits law")
+          (s.Runner.rounds_used * s.Runner.n * s.Runner.msg_bits)
+          s.Runner.channel_bits)
+    Runner.names
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "no sink by default" `Quick test_no_sink_by_default;
+          Alcotest.test_case "memory sink captures run" `Quick
+            test_memory_sink_captures_run;
+          Alcotest.test_case "rand draws match accounting" `Quick
+            test_rand_draw_events_match_accounting;
+          Alcotest.test_case "turn model" `Quick test_turn_model_trace;
+          Alcotest.test_case "unicast" `Quick test_unicast_trace;
+          Alcotest.test_case "span/event helpers" `Quick test_span_and_event_helpers;
+          Alcotest.test_case "byte-identical traces" `Quick test_trace_determinism;
+        ] );
+      ( "serialization",
+        [
+          Alcotest.test_case "jsonl roundtrip" `Quick test_jsonl_roundtrip;
+          Alcotest.test_case "all event kinds" `Quick test_event_json_all_kinds;
+          Alcotest.test_case "trace artifact roundtrip" `Quick
+            test_trace_artifact_roundtrip;
+          Alcotest.test_case "parser edges" `Quick test_json_parser_edges;
+          Alcotest.test_case "float repr roundtrips" `Quick test_float_repr_roundtrips;
+          Alcotest.test_case "experiment table json" `Quick
+            test_experiments_table_json_roundtrip;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter and gauge" `Quick test_metrics_counter_gauge;
+          Alcotest.test_case "histogram buckets" `Quick test_metrics_histogram;
+          Alcotest.test_case "ratio wilson interval" `Quick test_metrics_ratio_wilson;
+          Alcotest.test_case "snapshot json parses" `Quick test_metrics_json_parses;
+          Alcotest.test_case "simulator metrics gated" `Quick
+            test_simulator_metrics_gated;
+        ] );
+      ( "resource invariants",
+        [
+          Alcotest.test_case "broadcast bits law" `Quick test_broadcast_bits_invariant;
+          Alcotest.test_case "deterministic draws nothing" `Quick
+            test_deterministic_runs_draw_nothing;
+          Alcotest.test_case "runner summaries" `Quick test_runner_summary_consistent;
+        ] );
+    ]
