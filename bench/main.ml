@@ -9,9 +9,14 @@
    Fourier, bit-packed vs naive rank, exact vs sampled transcript
    distributions, simulator round cost).
 
+   Part 3 sweeps the Par pool over domain counts 1/2/4/8 on the hottest
+   Monte-Carlo loops, pinning the results (which must not move) and
+   recording wall-clock per domain count (BENCH_par.json).
+
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe -- tables  # only the experiment tables
      dune exec bench/main.exe -- micro   # only the micro-benchmarks
+     dune exec bench/main.exe -- par     # only the domain-count sweep
 *)
 
 open Bechamel
@@ -208,6 +213,12 @@ let micro_tests () =
         (Staged.stage
            (let graph = Gnp.sample (Prng.create 18) ~n:128 ~p:0.08 in
             fun () -> Gnp.diameter graph));
+      (* Geometric-skip G(n,p) sampler vs the per-pair one, in the sparse
+         regime where the skipping pays. *)
+      Test.make ~name:"ablation:gnp-sample-per-pair"
+        (Staged.stage (fun () -> Gnp.sample (Prng.create 25) ~n:512 ~p:0.02));
+      Test.make ~name:"ablation:gnp-sample-fast"
+        (Staged.stage (fun () -> Gnp.sample_fast (Prng.create 25) ~n:512 ~p:0.02));
       Test.make ~name:"e22:mst-prim-128"
         (Staged.stage
            (let t = Wgraph.random (Prng.create 19) 128 in
@@ -325,12 +336,131 @@ let run_micro () =
   Format.printf "@.artifact written to %s/BENCH_micro.json@." Artifact.default_dir;
   Format.printf "@."
 
+(* ------------------------------------------------- domain-count sweep *)
+
+(* Monte-Carlo hot loops that [Par] fans out, each returning a float the
+   sweep pins across domain counts (the determinism contract: same value
+   at every pool size, only wall-clock moves). *)
+let par_workloads =
+  [
+    ( "e5:distinguisher-advantage",
+      fun g ->
+        Distinguishers.advantage Distinguishers.max_out_degree ~n:256 ~k:40
+          ~calibration:40 ~trials:60 g );
+    ( "e9:seed-attack-advantage",
+      fun g ->
+        Seed_attack.advantage
+          ~params:{ Full_prg.n = 48; k = 16; m = 40 }
+          ~trials:100 g );
+    ( "e10:full-rank-accuracy",
+      fun g ->
+        Full_rank.accuracy
+          (Full_rank.truncated_protocol ~n:48 ~rounds:6)
+          ~truth:Gf2_matrix.is_full_rank
+          ~sample:(Full_rank.sample_uniform ~n:48)
+          ~trials:200 g );
+    ( "e3:subset-tree-walks",
+      fun g ->
+        let d = Restriction.random_of_deficit (Prng.create 7) ~n:14 ~t:2.0 in
+        (Subset_tree.simulate g ~d ~k:4 ~trials:3000)
+          .Subset_tree.prob_z_exceeds_3t );
+  ]
+
+let run_par () =
+  Format.printf "=====================================================@.";
+  Format.printf " Domain-count sweep (Par pool; wall-clock, best of 3)@.";
+  Format.printf "=====================================================@.";
+  let domain_counts = [ 1; 2; 4; 8 ] in
+  let cores = Domain.recommended_domain_count () in
+  Format.printf "available cores (recommended domain count): %d@.@." cores;
+  Format.printf "%-30s %8s %12s %10s %12s@." "workload" "domains" "ns/run"
+    "speedup" "result";
+  Format.printf "%s@." (String.make 76 '-');
+  let previous = Par.domain_count () in
+  let rows =
+    Fun.protect
+      ~finally:(fun () -> Par.set_domain_count previous)
+      (fun () ->
+        List.map
+          (fun (name, work) ->
+            let run () = work (Prng.create 4242) in
+            let baseline = ref nan in
+            let sweep =
+              List.map
+                (fun domains ->
+                  Par.set_domain_count domains;
+                  ignore (run ());
+                  (* warm the pool *)
+                  let best = ref infinity and value = ref nan in
+                  for _ = 1 to 3 do
+                    let v, seconds = Metrics.time run in
+                    value := v;
+                    if seconds < !best then best := seconds
+                  done;
+                  if domains = 1 then baseline := !value
+                  else if !value <> !baseline then
+                    failwith
+                      (Printf.sprintf
+                         "%s: result drifted at %d domains (%.17g vs %.17g)"
+                         name domains !value !baseline);
+                  (domains, !best *. 1e9, !value))
+                domain_counts
+            in
+            let t1 =
+              match sweep with (_, ns, _) :: _ -> ns | [] -> assert false
+            in
+            List.iter
+              (fun (domains, ns, value) ->
+                Format.printf "%-30s %8d %12.0f %9.2fx %12.6f@." name domains
+                  ns (t1 /. ns) value)
+              sweep;
+            (name, t1, sweep))
+          par_workloads)
+  in
+  let json =
+    Artifact.List
+      (List.map
+         (fun (name, t1, sweep) ->
+           Artifact.Obj
+             [
+               ("name", Artifact.String name);
+               ( "sweep",
+                 Artifact.List
+                   (List.map
+                      (fun (domains, ns, value) ->
+                        Artifact.Obj
+                          [
+                            ("domains", Artifact.Int domains);
+                            ("ns_per_run", Artifact.Float ns);
+                            ("speedup_vs_1", Artifact.Float (t1 /. ns));
+                            ("result", Artifact.Float value);
+                          ])
+                      sweep) );
+             ])
+         rows)
+  in
+  Artifact.write_file
+    ~path:(Filename.concat Artifact.default_dir "BENCH_par.json")
+    (Artifact.make ~kind:"bench" ~id:"par"
+       ~params:
+         [
+           ("available_cores", Artifact.Int cores);
+           ( "domain_counts",
+             Artifact.List (List.map (fun d -> Artifact.Int d) domain_counts) );
+           ("repetitions", Artifact.Int 3);
+         ]
+       json);
+  Format.printf "@.artifact written to %s/BENCH_par.json@." Artifact.default_dir;
+  Format.printf "@."
+
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   (match what with
   | "tables" -> run_tables ()
   | "micro" -> run_micro ()
+  | "par" -> run_par ()
   | _ ->
       run_tables ();
-      run_micro ());
+      run_micro ();
+      run_par ());
   Format.printf "done.@."

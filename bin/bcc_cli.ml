@@ -144,12 +144,16 @@ let trace_cmd =
 
 (* ------------------------------------------------------------- metrics *)
 
-let run_metrics json protos ids seed =
+let run_metrics json protos replicas ids seed =
+  if replicas < 1 then Error (`Msg "--replicas must be >= 1")
+  else begin
   Metrics.set_collecting true;
   let ok = ref true in
   List.iter
     (fun name ->
-      if List.mem name Runner.names then ignore (Runner.run ~name ~seed)
+      if List.mem name Runner.names then
+        if replicas = 1 then ignore (Runner.run ~name ~seed)
+        else ignore (Runner.run_replicas ~name ~seed ~replicas)
       else begin
         Format.eprintf "unknown protocol %S (known: %s)@." name
           (String.concat ", " Runner.names);
@@ -172,6 +176,7 @@ let run_metrics json protos ids seed =
     print_string (Artifact.to_string ~pretty:true (Metrics.to_json samples) ^ "\n")
   else Metrics.pp Format.std_formatter samples;
   if !ok then Ok () else Error (`Msg "unknown experiment or protocol id")
+  end
 
 let metrics_json_arg =
   let doc = "Emit the metrics snapshot as JSON instead of text." in
@@ -181,6 +186,13 @@ let metrics_proto_arg =
   let doc = "Also run the named protocol(s) (as in $(b,trace)) before dumping." in
   Arg.(value & opt_all string [] & info [ "proto" ] ~docv:"PROTO" ~doc)
 
+let metrics_replicas_arg =
+  let doc =
+    "Run each $(b,--proto) as $(docv) independent replicas (seeds SEED, \
+     SEED+1, ...), fanned out across domains (see $(b,BCC_DOMAINS))."
+  in
+  Arg.(value & opt int 1 & info [ "replicas" ] ~docv:"N" ~doc)
+
 let metrics_cmd =
   let doc =
     "Run experiments (all by default) with the metrics registry collecting, \
@@ -189,14 +201,24 @@ let metrics_cmd =
   Cmd.v (Cmd.info "metrics" ~doc)
     Term.(
       term_result
-        (const run_metrics $ metrics_json_arg $ metrics_proto_arg $ ids_arg
-       $ seed_arg))
+        (const run_metrics $ metrics_json_arg $ metrics_proto_arg
+       $ metrics_replicas_arg $ ids_arg $ seed_arg))
 
 (* ---------------------------------------------------------------- main *)
 
 let cmd =
   let doc = "Reproduce the experiments for Chen-Grossman PODC'19 (Broadcast Congested Clique)" in
-  let info = Cmd.info "bcc_cli" ~doc in
+  let envs =
+    [
+      Cmd.Env.info "BCC_DOMAINS"
+        ~doc:
+          "Number of domains (cores) used by the parallel Monte-Carlo trial \
+           loops; experiment tables are byte-identical for every value \
+           (defaults to the machine's recommended domain count, capped at 8; \
+           see docs/PARALLELISM.md).";
+    ]
+  in
+  let info = Cmd.info "bcc_cli" ~doc ~envs in
   Cmd.group ~default:run_term info [ run_cmd; trace_cmd; metrics_cmd ]
 
 (* Keep `bcc_cli e1 e2` working: a leading positional that is not a

@@ -2,12 +2,30 @@ module Rand_counter = struct
   type source = Stream of Prng.t | Deterministic | Tape of Bitvec.t * int ref
 
   (* [owner] is the processor id the charges belong to (-1 outside a
-     run); the runners set it so trace events attribute draws. *)
-  type t = { source : source; mutable used : int; mutable owner : int }
+     run); the runners set it so trace events attribute draws.  [dom] is
+     the id of the domain that created the counter: the state is
+     unsynchronised, so every draw asserts it still runs there (a counter
+     created inside a parallel trial body lives and dies on one domain,
+     which is the supported pattern — see docs/PARALLELISM.md). *)
+  type t = {
+    source : source;
+    mutable used : int;
+    mutable owner : int;
+    dom : int;
+  }
 
-  let make g = { source = Stream g; used = 0; owner = -1 }
-  let deterministic () = { source = Deterministic; used = 0; owner = -1 }
-  let of_tape tape = { source = Tape (tape, ref 0); used = 0; owner = -1 }
+  let self_dom () = (Domain.self () :> int)
+  let make g = { source = Stream g; used = 0; owner = -1; dom = self_dom () }
+
+  let deterministic () =
+    { source = Deterministic; used = 0; owner = -1; dom = self_dom () }
+
+  let of_tape tape =
+    { source = Tape (tape, ref 0); used = 0; owner = -1; dom = self_dom () }
+
+  let[@inline] check_domain r =
+    if self_dom () <> r.dom then
+      failwith "Rand_counter: draw from a domain other than the creator's"
 
   let bits_used r = r.used
   let set_owner r id = r.owner <- id
@@ -23,6 +41,7 @@ module Rand_counter = struct
     b
 
   let bool r =
+    check_domain r;
     r.used <- r.used + 1;
     trace_draw r "bool" 1;
     match r.source with
@@ -38,6 +57,7 @@ module Rand_counter = struct
 
   let bits r w =
     if w < 0 || w > 30 then invalid_arg "Rand_counter.bits: width in [0,30]";
+    check_domain r;
     r.used <- r.used + w;
     trace_draw r "bits" w;
     let v = ref 0 in
@@ -47,6 +67,7 @@ module Rand_counter = struct
     !v
 
   let bitvec r len =
+    check_domain r;
     r.used <- r.used + len;
     trace_draw r "bitvec" len;
     Bitvec.init len (fun _ -> bool_uncounted r)

@@ -17,6 +17,10 @@ module Rand_counter : sig
       bits, which is how the paper's "each processor uses up to [n] random
       bits" statements are checked experimentally. *)
 
+  (** A counter's state is unsynchronised and pinned to the domain that
+      created it: any draw from another domain raises [Failure].  Parallel
+      trial loops (see [Par]) therefore create counters inside the trial
+      body — which [Bcast.run] does — rather than sharing them. *)
   type t
 
   val make : Prng.t -> t

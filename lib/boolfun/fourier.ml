@@ -27,8 +27,15 @@ let transform f =
   Array.map (fun v -> v *. scale) a
 
 let popcount_parity v =
-  let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc <> (v land 1 = 1)) in
-  go v false
+  (* Folded XOR: each shift-xor halves the span carrying the parity, so
+     six steps cover all 63 bits instead of one loop iteration per bit. *)
+  let v = v lxor (v lsr 32) in
+  let v = v lxor (v lsr 16) in
+  let v = v lxor (v lsr 8) in
+  let v = v lxor (v lsr 4) in
+  let v = v lxor (v lsr 2) in
+  let v = v lxor (v lsr 1) in
+  v land 1 = 1
 
 let coefficient f s =
   let n = Boolfun.arity f in

@@ -19,6 +19,10 @@ val transform : Boolfun.t -> float array
 (** All Fourier coefficients: [ (transform f).(s) = f^(S) ] with the
     normalization [E_x], i.e. divided by [2^n]. *)
 
+val popcount_parity : int -> bool
+(** Parity of the population count, by folded XOR (six shift-xor steps for
+    any 63-bit int) — the inner sign computation of {!coefficient}. *)
+
 val coefficient : Boolfun.t -> int -> float
 (** [coefficient f s]: the single coefficient at mask [s], computed
     directly in [O(2^n)]. *)

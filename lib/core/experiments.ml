@@ -192,6 +192,14 @@ let e4_one_round_transcripts ?(seed = 42) () =
 
 let e5_distinguisher_advantage ?(seed = 42) ?(n = 256) () =
   let g = Prng.create seed in
+  (* The trial loops below run in parallel and derive their randomness by
+     splitting the generator they are given (never advancing it), so each
+     call site gets its own split child to keep streams disjoint. *)
+  let site = ref 0 in
+  let next_g () =
+    incr site;
+    Prng.split g !site
+  in
   let quarter = int_of_float (foi n ** 0.25) in
   let sqrtn = int_of_float (Float.sqrt (foi n)) in
   let ks =
@@ -213,7 +221,8 @@ let e5_distinguisher_advantage ?(seed = 42) ?(n = 256) () =
         List.map
           (fun d ->
             let adv =
-              Distinguishers.advantage d ~n ~k ~calibration:60 ~trials:60 g
+              Distinguishers.advantage d ~n ~k ~calibration:60 ~trials:60
+                (next_g ())
             in
             [ string_of_int n; string_of_int k; d.Distinguishers.name;
               string_of_int d.Distinguishers.rounds; f4 adv ])
@@ -235,7 +244,9 @@ let e5_distinguisher_advantage ?(seed = 42) ?(n = 256) () =
     in
     List.map
       (fun k ->
-        let gap = Distinguisher_protocols.measured_gap proto ~n ~k ~trials:40 g in
+        let gap =
+          Distinguisher_protocols.measured_gap proto ~n ~k ~trials:40 (next_g ())
+        in
         [ string_of_int n; string_of_int k; "edge-count (in-model)"; "1"; f4 gap ])
       [ quarter; 3 * sqrtn ]
   in
@@ -402,16 +413,26 @@ let e9_seed_attack ?(seed = 42) () =
 
 let e10_full_rank_average_case ?(seed = 42) () =
   let g = Prng.create seed in
+  (* As in E5: the sampling loops parallelise and split rather than
+     advance, so each stage works on its own split child. *)
+  let site = ref 0 in
+  let next_g () =
+    incr site;
+    Prng.split g !site
+  in
   let n = 48 in
   let trials = 200 in
-  (* Rank distribution check. *)
+  (* Rank distribution check, fanned out across domains. *)
   let empirical_full =
-    let hits = ref 0 in
-    for _ = 1 to trials do
-      if Gf2_matrix.is_full_rank (Full_rank.sample_uniform ~n g) then incr hits
-    done;
-    Metrics.record_many (Metrics.ratio "e10_full_rank_rate") ~successes:!hits ~trials;
-    foi !hits /. foi trials
+    let hits =
+      Par.map_reduce (next_g ()) ~trials ~init:0
+        ~f:(fun ~trial:_ gt ->
+          if Gf2_matrix.is_full_rank (Full_rank.sample_uniform ~n gt) then 1
+          else 0)
+        ~reduce:( + )
+    in
+    Metrics.record_many (Metrics.ratio "e10_full_rank_rate") ~successes:hits ~trials;
+    foi hits /. foi trials
   in
   let rows = ref [] in
   rows :=
@@ -426,7 +447,7 @@ let e10_full_rank_average_case ?(seed = 42) () =
       let proto = Full_rank.truncated_protocol ~n ~rounds in
       let acc =
         Full_rank.accuracy proto ~truth:Gf2_matrix.is_full_rank
-          ~sample:(Full_rank.sample_uniform ~n) ~trials g
+          ~sample:(Full_rank.sample_uniform ~n) ~trials (next_g ())
       in
       rows :=
         [ Printf.sprintf "truncated accuracy, %d/%d rounds" rounds n; f4 acc;
@@ -443,7 +464,7 @@ let e10_full_rank_average_case ?(seed = 42) () =
       ~sample_no:(fun g ->
         let m = Full_rank.sample_uniform ~n g in
         Array.init n (Gf2_matrix.row m))
-      ~trials:trials g
+      ~trials (next_g ())
   in
   rows :=
     [ Printf.sprintf "U_B vs uniform gap at n/20=%d rounds" (n / 20); f4 gap;
@@ -899,19 +920,29 @@ let e21_diameter_connectivity ?(seed = 42) () =
   List.iter
     (fun factor ->
       let p = factor *. conn_thr in
+      (* Monte-Carlo-only sampling: geometric-skip G(n,p) and parallel
+         trials (per-trial split children keep this domain-count
+         independent). *)
+      let outcomes =
+        Par.map_trials
+          (Prng.split g (int_of_float (factor *. 100.0)))
+          ~trials
+          (fun ~trial:_ gt ->
+            let graph = Gnp.sample_fast gt ~n ~p in
+            if Gnp.is_connected graph then (1, Gnp.diameter graph)
+            else (0, None))
+      in
       let connected = ref 0 in
       let diam_sum = ref 0 and diam_count = ref 0 in
-      for i = 1 to trials do
-        let graph = Gnp.sample (Prng.split g (int_of_float (factor *. 100.0) + i)) ~n ~p in
-        if Gnp.is_connected graph then begin
-          incr connected;
-          match Gnp.diameter graph with
+      Array.iter
+        (fun (conn, diam) ->
+          connected := !connected + conn;
+          match diam with
           | Some d ->
               diam_sum := !diam_sum + d;
               incr diam_count
-          | None -> ()
-        end
-      done;
+          | None -> ())
+        outcomes;
       rows :=
         [ f4 factor; f4 p;
           f4 (foi !connected /. foi trials);
@@ -974,27 +1005,32 @@ let e23_hamiltonicity ?(seed = 42) () =
   List.iter
     (fun factor ->
       let p = Float.min 1.0 (factor *. thr) in
-      let found = ref 0 in
-      for i = 1 to trials do
-        let gt = Prng.split g (int_of_float (factor *. 100.0) + i) in
-        let graph = Gnp.sample gt ~n ~p in
-        match Hamilton.find_cycle gt graph ~max_steps:(200 * n) with
-        | Some cycle when Hamilton.is_hamiltonian_cycle graph cycle -> incr found
-        | _ -> ()
-      done;
-      rows := [ f4 factor; f4 p; f4 (foi !found /. foi trials) ] :: !rows)
+      (* Geometric-skip sampling plus parallel trials, as in E21. *)
+      let found =
+        Par.map_reduce
+          (Prng.split g (int_of_float (factor *. 100.0)))
+          ~trials ~init:0
+          ~f:(fun ~trial:_ gt ->
+            let graph = Gnp.sample_fast gt ~n ~p in
+            match Hamilton.find_cycle gt graph ~max_steps:(200 * n) with
+            | Some cycle when Hamilton.is_hamiltonian_cycle graph cycle -> 1
+            | _ -> 0)
+          ~reduce:( + )
+      in
+      rows := [ f4 factor; f4 p; f4 (foi found /. foi trials) ] :: !rows)
     [ 0.5; 1.0; 1.5; 2.5; 4.0 ];
   (* Planted side: the cycle is always recoverable. *)
-  let recovered = ref 0 in
-  for i = 1 to trials do
-    let gt = Prng.split g (9000 + i) in
-    let graph, _ = Hamilton.sample_planted_cycle gt ~n ~p:(0.5 *. thr) in
-    match Hamilton.find_cycle gt graph ~max_steps:(200 * n) with
-    | Some cycle when Hamilton.is_hamiltonian_cycle graph cycle -> incr recovered
-    | _ -> ()
-  done;
+  let recovered =
+    Par.map_reduce (Prng.split g 9000) ~trials ~init:0
+      ~f:(fun ~trial:_ gt ->
+        let graph, _ = Hamilton.sample_planted_cycle gt ~n ~p:(0.5 *. thr) in
+        match Hamilton.find_cycle gt graph ~max_steps:(200 * n) with
+        | Some cycle when Hamilton.is_hamiltonian_cycle graph cycle -> 1
+        | _ -> 0)
+      ~reduce:( + )
+  in
   let rows =
-    List.rev ([ "planted"; f4 (0.5 *. thr); f4 (foi !recovered /. foi trials) ] :: !rows)
+    List.rev ([ "planted"; f4 (0.5 *. thr); f4 (foi recovered /. foi trials) ] :: !rows)
   in
   {
     id = "e23";

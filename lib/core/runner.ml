@@ -155,6 +155,22 @@ let run ~name ~seed =
         (Printf.sprintf "Runner.run: unknown protocol %S (known: %s)" name
            (String.concat ", " names))
 
+let run_replicas ~name ~seed ~replicas =
+  if replicas < 1 then invalid_arg "Runner.run_replicas: replicas must be >= 1";
+  match find name with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Runner.run_replicas: unknown protocol %S (known: %s)"
+           name
+           (String.concat ", " names))
+  | Some e ->
+      (* Replica [i] is exactly [run ~seed:(seed + i)]; [Par.map_array]
+         keeps the summaries in replica order, so the result is the same
+         with any domain count (and with tracing enabled, where the map
+         degrades to a sequential loop). *)
+      Par.map_array (fun s -> e.run ~seed:s)
+        (Array.init replicas (fun i -> seed + i))
+
 let trace ~name ~seed =
   match find name with
   | Some e ->

@@ -27,6 +27,14 @@ val run : name:string -> seed:int -> summary
 (** Runs the named configuration (with whatever sink/metrics state is
     currently installed).  Raises [Invalid_argument] on unknown names. *)
 
+val run_replicas : name:string -> seed:int -> replicas:int -> summary array
+(** [replicas] independent runs of the named configuration, replica [i]
+    seeded with [seed + i], fanned out across domains by [Par] (metrics
+    handles merge under the registry's lock; with a trace sink installed
+    the replicas run sequentially so the event stream stays coherent).
+    The array is in replica order and identical for every domain count.
+    Raises [Invalid_argument] on unknown names or [replicas < 1]. *)
+
 val trace : name:string -> seed:int -> Trace.event list * summary
 (** Runs with a fresh memory sink installed; returns the captured events
     in emission order. *)

@@ -11,6 +11,49 @@ let sample g ~n ~p =
   done;
   graph
 
+let sample_fast g ~n ~p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Gnp.sample_fast: p in [0,1]";
+  let graph = Digraph.create n in
+  let total = n * (n - 1) / 2 in
+  if p >= 1.0 then
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        Digraph.add_edge graph i j;
+        Digraph.add_edge graph j i
+      done
+    done
+  else if p > 0.0 && total > 0 then begin
+    (* Enumerate unordered pairs row-major: pair index m belongs to row i
+       while m < row_start_{i+1}, with row i holding (n-1-i) pairs.  The
+       next edge is the current index advanced by a Geometric(p) skip;
+       indices only grow, so decoding amortises to O(n) pointer pushes. *)
+    let log1mp = Float.log (1.0 -. p) in
+    let row = ref 0 in
+    let row_start = ref 0 in
+    let idx = ref (-1) in
+    let continue = ref true in
+    while !continue do
+      let u = Prng.float g in
+      let skip = Float.log (1.0 -. u) /. log1mp in
+      (* [skip] is finite and >= 0; cap before truncating so the addition
+         below cannot overflow when p is tiny and u is close to 1. *)
+      let skip = int_of_float (Float.min skip (float_of_int total)) in
+      idx := !idx + 1 + skip;
+      if !idx >= total then continue := false
+      else begin
+        while !idx >= !row_start + (n - 1 - !row) do
+          row_start := !row_start + (n - 1 - !row);
+          incr row
+        done;
+        let i = !row in
+        let j = i + 1 + (!idx - !row_start) in
+        Digraph.add_edge graph i j;
+        Digraph.add_edge graph j i
+      end
+    done
+  end;
+  graph
+
 let connectivity_threshold n = Float.log (float_of_int (max 2 n)) /. float_of_int n
 
 let diameter_two_threshold n =

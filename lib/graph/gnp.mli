@@ -11,7 +11,17 @@
 
 val sample : Prng.t -> n:int -> p:float -> Digraph.t
 (** An undirected-style sample: each unordered pair becomes a
-    bidirectional edge with probability [p]. *)
+    bidirectional edge with probability [p].  One [Prng.bernoulli] per
+    pair — the draw-per-pair pattern the resource-accounting experiments
+    meter — so keep this one where bit counts matter. *)
+
+val sample_fast : Prng.t -> n:int -> p:float -> Digraph.t
+(** Same distribution as {!sample}, by geometric skipping: pairs are
+    enumerated in a fixed linear order and the gap to the next edge is
+    drawn as [floor(ln(1-U) / ln(1-p))], so the expected draw count is
+    [O(n^2 p + n)] instead of [n(n-1)/2].  Use in Monte-Carlo loops where
+    only the sampled graph matters; the per-pair randomness accounting of
+    {!sample} is not reproduced (different draws, same distribution). *)
 
 val connectivity_threshold : int -> float
 (** [ln n / n], the sharp threshold for connectivity. *)

@@ -1,15 +1,23 @@
 let foi = float_of_int
 
 let protocol_gap proto ~sample_yes ~sample_no ~trials g =
-  let rate sample =
-    let hits = ref 0 in
-    for _ = 1 to trials do
-      let result = Bcast.run proto ~inputs:(sample g) ~rand:g in
-      if result.Bcast.outputs.(0) then incr hits
-    done;
-    foi !hits /. foi trials
+  (* One [Prng.split] child per trial, fanned out by [Par]: the gap is a
+     function of [g]'s seed alone, independent of the domain count.  Each
+     simulator run builds its own [Rand_counter]s inside the trial body,
+     so nothing mutable crosses domains (protocol values whose [spawn]
+     closes over shared mutable state must synchronise it — the in-repo
+     protocols do). *)
+  let rate branch sample =
+    let hits =
+      Par.map_reduce branch ~trials ~init:0
+        ~f:(fun ~trial:_ gt ->
+          let result = Bcast.run proto ~inputs:(sample gt) ~rand:gt in
+          if result.Bcast.outputs.(0) then 1 else 0)
+        ~reduce:( + )
+    in
+    foi hits /. foi trials
   in
-  rate sample_yes -. rate sample_no
+  rate (Prng.split g 0) sample_yes -. rate (Prng.split g 1) sample_no
 
 let transcript_tv_sampled proto ~sample_a ~sample_b ~samples g =
   let da = Turn_model.sampled_transcript_dist proto ~sample:sample_a ~samples g in

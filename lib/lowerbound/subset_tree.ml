@@ -9,33 +9,70 @@ type stats = {
 let foi = float_of_int
 let log2 x = Float.log x /. Float.log 2.0
 
+(* One walk down the subset tree; everything the trial contributes to the
+   aggregate, so trials can run on any domain and be folded in trial
+   order afterwards. *)
+type walk_outcome = {
+  w_exceeded : bool;
+  w_empty : bool;
+  w_z : float option; (* final Z when the walk survives to a leaf *)
+  w_bad_edges : int;
+  w_steps : int;
+}
+
 let simulate g ~d ~k ~trials =
   let n = Restriction.arity d in
   if k > n then invalid_arg "Subset_tree.simulate: k > n";
   let t = Float.max 1.0 (Restriction.deficit d) in
+  (* Trials fan out via [Par]; [d] is only read.  The fold below runs in
+     trial order, so the float sum (and thus the whole stats record) is
+     identical for every domain count. *)
+  let outcomes =
+    Par.map_trials g ~trials (fun ~trial:_ gt ->
+        let order = Prng.subset gt ~n ~k in
+        let bad_edges = ref 0 and steps = ref 0 in
+        let rec walk dom l = function
+          | [] ->
+              let z = foi (n - l) -. log2 (foi (Restriction.size dom)) in
+              {
+                w_exceeded = z > 3.0 *. t;
+                w_empty = false;
+                w_z = Some z;
+                w_bad_edges = !bad_edges;
+                w_steps = !steps;
+              }
+          | a :: rest -> begin
+              incr steps;
+              if Restriction.coordinate_entropy dom a < 0.9 then incr bad_edges;
+              match Restriction.forced_ones dom [ a ] with
+              | None ->
+                  {
+                    w_exceeded = true;
+                    w_empty = true;
+                    w_z = None;
+                    w_bad_edges = !bad_edges;
+                    w_steps = !steps;
+                  }
+              | Some dom' -> walk dom' (l + 1) rest
+            end
+        in
+        walk d 0 order)
+  in
   let exceeded = ref 0 and empties = ref 0 in
   let z_sum = ref 0.0 and z_count = ref 0 in
   let bad_edges = ref 0 and steps = ref 0 in
-  for _ = 1 to trials do
-    let order = Prng.subset g ~n ~k in
-    let rec walk dom l = function
-      | [] ->
-          let z = foi (n - l) -. log2 (foi (Restriction.size dom)) in
+  Array.iter
+    (fun o ->
+      if o.w_exceeded then incr exceeded;
+      if o.w_empty then incr empties;
+      (match o.w_z with
+      | Some z ->
           z_sum := !z_sum +. z;
-          incr z_count;
-          if z > 3.0 *. t then incr exceeded
-      | a :: rest -> begin
-          incr steps;
-          if Restriction.coordinate_entropy dom a < 0.9 then incr bad_edges;
-          match Restriction.forced_ones dom [ a ] with
-          | None ->
-              incr empties;
-              incr exceeded
-          | Some dom' -> walk dom' (l + 1) rest
-        end
-    in
-    walk d 0 order
-  done;
+          incr z_count
+      | None -> ());
+      bad_edges := !bad_edges + o.w_bad_edges;
+      steps := !steps + o.w_steps)
+    outcomes;
   {
     trials;
     prob_z_exceeds_3t = foi !exceeded /. foi trials;

@@ -1,7 +1,16 @@
 (* A process-wide registry of named counters, gauges, fixed-bucket
    histograms, and binomial ratios (Monte-Carlo estimates with Wilson
    intervals).  Handles are cheap mutable records; [snapshot] freezes the
-   registry into a value the artifact layer can serialize. *)
+   registry into a value the artifact layer can serialize.
+
+   Domain safety: registration, every handle update, [snapshot] and
+   [reset] take one process-wide mutex, so trial bodies fanned out by
+   Bcc_par can update shared handles and the merged totals are exact.
+   The critical sections are a few machine instructions; an uncontended
+   lock/unlock costs ~20 ns, which only ever appears on paths that are
+   already updating a metric.  [collecting] stays a plain (atomic by the
+   OCaml memory model) ref read so un-instrumented code pays a single
+   branch and never touches the lock. *)
 
 type counter = { c_name : string; mutable c_count : int }
 type gauge = { g_name : string; mutable g_value : float; mutable g_set : bool }
@@ -24,6 +33,19 @@ type metric =
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
 
+(* Guards the registry table and every mutable field of every metric. *)
+let guard = Mutex.create ()
+
+let[@inline] locked f =
+  Mutex.lock guard;
+  match f () with
+  | v ->
+      Mutex.unlock guard;
+      v
+  | exception exn ->
+      Mutex.unlock guard;
+      raise exn
+
 (* Gates the simulator's built-in instrumentation (per-run counters and
    histograms in [Bcast.run] / [Unicast.run]); explicit handle updates
    always apply.  Off by default so un-instrumented benchmarks pay one
@@ -33,20 +55,22 @@ let set_collecting b = collecting_flag := b
 let[@inline] collecting () = !collecting_flag
 
 let register name make describe_kind select =
-  match Hashtbl.find_opt registry name with
-  | None ->
-      let m = make () in
-      Hashtbl.replace registry name m;
-      (match select m with
-      | Some h -> h
-      | None -> assert false)
-  | Some m -> (
-      match select m with
-      | Some h -> h
+  locked (fun () ->
+      match Hashtbl.find_opt registry name with
       | None ->
-          invalid_arg
-            (Printf.sprintf "Metrics: %S already registered with another kind (wanted %s)"
-               name describe_kind))
+          let m = make () in
+          Hashtbl.replace registry name m;
+          (match select m with
+          | Some h -> h
+          | None -> assert false)
+      | Some m -> (
+          match select m with
+          | Some h -> h
+          | None ->
+              invalid_arg
+                (Printf.sprintf
+                   "Metrics: %S already registered with another kind (wanted %s)"
+                   name describe_kind)))
 
 let counter name =
   register name
@@ -54,7 +78,7 @@ let counter name =
     "counter"
     (function M_counter c -> Some c | _ -> None)
 
-let inc ?(by = 1) c = c.c_count <- c.c_count + by
+let inc ?(by = 1) c = locked (fun () -> c.c_count <- c.c_count + by)
 
 let gauge name =
   register name
@@ -63,8 +87,9 @@ let gauge name =
     (function M_gauge g -> Some g | _ -> None)
 
 let set g v =
-  g.g_value <- v;
-  g.g_set <- true
+  locked (fun () ->
+      g.g_value <- v;
+      g.g_set <- true)
 
 let default_buckets = [| 1.0; 10.0; 100.0; 1000.0; 10_000.0; 100_000.0 |]
 let duration_buckets = [| 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0; 60.0 |]
@@ -95,9 +120,10 @@ let observe h x =
   while !i < nb && x > h.h_buckets.(!i) do
     incr i
   done;
-  h.h_counts.(!i) <- h.h_counts.(!i) + 1;
-  h.h_sum <- h.h_sum +. x;
-  h.h_count <- h.h_count + 1
+  locked (fun () ->
+      h.h_counts.(!i) <- h.h_counts.(!i) + 1;
+      h.h_sum <- h.h_sum +. x;
+      h.h_count <- h.h_count + 1)
 
 let ratio name =
   register name
@@ -106,14 +132,16 @@ let ratio name =
     (function M_ratio r -> Some r | _ -> None)
 
 let record r ~success =
-  r.r_trials <- r.r_trials + 1;
-  if success then r.r_successes <- r.r_successes + 1
+  locked (fun () ->
+      r.r_trials <- r.r_trials + 1;
+      if success then r.r_successes <- r.r_successes + 1)
 
 let record_many r ~successes ~trials =
   if successes < 0 || trials < 0 || successes > trials then
     invalid_arg "Metrics.record_many";
-  r.r_successes <- r.r_successes + successes;
-  r.r_trials <- r.r_trials + trials
+  locked (fun () ->
+      r.r_successes <- r.r_successes + successes;
+      r.r_trials <- r.r_trials + trials)
 
 let timed h f =
   let t0 = Unix.gettimeofday () in
@@ -181,27 +209,29 @@ let sample_of_metric = function
       }
 
 let snapshot () =
-  Hashtbl.fold (fun _ m acc -> sample_of_metric m :: acc) registry []
+  locked (fun () ->
+      Hashtbl.fold (fun _ m acc -> sample_of_metric m :: acc) registry [])
   |> List.sort (fun a b -> String.compare a.name b.name)
 
 let reset () =
   (* Zero in place rather than emptying the table: long-lived handles
      (the simulator caches its own) stay registered and visible. *)
-  Hashtbl.iter
-    (fun _ m ->
-      match m with
-      | M_counter c -> c.c_count <- 0
-      | M_gauge g ->
-          g.g_value <- 0.0;
-          g.g_set <- false
-      | M_histogram h ->
-          Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
-          h.h_sum <- 0.0;
-          h.h_count <- 0
-      | M_ratio r ->
-          r.r_successes <- 0;
-          r.r_trials <- 0)
-    registry
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | M_counter c -> c.c_count <- 0
+          | M_gauge g ->
+              g.g_value <- 0.0;
+              g.g_set <- false
+          | M_histogram h ->
+              Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+              h.h_sum <- 0.0;
+              h.h_count <- 0
+          | M_ratio r ->
+              r.r_successes <- 0;
+              r.r_trials <- 0)
+        registry)
 
 (* --------------------------------------------------------------- views *)
 

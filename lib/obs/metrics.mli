@@ -12,7 +12,12 @@
 
     Handles are cheap mutable records; look them up once and update in
     loops.  {!snapshot} freezes everything, sorted by name, for the
-    artifact layer. *)
+    artifact layer.
+
+    The registry is domain-safe: registration, every handle update,
+    {!snapshot} and {!reset} are serialised by one process-wide mutex, so
+    parallel trial loops (see [Par]) can update shared handles and the
+    merged totals are exact.  See [docs/PARALLELISM.md]. *)
 
 val set_collecting : bool -> unit
 (** Turns the simulator's built-in instrumentation on or off (default

@@ -34,8 +34,11 @@ let sampled_clique_protocol ~n ~sample_size =
   let w = Bcast.msg_bits_for_log_n (max 2 n) in
   let rounds = (sample_size + w - 1) / w in
   (* Everyone computes the same induced-subgraph max clique; share the
-     Bron-Kerbosch run across processors of one protocol value. *)
+     Bron-Kerbosch run across processors of one protocol value.  The cache
+     outlives a single [Bcast.run], so parallel trial loops (Par) can hit
+     it from several domains — guard it. *)
   let cache : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  let cache_guard = Mutex.create () in
   {
     Bcast.name = Printf.sprintf "sampled-clique(n=%d,s=%d)" n sample_size;
     msg_bits = w;
@@ -71,13 +74,21 @@ let sampled_clique_protocol ~n ~sample_size =
           finish =
             (fun () ->
               let key = String.concat ";" (Array.to_list (Array.map Bitvec.to_string rows)) in
-              match Hashtbl.find_opt cache key with
+              let cached =
+                Mutex.lock cache_guard;
+                let v = Hashtbl.find_opt cache key in
+                Mutex.unlock cache_guard;
+                v
+              in
+              match cached with
               | Some size -> size
               | None ->
                   let sub = Digraph.create sample_size in
                   Array.iteri (fun i r -> Digraph.set_out_row sub i r) rows;
                   let size = List.length (Clique.max_clique sub) in
+                  Mutex.lock cache_guard;
                   Hashtbl.replace cache key size;
+                  Mutex.unlock cache_guard;
                   size);
         });
   }

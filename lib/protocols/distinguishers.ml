@@ -79,20 +79,30 @@ let common_neighbors ~pairs =
   }
 
 let advantage d ~n ~k ~calibration ~trials g =
-  (* Calibrate the threshold on A_rand. *)
+  (* Trials fan out across domains: each trial draws from its own
+     [Prng.split] child (sample first, then the statistic's public coins),
+     so the result is the same whatever the domain count.  [g] itself is
+     never advanced — branches 0/1/2 keep the three stages on disjoint
+     streams. *)
   let calib_stats =
-    Array.init calibration (fun _ ->
-        d.statistic g (Planted.sample_rand g n))
+    Par.map_trials (Prng.split g 0) ~trials:calibration (fun ~trial:_ gt ->
+        let graph = Planted.sample_rand gt n in
+        d.statistic gt graph)
   in
   let q = 1.0 -. (1.0 /. Float.sqrt (float_of_int (max 2 calibration))) in
   let threshold = Stats.quantile calib_stats q in
-  let hit_rate sample_graph =
-    let hits = ref 0 in
-    for _ = 1 to trials do
-      if d.statistic g (sample_graph ()) > threshold then incr hits
-    done;
-    float_of_int !hits /. float_of_int trials
+  let hit_rate branch sample_graph =
+    let hits =
+      Par.map_reduce branch ~trials ~init:0
+        ~f:(fun ~trial:_ gt ->
+          let graph = sample_graph gt in
+          if d.statistic gt graph > threshold then 1 else 0)
+        ~reduce:( + )
+    in
+    float_of_int hits /. float_of_int trials
   in
-  let p_planted = hit_rate (fun () -> fst (Planted.sample_planted g ~n ~k)) in
-  let p_rand = hit_rate (fun () -> Planted.sample_rand g n) in
+  let p_planted =
+    hit_rate (Prng.split g 1) (fun gt -> fst (Planted.sample_planted gt ~n ~k))
+  in
+  let p_rand = hit_rate (Prng.split g 2) (fun gt -> Planted.sample_rand gt n) in
   p_planted -. p_rand

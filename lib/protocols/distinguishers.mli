@@ -61,4 +61,8 @@ val advantage :
     [1 - 1/sqrt calibration] quantile of the statistic on [A_rand] samples,
     then [advantage = Pr_{A_k}[stat > thr] - Pr_{A_rand}[stat > thr]]
     measured on [trials] fresh samples of each.  In [[-1, 1]]; ~0 means
-    the distinguisher is blind. *)
+    the distinguisher is blind.
+
+    Trials run in parallel via [Par] with one [Prng.split] child per
+    trial; the result depends only on [g]'s seed, never on the domain
+    count.  [g] is split, not advanced. *)

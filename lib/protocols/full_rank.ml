@@ -71,14 +71,18 @@ let top_k_truncated ~n ~k ~rounds =
       ~decide:(decide_truncated ~k ~rounds)
 
 let accuracy proto ~truth ~sample ~trials g =
-  let hits = ref 0 in
-  for _ = 1 to trials do
-    let m = sample g in
-    let inputs = Array.init (Gf2_matrix.rows m) (Gf2_matrix.row m) in
-    let result = Bcast.run proto ~inputs ~rand:g in
-    if result.Bcast.outputs.(0) = truth m then incr hits
-  done;
-  float_of_int !hits /. float_of_int trials
+  (* Parallel trials, one [Prng.split] child each — domain-count
+     independent, and [g] is split rather than advanced. *)
+  let hits =
+    Par.map_reduce g ~trials ~init:0
+      ~f:(fun ~trial:_ gt ->
+        let m = sample gt in
+        let inputs = Array.init (Gf2_matrix.rows m) (Gf2_matrix.row m) in
+        let result = Bcast.run proto ~inputs ~rand:gt in
+        if result.Bcast.outputs.(0) = truth m then 1 else 0)
+      ~reduce:( + )
+  in
+  float_of_int hits /. float_of_int trials
 
 let sample_uniform ~n g = Gf2_matrix.random g ~rows:n ~cols:n
 

@@ -56,20 +56,29 @@ let declares_pseudo ~params ~inputs g =
   let result = Bcast.run proto ~inputs ~rand:g in
   result.Bcast.outputs.(0)
 
+(* Both Monte-Carlo estimates fan their trials out via [Par], one
+   [Prng.split] child per trial: results depend on [g]'s seed only, not
+   on the domain count, and [g] is never advanced. *)
+
 let advantage ~params ~trials g =
-  let hits_pseudo = ref 0 and hits_rand = ref 0 in
-  for _ = 1 to trials do
-    let pseudo, _ = Full_prg.sample_inputs_pseudo g params in
-    if declares_pseudo ~params ~inputs:pseudo g then incr hits_pseudo;
-    let random = Full_prg.sample_inputs_rand g params in
-    if declares_pseudo ~params ~inputs:random g then incr hits_rand
-  done;
-  float_of_int (!hits_pseudo - !hits_rand) /. float_of_int trials
+  let hits_pseudo, hits_rand =
+    Par.map_reduce g ~trials ~init:(0, 0)
+      ~f:(fun ~trial:_ gt ->
+        let pseudo, _ = Full_prg.sample_inputs_pseudo gt params in
+        let hp = if declares_pseudo ~params ~inputs:pseudo gt then 1 else 0 in
+        let random = Full_prg.sample_inputs_rand gt params in
+        let hr = if declares_pseudo ~params ~inputs:random gt then 1 else 0 in
+        (hp, hr))
+      ~reduce:(fun (ap, ar) (hp, hr) -> (ap + hp, ar + hr))
+  in
+  float_of_int (hits_pseudo - hits_rand) /. float_of_int trials
 
 let false_positive_rate ~params ~trials g =
-  let hits = ref 0 in
-  for _ = 1 to trials do
-    let random = Full_prg.sample_inputs_rand g params in
-    if declares_pseudo ~params ~inputs:random g then incr hits
-  done;
-  float_of_int !hits /. float_of_int trials
+  let hits =
+    Par.map_reduce g ~trials ~init:0
+      ~f:(fun ~trial:_ gt ->
+        let random = Full_prg.sample_inputs_rand gt params in
+        if declares_pseudo ~params ~inputs:random gt then 1 else 0)
+      ~reduce:( + )
+  in
+  float_of_int hits /. float_of_int trials

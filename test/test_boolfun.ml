@@ -218,6 +218,29 @@ let test_random_subset_nonempty () =
     check_bool "nonempty" true (Restriction.size d >= 1)
   done
 
+(* The folded-XOR popcount parity, pinned against the obvious bit-by-bit
+   loop it replaced, on edge cases and 10k random 62-bit inputs. *)
+let test_popcount_parity_pinned () =
+  let reference v =
+    let parity = ref false in
+    let v = ref v in
+    while !v <> 0 do
+      if !v land 1 = 1 then parity := not !parity;
+      v := !v lsr 1
+    done;
+    !parity
+  in
+  List.iter
+    (fun v ->
+      check_bool (Printf.sprintf "edge %d" v) (reference v)
+        (Fourier.popcount_parity v))
+    [ 0; 1; 2; 3; max_int; max_int - 1; 1 lsl 62; (1 lsl 62) - 1 ];
+  let g = Prng.create 2024 in
+  for _ = 1 to 10_000 do
+    let v = Int64.to_int (Prng.bits64 g) land max_int in
+    check_bool "random input" (reference v) (Fourier.popcount_parity v)
+  done
+
 (* --- qcheck --- *)
 
 let prop_bias_in_01 =
@@ -283,6 +306,8 @@ let () =
           Alcotest.test_case "Parseval" `Quick test_parseval;
           Alcotest.test_case "inverse" `Quick test_inverse;
           Alcotest.test_case "bad length" `Quick test_wht_bad_length;
+          Alcotest.test_case "popcount parity pinned" `Quick
+            test_popcount_parity_pinned;
         ] );
       ( "restriction",
         [

@@ -87,6 +87,54 @@ let test_sample_rand_density () =
   check_bool "half density" true
     (Float.abs (float_of_int edges -. expected) < 4.0 *. Float.sqrt expected)
 
+(* --- Gnp: geometric-skip sampler vs the per-pair one --- *)
+
+let test_gnp_fast_structure () =
+  let g = Prng.create 11 in
+  let n = 20 in
+  let graph = Gnp.sample_fast (Prng.split g 0) ~n ~p:0.3 in
+  for i = 0 to n - 1 do
+    check_bool "no self loop" false (Digraph.has_edge graph i i);
+    for j = 0 to n - 1 do
+      if i <> j then
+        check_bool "symmetric" (Digraph.has_edge graph i j)
+          (Digraph.has_edge graph j i)
+    done
+  done;
+  check_int "p=0 empty" 0
+    (Digraph.edge_count (Gnp.sample_fast (Prng.split g 1) ~n ~p:0.0));
+  check_int "p=1 complete" (n * (n - 1))
+    (Digraph.edge_count (Gnp.sample_fast (Prng.split g 2) ~n ~p:1.0))
+
+let test_gnp_fast_edge_count_distribution () =
+  (* The skip sampler must match [Gnp.sample]'s Binomial(n(n-1)/2, p)
+     edge-count distribution: compare empirical mean and variance of the
+     unordered edge count over [trials] graphs from each sampler. *)
+  let n = 48 and p = 0.15 and trials = 300 in
+  let pairs = n * (n - 1) / 2 in
+  let counts sampler seed =
+    let g = Prng.create seed in
+    Array.init trials (fun t ->
+        float_of_int (Digraph.edge_count (sampler (Prng.split g t) ~n ~p)) /. 2.0)
+  in
+  let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int trials in
+  let variance a =
+    let m = mean a in
+    Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 a
+    /. float_of_int (trials - 1)
+  in
+  let slow = counts Gnp.sample 201 and fast = counts Gnp.sample_fast 202 in
+  let expected_mean = float_of_int pairs *. p in
+  let expected_var = float_of_int pairs *. p *. (1.0 -. p) in
+  (* Mean of [trials] graphs has std [sqrt (var / trials)] ~ 0.7 edges;
+     a 5-sigma tolerance keeps the fixed-seed test far from the edge. *)
+  let tol = 5.0 *. Float.sqrt (expected_var /. float_of_int trials) in
+  check_bool "slow mean" true (Float.abs (mean slow -. expected_mean) < tol);
+  check_bool "fast mean" true (Float.abs (mean fast -. expected_mean) < tol);
+  check_bool "means agree" true (Float.abs (mean fast -. mean slow) < 2.0 *. tol);
+  let ratio = variance fast /. expected_var in
+  check_bool "fast variance is binomial" true (ratio > 0.7 && ratio < 1.4)
+
 let test_planted_clique_present () =
   let g = Prng.create 4 in
   for trial = 1 to 20 do
@@ -247,6 +295,12 @@ let () =
           Alcotest.test_case "matrix roundtrip" `Quick test_matrix_roundtrip;
           Alcotest.test_case "common out-neighbors" `Quick test_common_out_neighbors;
           Alcotest.test_case "clique predicate" `Quick test_bidirectional_clique_predicate;
+        ] );
+      ( "gnp",
+        [
+          Alcotest.test_case "fast sampler structure" `Quick test_gnp_fast_structure;
+          Alcotest.test_case "fast sampler edge-count distribution" `Quick
+            test_gnp_fast_edge_count_distribution;
         ] );
       ( "planted",
         [
