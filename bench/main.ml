@@ -293,6 +293,7 @@ let run_micro () =
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows =
+    (* bcc-lint: allow det/hashtbl-order — sorted by name on the next line *)
     Hashtbl.fold (fun name r acc -> (name, r) :: acc) results []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
@@ -301,9 +302,11 @@ let run_micro () =
   List.iter
     (fun (name, r) ->
       match Analyze.OLS.estimates r with
+      (* bcc-lint: allow det/float-format — human console report; the JSON mirror goes through Artifact *)
       | Some [ est ] -> Format.printf "%-45s %14.1f@." name est
       | Some ests ->
           Format.printf "%-45s %s@." name
+            (* bcc-lint: allow det/float-format — human console report; the JSON mirror goes through Artifact *)
             (String.concat " " (List.map (Printf.sprintf "%.1f") ests))
       | None -> Format.printf "%-45s (no estimate)@." name)
     rows;
@@ -401,6 +404,7 @@ let run_par () =
                   else if !value <> !baseline then
                     failwith
                       (Printf.sprintf
+                         (* bcc-lint: allow det/float-format — %.17g is exact round-trip precision in a failure diagnostic *)
                          "%s: result drifted at %d domains (%.17g vs %.17g)"
                          name domains !value !baseline);
                   (domains, !best *. 1e9, !value))
@@ -411,6 +415,7 @@ let run_par () =
             in
             List.iter
               (fun (domains, ns, value) ->
+                (* bcc-lint: allow det/float-format — human console report; the JSON mirror goes through Artifact *)
                 Format.printf "%-30s %8d %12.0f %9.2fx %12.6f@." name domains
                   ns (t1 /. ns) value)
               sweep;

@@ -1,0 +1,56 @@
+(* Determinism & domain-safety linter driver.
+
+     bcc_lint [--json] [-o PATH] [--rules] PATHS...
+
+   Lints every .ml file under PATHS (default: lib bin bench), prints
+   human-readable file:line:col diagnostics, optionally writes the
+   report as an Artifact-enveloped JSON document (default
+   _artifacts/LINT.json), and exits 1 when any unsuppressed finding
+   remains.  docs/STATIC_ANALYSIS.md documents the rule catalogue and
+   the allow-pragma grammar. *)
+
+let default_paths = [ "lib"; "bin"; "bench" ]
+
+let () =
+  let json = ref false in
+  let json_path = ref (Filename.concat Artifact.default_dir "LINT.json") in
+  let list_rules = ref false in
+  let quiet = ref false in
+  let paths = ref [] in
+  let spec =
+    [
+      ("--json", Arg.Set json, " write the JSON report (default _artifacts/LINT.json)");
+      ( "-o",
+        Arg.String
+          (fun p ->
+            json := true;
+            json_path := p),
+        "PATH write the JSON report to PATH (implies --json)" );
+      ("--rules", Arg.Set list_rules, " list the rule catalogue and exit");
+      ("--quiet", Arg.Set quiet, " suppress per-finding output (exit code only)");
+    ]
+  in
+  let usage = "bcc_lint [--json] [-o PATH] [--rules] PATHS..." in
+  Arg.parse (Arg.align spec) (fun p -> paths := p :: !paths) usage;
+  if !list_rules then begin
+    List.iter
+      (fun r ->
+        Printf.printf "%-20s %-7s %s\n" r.Lint.id
+          (match r.Lint.severity with Lint.Error -> "error" | Lint.Warning -> "warning")
+          r.Lint.summary)
+      Lint.catalogue;
+    exit 0
+  end;
+  let paths = match List.rev !paths with [] -> default_paths | ps -> ps in
+  (match List.find_opt (fun p -> not (Sys.file_exists p)) paths with
+  | Some p ->
+      Printf.eprintf "bcc_lint: no such file or directory: %s\n" p;
+      exit 2
+  | None -> ());
+  let report = Lint.lint_paths paths in
+  if not !quiet then Lint.pp_report Format.std_formatter report;
+  if !json then begin
+    Artifact.write_file ~path:!json_path (Lint.report_to_json ~paths report);
+    if not !quiet then Format.printf "wrote %s@." !json_path
+  end;
+  exit (Lint.exit_code report)

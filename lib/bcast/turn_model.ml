@@ -31,6 +31,7 @@ let sampled_transcript_dist proto ~sample ~samples g =
     let prev = Option.value (Hashtbl.find_opt counts key) ~default:0 in
     Hashtbl.replace counts key (prev + 1)
   done;
+  (* bcc-lint: allow det/hashtbl-order — counts table is filled by a deterministic sample loop, so fold order is reproducible; Dist normalizes per key *)
   Dist.empirical (Hashtbl.fold (fun k c acc -> (k, c) :: acc) counts [])
 
 let consistent_inputs proto ~id ~history ~upto_turn candidates =

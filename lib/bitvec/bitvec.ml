@@ -129,10 +129,33 @@ let dot a b =
 let equal a b = a.len = b.len && Array.for_all2 Int64.equal a.words b.words
 
 let compare a b =
-  let c = Stdlib.compare a.len b.len in
-  if c <> 0 then c else Stdlib.compare a.words b.words
+  let c = Int.compare a.len b.len in
+  if c <> 0 then c
+  else begin
+    (* Lexicographic on the word array; lengths are equal here, so this
+       is a total order without polymorphic comparison. *)
+    let rec go i =
+      if i >= Array.length a.words then 0
+      else
+        let c = Int64.compare a.words.(i) b.words.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+  end
 
-let hash v = Hashtbl.hash (v.len, v.words)
+let hash v =
+  (* FNV-1a-style fold over the words, splitting each int64 into two
+     halves that fit OCaml's int; explicit so the hash never depends on
+     polymorphic structural hashing. *)
+  let fnv_prime = 0x01000193 in
+  let mix h x = (h lxor x) * fnv_prime land max_int in
+  let h = ref (mix 0x811c9dc5 v.len) in
+  Array.iter
+    (fun w ->
+      h := mix !h (Int64.to_int (Int64.logand w 0xffffffffL));
+      h := mix !h (Int64.to_int (Int64.shift_right_logical w 32)))
+    v.words;
+  !h
 
 let blit ~src ~src_pos ~dst ~dst_pos ~len =
   if len < 0 || src_pos < 0 || dst_pos < 0

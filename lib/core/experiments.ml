@@ -10,7 +10,9 @@ let foi = float_of_int
 
 let f4 x =
   if Float.is_nan x then "nan"
+  (* bcc-lint: allow det/float-format — the tables' fixed-precision cell formatter: output depends only on the double, never on locale or shortest-repr search *)
   else if Float.abs x >= 1000.0 then Printf.sprintf "%.3e" x
+  (* bcc-lint: allow det/float-format — fixed-precision cell formatter, see above *)
   else Printf.sprintf "%.4f" x
 
 let print fmt t =
@@ -760,6 +762,7 @@ let e17_triangles ?(seed = 42) () =
       in
       rows :=
         [ Printf.sprintf "advantage at k=%d" k; f4 adv;
+          (* bcc-lint: allow det/float-format — fixed-precision z-score label in a table cell *)
           Printf.sprintf "z=%0.2f" (Triangles.zscore ~n ~k); "-" ]
         :: !rows)
     [ 4; 8; 12; 16; 24; 32 ];
@@ -953,6 +956,7 @@ let e21_diameter_connectivity ?(seed = 42) () =
     id = "e21";
     title =
       Printf.sprintf
+        (* bcc-lint: allow det/float-format — fixed-precision thresholds in a table title *)
         "Section 9 target: G(n,p) connectivity and diameter (n=%d, ln n/n=%.4f, diam-2 at p=%.3f)"
         n conn_thr diam2_thr;
     columns = [ "p / (ln n / n)"; "p"; "Pr[connected]"; "mean diameter" ];
@@ -1106,6 +1110,7 @@ let e25_search_baselines ?(seed = 42) () =
       done;
       rows :=
         [ string_of_int k;
+          (* bcc-lint: allow det/float-format — fixed-precision k/sqrt(n) label in a table cell *)
           Printf.sprintf "%.2f sqrt(n)" (foi k /. foi sqrtn);
           f4 (foi !deg_ok /. foi trials); f4 (foi !qp_ok /. foi trials) ]
         :: !rows)
@@ -1168,7 +1173,9 @@ let e26_randomized_separation ?(seed = 42) () =
   rows :=
     [ Printf.sprintf "BCAST EQ m=%d fingerprint" m; "-";
       string_of_int fp_result.Bcast.rounds_used;
-      string_of_int repetitions; Printf.sprintf "<= %.4f" (0.5 ** foi repetitions) ]
+      string_of_int repetitions;
+      (* bcc-lint: allow det/float-format — fixed-precision error bound in a table cell *)
+      Printf.sprintf "<= %.4f" (0.5 ** foi repetitions) ]
     :: !rows;
   {
     id = "e26";

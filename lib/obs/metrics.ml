@@ -31,6 +31,7 @@ type metric =
   | M_histogram of histogram
   | M_ratio of ratio
 
+(* bcc-lint: allow par/global-mutable — every access goes through [locked], i.e. the [guard] mutex below *)
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
 
 (* Guards the registry table and every mutable field of every metric. *)
@@ -50,6 +51,7 @@ let[@inline] locked f =
    histograms in [Bcast.run] / [Unicast.run]); explicit handle updates
    always apply.  Off by default so un-instrumented benchmarks pay one
    branch, nothing more. *)
+(* bcc-lint: allow par/global-mutable — single word flipped only between runs on the submitting domain; racy reads are benign (see header comment) *)
 let collecting_flag = ref false
 let set_collecting b = collecting_flag := b
 let[@inline] collecting () = !collecting_flag
@@ -91,7 +93,10 @@ let set g v =
       g.g_value <- v;
       g.g_set <- true)
 
+(* bcc-lint: allow par/global-mutable — read-only bucket template, copied at histogram registration, never written *)
 let default_buckets = [| 1.0; 10.0; 100.0; 1000.0; 10_000.0; 100_000.0 |]
+
+(* bcc-lint: allow par/global-mutable — read-only bucket template, copied at histogram registration, never written *)
 let duration_buckets = [| 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0; 60.0 |]
 
 let histogram ?(buckets = default_buckets) name =
@@ -210,6 +215,7 @@ let sample_of_metric = function
 
 let snapshot () =
   locked (fun () ->
+      (* bcc-lint: allow det/hashtbl-order — samples are sorted by name on the next line *)
       Hashtbl.fold (fun _ m acc -> sample_of_metric m :: acc) registry [])
   |> List.sort (fun a b -> String.compare a.name b.name)
 
@@ -217,6 +223,7 @@ let reset () =
   (* Zero in place rather than emptying the table: long-lived handles
      (the simulator caches its own) stay registered and visible. *)
   locked (fun () ->
+      (* bcc-lint: allow det/hashtbl-order — zeroes every metric in place; order cannot matter *)
       Hashtbl.iter
         (fun _ m ->
           match m with
@@ -268,18 +275,23 @@ let pp fmt samples =
     (fun s ->
       match s.value with
       | Counter v -> Format.fprintf fmt "%-45s counter    %d@." s.name v
-      | Gauge v -> Format.fprintf fmt "%-45s gauge      %g@." s.name v
+      | Gauge v ->
+          (* bcc-lint: allow det/float-format — human console dump; artifact bytes go through to_json *)
+          Format.fprintf fmt "%-45s gauge      %g@." s.name v
       | Histogram { sum; count; buckets; counts } ->
+          (* bcc-lint: allow det/float-format — human console dump; artifact bytes go through to_json *)
           Format.fprintf fmt "%-45s histogram  count=%d mean=%g@." s.name count
             (if count = 0 then 0.0 else sum /. float_of_int count);
           Array.iteri
             (fun i c ->
               if c > 0 then
                 if i < Array.length buckets then
+                  (* bcc-lint: allow det/float-format — human console dump; artifact bytes go through to_json *)
                   Format.fprintf fmt "%-45s   le %g: %d@." "" buckets.(i) c
                 else Format.fprintf fmt "%-45s   overflow: %d@." "" c)
             counts
       | Ratio { successes; trials; estimate; half_width; _ } ->
+          (* bcc-lint: allow det/float-format — human console dump; artifact bytes go through to_json *)
           Format.fprintf fmt "%-45s ratio      %d/%d = %.4f +/- %.4f@." s.name
             successes trials estimate half_width)
     samples

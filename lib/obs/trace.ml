@@ -21,7 +21,10 @@ type payload =
 
 type event = { seq : int; scope : string; payload : payload }
 
+(* bcc-lint: allow par/global-mutable — traces are sequential-only: Par.tabulate degrades to a sequential loop whenever a sink is installed (docs/PARALLELISM.md) *)
 let current : (event -> unit) option ref = ref None
+
+(* bcc-lint: allow par/global-mutable — written only under an installed sink, i.e. on the sequential path; see [current] above *)
 let seq = ref 0
 
 let[@inline] enabled () = !current <> None

@@ -106,6 +106,7 @@ let run_job pool f =
 
 (* ------------------------------------------------------- configuration *)
 
+(* bcc-lint: allow par/global-mutable — written only by set_domain_count on the submitting domain, never from worker lanes *)
 let configured : int option ref = ref None
 
 let env_domains () =
@@ -125,6 +126,7 @@ let domain_count () =
       | Some d -> d
       | None -> clamp 1 8 (Domain.recommended_domain_count ()))
 
+(* bcc-lint: allow par/global-mutable — touched only by the submitting domain (shared_pool/shutdown); worker lanes never reach it *)
 let shared : pool option ref = ref None
 
 let shutdown () =

@@ -62,6 +62,7 @@ let merge_step cfg ~phase ~parent ~all_bits =
   done;
   (* For each component, try the copies in order until an edge is
      recovered; merges apply to the union-find shared by all. *)
+  (* bcc-lint: allow det/hashtbl-order — roots are inserted by a deterministic vertex scan, so the merge schedule is reproducible for a fixed input *)
   Hashtbl.iter
     (fun _root members ->
       let copy = ref 0 in

@@ -431,7 +431,7 @@ let () =
           Alcotest.test_case "acceptance probability" `Quick test_acceptance_probability;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (fun t -> QCheck_alcotest.to_alcotest t)
           [
             prop_prefix_consistency;
             prop_exact_dist_mass;

@@ -237,7 +237,7 @@ let () =
           Alcotest.test_case "bool array roundtrip" `Quick test_bool_array_roundtrip;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (fun t -> QCheck_alcotest.to_alcotest t)
           [
             prop_xor_involution;
             prop_popcount_via_fold;

@@ -320,7 +320,7 @@ let () =
           Alcotest.test_case "random_subset nonempty" `Quick test_random_subset_nonempty;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (fun t -> QCheck_alcotest.to_alcotest t)
           [
             prop_bias_in_01;
             prop_forced_ones_monotone_domain;

@@ -324,7 +324,7 @@ let () =
           Alcotest.test_case "quantile" `Quick test_quantile;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (fun t -> QCheck_alcotest.to_alcotest t)
           [
             prop_tv_range;
             prop_entropy_bounds;

@@ -250,7 +250,7 @@ let () =
           Alcotest.test_case "out of range" `Quick test_rank_dist_out_of_range;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (fun t -> QCheck_alcotest.to_alcotest t)
           [
             prop_mul_associative;
             prop_rank_bounds;

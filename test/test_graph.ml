@@ -325,7 +325,7 @@ let () =
           Alcotest.test_case "random graph clique size" `Quick test_log_clique_bound_vs_random;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (fun t -> QCheck_alcotest.to_alcotest t)
           [
             prop_max_clique_is_clique;
             prop_max_clique_geq_greedy;

@@ -1,0 +1,214 @@
+(* Tests for the determinism & domain-safety linter: one positive and
+   one pragma-suppressed fixture per rule, the pragma meta-rules
+   (unknown rule name, malformed pragma), rule scoping by path, and the
+   JSON report envelope. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* Lint a fixture snippet as if it lived at [path] (default: a library
+   source, where every rule is in scope). *)
+let lint ?(path = "lib/fixture/fixture.ml") src = Lint.lint_string ~path src
+
+let rule_ids (r : Lint.report) = List.map (fun f -> f.Lint.rule_id) r.Lint.findings
+
+let suppressed_ids (r : Lint.report) =
+  List.map (fun s -> s.Lint.sup_rule) r.Lint.suppressions
+
+let check_finds rule src =
+  let r = lint src in
+  check_bool
+    (Printf.sprintf "%s raised by %S" rule src)
+    true
+    (List.mem rule (rule_ids r))
+
+let check_clean src =
+  let r = lint src in
+  check_int (Printf.sprintf "no findings in %S" src) 0 (List.length r.Lint.findings)
+
+let check_suppressed rule src =
+  let r = lint src in
+  check_int (Printf.sprintf "nothing active in %S" src) 0 (List.length r.Lint.findings);
+  check_bool
+    (Printf.sprintf "%s suppressed in %S" rule src)
+    true
+    (List.mem rule (suppressed_ids r))
+
+(* ------------------------------------------------------- per-rule cases *)
+
+let test_ambient_rng () =
+  check_finds "det/ambient-rng" "let roll () = Random.int 6\n";
+  check_finds "det/ambient-rng" "let init () = Random.self_init ()\n";
+  check_finds "det/ambient-rng" "let s = Random.State.make [| 1 |]\n";
+  check_suppressed "det/ambient-rng"
+    "(* bcc-lint: allow det/ambient-rng — fixture justification *)\n\
+     let roll () = Random.int 6\n";
+  (* Prng's own implementation directory is exempt. *)
+  let r = lint ~path:"lib/prng/fixture.ml" "let roll () = Random.int 6\n" in
+  check_int "Random.* legal under lib/prng" 0 (List.length r.Lint.findings)
+
+let test_wall_clock () =
+  check_finds "det/wall-clock" "let t () = Unix.gettimeofday ()\n";
+  check_finds "det/wall-clock" "let t () = Sys.time ()\n";
+  check_finds "det/wall-clock" "let t () = Unix.time ()\n";
+  check_suppressed "det/wall-clock"
+    "let t () = Sys.time () (* bcc-lint: allow det/wall-clock — fixture justification *)\n";
+  let r = lint ~path:"lib/obs/fixture.ml" "let t () = Sys.time ()\n" in
+  check_int "wall-clock legal under lib/obs" 0 (List.length r.Lint.findings)
+
+let test_poly_compare () =
+  check_finds "det/poly-compare" "let f a b = compare a b\n";
+  check_finds "det/poly-compare" "let f a b = Stdlib.compare a b\n";
+  check_finds "det/poly-compare" "let h x = Hashtbl.hash x\n";
+  check_finds "det/poly-compare" "let sorted l = List.sort compare l\n";
+  check_suppressed "det/poly-compare"
+    "(* bcc-lint: allow det/poly-compare — fixture justification *)\n\
+     let f a b = compare a b\n";
+  (* A module defining its own [compare] may use it bare. *)
+  check_clean "let compare a b = Int.compare a b\nlet f a b = compare a b\n";
+  check_clean "let f a b = Int.compare a b\n"
+
+let test_float_format () =
+  check_finds "det/float-format" "let s x = Printf.sprintf \"%.3f\" x\n";
+  check_finds "det/float-format" "let s x = Printf.sprintf \"%g\" x\n";
+  check_finds "det/float-format" "let s x = Printf.sprintf \"v=%8.2e\" x\n";
+  check_finds "det/float-format" "let s x = string_of_float x\n";
+  (* %% is an escaped percent, %d is not a float conversion. *)
+  check_clean "let s x = Printf.sprintf \"100%%d %d\" x\n";
+  check_suppressed "det/float-format"
+    "(* bcc-lint: allow det/float-format -- fixture justification *)\n\
+     let s x = Printf.sprintf \"%.3f\" x\n";
+  let r = lint ~path:"lib/obs/artifact.ml" "let s x = Printf.sprintf \"%.17g\" x\n" in
+  check_int "canonical printer exempt" 0 (List.length r.Lint.findings)
+
+let test_hashtbl_order () =
+  check_finds "det/hashtbl-order" "let ks h = Hashtbl.fold (fun k _ acc -> k :: acc) h []\n";
+  check_finds "det/hashtbl-order" "let dump h = Hashtbl.iter print_endline h\n";
+  check_clean "let n h = Hashtbl.length h\n";
+  check_suppressed "det/hashtbl-order"
+    "(* bcc-lint: allow det/hashtbl-order — fixture justification *)\n\
+     let ks h = Hashtbl.fold (fun k _ acc -> k :: acc) h []\n"
+
+let test_global_mutable () =
+  check_finds "par/global-mutable" "let table = Hashtbl.create 16\n";
+  check_finds "par/global-mutable" "let counter = ref 0\n";
+  check_finds "par/global-mutable" "let buf = Array.make 8 0\n";
+  check_finds "par/global-mutable" "let words = [| 1; 2; 3 |]\n";
+  (* Function-local mutable state is fine. *)
+  check_clean "let f () = let h = Hashtbl.create 16 in Hashtbl.length h\n";
+  check_suppressed "par/global-mutable"
+    "(* bcc-lint: allow par/global-mutable — guarded by the fixture mutex *)\n\
+     let table = Hashtbl.create 16\n";
+  (* The rule targets libraries reachable from Bcc_par; executables are
+     out of scope. *)
+  let r = lint ~path:"bin/fixture.ml" "let table = Hashtbl.create 16\n" in
+  check_int "top-level mutable legal in bin/" 0 (List.length r.Lint.findings)
+
+(* --------------------------------------------------------- pragma meta *)
+
+let test_unknown_rule_pragma () =
+  let r =
+    lint
+      "(* bcc-lint: allow det/no-such-rule — bogus *)\nlet x = 1\n"
+  in
+  check_bool "unknown rule reported" true
+    (List.mem "lint/unknown-rule" (rule_ids r));
+  (* The bad pragma must not suppress anything either. *)
+  let r =
+    lint
+      "(* bcc-lint: allow det/no-such-rule — bogus *)\nlet counter = ref 0\n"
+  in
+  check_bool "unknown rule reported alongside" true
+    (List.mem "lint/unknown-rule" (rule_ids r));
+  check_bool "original finding survives" true
+    (List.mem "par/global-mutable" (rule_ids r))
+
+let test_malformed_pragma () =
+  let r = lint "(* bcc-lint: allow det/wall-clock *)\nlet x = 1\n" in
+  check_bool "missing reason reported" true
+    (List.mem "lint/malformed-pragma" (rule_ids r));
+  let r = lint "(* bcc-lint: deny det/wall-clock — nope *)\nlet x = 1\n" in
+  check_bool "unknown directive reported" true
+    (List.mem "lint/malformed-pragma" (rule_ids r))
+
+let test_pragma_placement () =
+  (* A pragma suppresses on its own line and on the next, nothing else. *)
+  check_suppressed "par/global-mutable"
+    "(* bcc-lint: allow par/global-mutable — fixture *)\nlet c = ref 0\n";
+  check_suppressed "par/global-mutable"
+    "let c = ref 0 (* bcc-lint: allow par/global-mutable — fixture *)\n";
+  let r =
+    lint "(* bcc-lint: allow par/global-mutable — fixture *)\n\nlet c = ref 0\n"
+  in
+  check_bool "two lines below is out of pragma range" true
+    (List.mem "par/global-mutable" (rule_ids r))
+
+let test_parse_error () =
+  let r = lint "let let = in\n" in
+  check_bool "parse error reported" true
+    (List.mem "lint/parse-error" (rule_ids r))
+
+(* ------------------------------------------------------------- report *)
+
+let test_exit_code_and_json () =
+  let bad = lint "let c = ref 0\n" in
+  let good = lint "let x = 1\n" in
+  check_int "findings exit 1" 1 (Lint.exit_code bad);
+  check_int "clean exit 0" 0 (Lint.exit_code good);
+  let doc = Lint.report_to_json ~paths:[ "lib" ] bad in
+  (* The report round-trips through the Artifact serializer and carries
+     the standard envelope. *)
+  let doc = Artifact.of_string (Artifact.to_string doc) in
+  let str key j = Option.bind (Artifact.member key j) Artifact.to_string_opt in
+  check_string "kind" "lint" (Option.value ~default:"?" (str "kind" doc));
+  let payload = Option.get (Artifact.member "payload" doc) in
+  let summary = Option.get (Artifact.member "summary" payload) in
+  check_int "one error in summary" 1
+    (Option.value ~default:(-1)
+       (Option.bind (Artifact.member "errors" summary) Artifact.to_int_opt));
+  let findings =
+    Option.get (Artifact.to_list_opt (Option.get (Artifact.member "findings" payload)))
+  in
+  check_int "one finding serialized" 1 (List.length findings)
+
+let test_catalogue_ids_stable () =
+  (* Stable ids are part of the pragma grammar; renaming one silently
+     invalidates every annotation in the tree. *)
+  List.iter
+    (fun id ->
+      check_bool (Printf.sprintf "catalogue has %s" id) true
+        (List.exists (fun r -> r.Lint.id = id) Lint.catalogue))
+    [
+      "det/ambient-rng"; "det/wall-clock"; "det/poly-compare";
+      "det/float-format"; "det/hashtbl-order"; "par/global-mutable";
+      "lint/unknown-rule"; "lint/malformed-pragma"; "lint/parse-error";
+    ]
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "det/ambient-rng" `Quick test_ambient_rng;
+          Alcotest.test_case "det/wall-clock" `Quick test_wall_clock;
+          Alcotest.test_case "det/poly-compare" `Quick test_poly_compare;
+          Alcotest.test_case "det/float-format" `Quick test_float_format;
+          Alcotest.test_case "det/hashtbl-order" `Quick test_hashtbl_order;
+          Alcotest.test_case "par/global-mutable" `Quick test_global_mutable;
+        ] );
+      ( "pragmas",
+        [
+          Alcotest.test_case "unknown rule name" `Quick test_unknown_rule_pragma;
+          Alcotest.test_case "malformed pragma" `Quick test_malformed_pragma;
+          Alcotest.test_case "placement window" `Quick test_pragma_placement;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "parse error" `Quick test_parse_error;
+          Alcotest.test_case "exit code and json report" `Quick
+            test_exit_code_and_json;
+          Alcotest.test_case "catalogue ids stable" `Quick
+            test_catalogue_ids_stable;
+        ] );
+    ]

@@ -366,7 +366,7 @@ let () =
           Alcotest.test_case "best threshold" `Quick test_best_threshold_advantage;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (fun t -> QCheck_alcotest.to_alcotest t)
           [
             prop_lemma_1_10_random;
             prop_lemma_1_10_biased;

@@ -283,6 +283,6 @@ let () =
           Alcotest.test_case "invalid t_count" `Quick test_newman_invalid;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (fun t -> QCheck_alcotest.to_alcotest t)
           [ prop_expand_deterministic; prop_um_sample_in_range_space ] );
     ]

@@ -197,6 +197,6 @@ let () =
           Alcotest.test_case "binomial mean" `Quick test_binomial_mean;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (fun t -> QCheck_alcotest.to_alcotest t)
           [ prop_int_in_bounds; prop_bitvec_deterministic ] );
     ]

@@ -325,6 +325,6 @@ let () =
           Alcotest.test_case "all_equal" `Quick test_all_equal;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (fun t -> QCheck_alcotest.to_alcotest t)
           [ prop_clique_algo_outcome_valid; prop_equality_deterministic_correct ] );
     ]

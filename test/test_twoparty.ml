@@ -141,6 +141,6 @@ let () =
           Alcotest.test_case "fingerprint separation" `Quick test_fingerprint_separation;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest
+        List.map (fun t -> QCheck_alcotest.to_alcotest t)
           [ prop_trivial_always_correct; prop_lower_below_upper ] );
     ]
