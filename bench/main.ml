@@ -13,10 +13,20 @@
    Monte-Carlo loops, pinning the results (which must not move) and
    recording wall-clock per domain count (BENCH_par.json).
 
-     dune exec bench/main.exe            # everything
-     dune exec bench/main.exe -- tables  # only the experiment tables
-     dune exec bench/main.exe -- micro   # only the micro-benchmarks
-     dune exec bench/main.exe -- par     # only the domain-count sweep
+   Part 4 sweeps the Bcc_kern kernels against their naive Ref oracles
+   (BENCH_kern.json), checking agreement in-run: any kernel/oracle
+   mismatch makes the process exit nonzero.
+
+   Whatever ran is also consolidated into one versioned BENCH.json
+   envelope (params carry bench_schema_version; payload has one section
+   per part).
+
+     dune exec bench/main.exe                  # everything
+     dune exec bench/main.exe -- tables        # only the experiment tables
+     dune exec bench/main.exe -- micro         # only the micro-benchmarks
+     dune exec bench/main.exe -- par           # only the domain-count sweep
+     dune exec bench/main.exe -- kern          # only the kernel-vs-oracle sweep
+     dune exec bench/main.exe -- kern --quick  # smaller sizes (CI smoke)
 *)
 
 open Bechamel
@@ -30,9 +40,11 @@ let run_tables () =
   Format.printf "=====================================================@.";
   let seed = 42 in
   Metrics.set_collecting true;
+  let ids = ref [] in
   List.iter
     (fun table ->
       Experiments.print Format.std_formatter table;
+      ids := table.Experiments.id :: !ids;
       ignore (Experiments.write_artifact ~seed table))
     (Experiments.all ~seed ());
   Metrics.set_collecting false;
@@ -42,7 +54,13 @@ let run_tables () =
     (Artifact.make ~kind:"metrics" ~id:"tables" ~seed
        (Metrics.to_json (Metrics.snapshot ())));
   Format.printf "@.artifacts written to %s/@." Artifact.default_dir;
-  Format.printf "@."
+  Format.printf "@.";
+  Artifact.Obj
+    [
+      ("seed", Artifact.Int seed);
+      ( "tables",
+        Artifact.List (List.rev_map (fun id -> Artifact.String id) !ids) );
+    ]
 
 (* ------------------------------------------------------- micro bench *)
 
@@ -337,7 +355,8 @@ let run_micro () =
          ]
        (Artifact.List estimates));
   Format.printf "@.artifact written to %s/BENCH_micro.json@." Artifact.default_dir;
-  Format.printf "@."
+  Format.printf "@.";
+  Artifact.List estimates
 
 (* ------------------------------------------------- domain-count sweep *)
 
@@ -456,16 +475,222 @@ let run_par () =
          ]
        json);
   Format.printf "@.artifact written to %s/BENCH_par.json@." Artifact.default_dir;
-  Format.printf "@."
+  Format.printf "@.";
+  json
+
+(* ------------------------------------------------- kernel-vs-oracle *)
+
+type kern_row = {
+  group : string;
+  case : string;
+  naive_ns : float;
+  kern_ns : float;
+  agree : bool;
+}
+
+(* Warm once (that run's value is the one compared), then best-of-[reps]
+   wall-clock — same convention as the domain sweep. *)
+let time_best ~reps f =
+  let v = f () in
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let _, seconds = Metrics.time f in
+    if seconds < !best then best := seconds
+  done;
+  (v, !best *. 1e9)
+
+let kern_case ~reps ~group ~case ~naive ~kern ~equal =
+  let nv, naive_ns = time_best ~reps naive in
+  let kv, kern_ns = time_best ~reps kern in
+  let agree = equal nv kv in
+  (* bcc-lint: allow det/float-format — human console report; the JSON mirror goes through Artifact *)
+  Format.printf "%-12s %-16s %14.0f %14.0f %9.1fx %s@." group case naive_ns
+    kern_ns (naive_ns /. kern_ns)
+    (if agree then "ok" else "MISMATCH");
+  { group; case; naive_ns; kern_ns; agree }
+
+(* The pre-kernel Lemma 1.10 measurement, float-op-for-float-op: the same
+   counts via per-input oracles, combined in the same order, so the kernel
+   path must reproduce it exactly. *)
+let naive_lemma_1_10_measured f =
+  let n = Boolfun.arity f in
+  let size = 1 lsl n in
+  let eval = Boolfun.eval_int f in
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    let all = Bcc_kern.Ref.count_true ~n eval in
+    let forced = Bcc_kern.Ref.count_forced_ones ~n ~mask:(1 lsl i) eval in
+    total :=
+      !total
+      +. Float.abs
+           ((float_of_int all /. float_of_int size)
+           -. (float_of_int forced /. float_of_int (size lsr 1)))
+  done;
+  !total /. float_of_int n
+
+let run_kern ~quick () =
+  Format.printf "=====================================================@.";
+  Format.printf " Kernel sweep (Bcc_kern vs naive Ref oracles)@.";
+  Format.printf "=====================================================@.";
+  let reps = if quick then 3 else 5 in
+  let g = Prng.create 2025 in
+  let rows = ref [] in
+  let add r = rows := r :: !rows in
+  Format.printf "%-12s %-16s %14s %14s %10s@." "group" "case" "naive ns"
+    "kernel ns" "speedup";
+  Format.printf "%s@." (String.make 76 '-');
+  (* GF(2) rank: packed forward elimination vs scalar bool elimination. *)
+  List.iter
+    (fun n ->
+      let m = Gf2_matrix.random g ~rows:n ~cols:n in
+      let bools =
+        Array.init n (fun i -> Array.init n (fun j -> Gf2_matrix.get m i j))
+      in
+      add
+        (kern_case ~reps ~group:"gf2-rank"
+           ~case:(Printf.sprintf "n=%d" n)
+           ~naive:(fun () -> Bcc_kern.Ref.rank_bools bools)
+           ~kern:(fun () -> Gf2_matrix.rank m)
+           ~equal:Int.equal))
+    (if quick then [ 48; 128 ] else [ 48; 128; 256 ]);
+  (* GF(2) multiply: M4RM vs row-at-a-time xor-accumulate. *)
+  List.iter
+    (fun n ->
+      let a = Gf2_matrix.random g ~rows:n ~cols:n in
+      let b = Gf2_matrix.random g ~rows:n ~cols:n in
+      let ra = Array.init n (Gf2_matrix.row a) in
+      let rb = Array.init n (Gf2_matrix.row b) in
+      add
+        (kern_case ~reps ~group:"gf2-mul"
+           ~case:(Printf.sprintf "n=%d" n)
+           ~naive:(fun () -> Bcc_kern.Ref.mul_rows ra rb ~cols:n)
+           ~kern:(fun () -> Gf2_matrix.mul a b)
+           ~equal:(fun rs m ->
+             let ok = ref (Array.length rs = Gf2_matrix.rows m) in
+             Array.iteri
+               (fun i r ->
+                 if !ok && not (Bitvec.equal r (Gf2_matrix.row m i)) then
+                   ok := false)
+               rs;
+             !ok)))
+    (if quick then [ 64; 128 ] else [ 64; 128; 256 ]);
+  (* E1/E2 enumeration: packed sub-cube counts vs per-input table probes. *)
+  List.iter
+    (fun n ->
+      let f = Boolfun.random g n in
+      add
+        (kern_case ~reps ~group:"e1-enum"
+           ~case:(Printf.sprintf "n=%d" n)
+           ~naive:(fun () -> naive_lemma_1_10_measured f)
+           ~kern:(fun () -> (Lemma_verify.lemma_1_10 f).Lemma_verify.measured)
+           ~equal:Float.equal))
+    (if quick then [ 12; 16 ] else [ 12; 16; 18 ]);
+  (* WHT: cache-blocked (and >= 2^16, domain-parallel) butterflies vs the
+     plain doubling loop.  0/1 inputs keep every intermediate exact, so
+     equality is bitwise. *)
+  List.iter
+    (fun logn ->
+      let len = 1 lsl logn in
+      let base = Array.init len (fun _ -> if Prng.bool g then 1.0 else 0.0) in
+      add
+        (kern_case ~reps ~group:"wht"
+           ~case:(Printf.sprintf "len=2^%d" logn)
+           ~naive:(fun () ->
+             let a = Array.copy base in
+             Bcc_kern.Ref.wht_butterfly a;
+             a)
+           ~kern:(fun () ->
+             let a = Array.copy base in
+             Fourier.wht_inplace a;
+             a)
+           ~equal:(fun a b -> a = b)))
+    (if quick then [ 14; 16 ] else [ 14; 16; 18 ]);
+  (* Full Fourier transform: integer-accumulator path vs the old float
+     path (real table + butterfly + scale). *)
+  List.iter
+    (fun n ->
+      let f = Boolfun.random g n in
+      add
+        (kern_case ~reps ~group:"fourier"
+           ~case:(Printf.sprintf "n=%d" n)
+           ~naive:(fun () ->
+             let a = Fourier.real_table f in
+             Bcc_kern.Ref.wht_butterfly a;
+             let scale = 1.0 /. float_of_int (Array.length a) in
+             Array.map (fun v -> v *. scale) a)
+           ~kern:(fun () -> Fourier.transform f)
+           ~equal:(fun a b -> a = b)))
+    (if quick then [ 12 ] else [ 12; 16 ]);
+  (* Batched threshold counting behind the distinguisher hit rates. *)
+  let trials = if quick then 4096 else 65536 in
+  let stats = Array.init trials (fun _ -> Prng.float g) in
+  let threshold = 0.5 in
+  add
+    (kern_case ~reps ~group:"count-above"
+       ~case:(Printf.sprintf "trials=%d" trials)
+       ~naive:(fun () -> Bcc_kern.Ref.count_above stats ~threshold)
+       ~kern:(fun () -> Bcc_kern.Enum.count_above stats ~threshold)
+       ~equal:Int.equal);
+  let rows = List.rev !rows in
+  let all_agree = List.for_all (fun r -> r.agree) rows in
+  let json =
+    Artifact.List
+      (List.map
+         (fun r ->
+           Artifact.Obj
+             [
+               ("group", Artifact.String r.group);
+               ("case", Artifact.String r.case);
+               ("naive_ns", Artifact.Float r.naive_ns);
+               ("kern_ns", Artifact.Float r.kern_ns);
+               ("speedup", Artifact.Float (r.naive_ns /. r.kern_ns));
+               ("agree", Artifact.Bool r.agree);
+             ])
+         rows)
+  in
+  Artifact.write_file
+    ~path:(Filename.concat Artifact.default_dir "BENCH_kern.json")
+    (Artifact.make ~kind:"bench" ~id:"kern"
+       ~params:
+         [
+           ("repetitions", Artifact.Int reps);
+           ("quick", Artifact.Bool quick);
+         ]
+       json);
+  Format.printf "@.artifact written to %s/BENCH_kern.json@." Artifact.default_dir;
+  if not all_agree then
+    Format.printf "KERNEL/ORACLE MISMATCH — see the rows marked MISMATCH@.";
+  Format.printf "@.";
+  (json, all_agree)
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let quick = Array.exists (String.equal "--quick") Sys.argv in
+  let sections = ref [] in
+  let add name payload = sections := (name, payload) :: !sections in
+  let ok = ref true in
   (match what with
-  | "tables" -> run_tables ()
-  | "micro" -> run_micro ()
-  | "par" -> run_par ()
+  | "tables" -> add "tables" (run_tables ())
+  | "micro" -> add "micro" (run_micro ())
+  | "par" -> add "par" (run_par ())
+  | "kern" ->
+      let payload, agree = run_kern ~quick () in
+      add "kern" payload;
+      ok := agree
   | _ ->
-      run_tables ();
-      run_micro ();
-      run_par ());
-  Format.printf "done.@."
+      add "tables" (run_tables ());
+      add "micro" (run_micro ());
+      add "par" (run_par ());
+      let payload, agree = run_kern ~quick () in
+      add "kern" payload;
+      ok := agree);
+  (* One stable envelope over whatever ran, for cross-commit tracking. *)
+  Artifact.write_file
+    ~path:(Filename.concat Artifact.default_dir "BENCH.json")
+    (Artifact.make ~kind:"bench" ~id:"all"
+       ~params:[ ("bench_schema_version", Artifact.Int 1) ]
+       (Artifact.Obj (List.rev !sections)));
+  Format.printf "consolidated envelope written to %s/BENCH.json@."
+    Artifact.default_dir;
+  Format.printf "done.@.";
+  if not !ok then exit 1

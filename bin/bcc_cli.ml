@@ -3,6 +3,7 @@
      bcc_cli [run] [IDS...]      run experiment tables (the default)
      bcc_cli trace PROTO         run a named protocol with a trace sink
      bcc_cli metrics [IDS...]    run experiments and dump the metrics registry
+     bcc_cli kern                self-check the Bcc_kern kernels vs their oracles
 
    `bcc_cli e1 e2` (no subcommand) keeps working: `run` is the default. *)
 
@@ -204,6 +205,86 @@ let metrics_cmd =
         (const run_metrics $ metrics_json_arg $ metrics_proto_arg
        $ metrics_replicas_arg $ ids_arg $ seed_arg))
 
+(* ----------------------------------------------------------------- kern *)
+
+(* A fast deterministic battery pitting every Bcc_kern kernel against its
+   naive Ref oracle; nonzero exit on any disagreement.  The exhaustive
+   property tests live in test/test_kern.ml — this is the installable
+   smoke check (CI runs it via `bench kern --quick` too). *)
+let run_kern_check seed =
+  let g = Prng.create seed in
+  let failures = ref [] in
+  let check name ok =
+    Format.printf "%-28s %s@." name (if ok then "ok" else "MISMATCH");
+    if not ok then failures := name :: !failures
+  in
+  List.iter
+    (fun n ->
+      let m = Gf2_matrix.random g ~rows:n ~cols:n in
+      let rows = Array.init n (Gf2_matrix.row m) in
+      let bools =
+        Array.init n (fun i -> Array.init n (fun j -> Gf2_matrix.get m i j))
+      in
+      let r = Gf2_matrix.rank m in
+      check
+        (Printf.sprintf "gf2-rank n=%d" n)
+        (r = Bcc_kern.Ref.rank_rows rows && r = Bcc_kern.Ref.rank_bools bools))
+    [ 33; 64; 100 ];
+  List.iter
+    (fun (r, k, c) ->
+      let a = Gf2_matrix.random g ~rows:r ~cols:k in
+      let b = Gf2_matrix.random g ~rows:k ~cols:c in
+      let expect =
+        Bcc_kern.Ref.mul_rows
+          (Array.init r (Gf2_matrix.row a))
+          (Array.init k (Gf2_matrix.row b))
+          ~cols:c
+      in
+      check
+        (Printf.sprintf "gf2-mul %dx%d.%dx%d" r k k c)
+        (Gf2_matrix.equal (Gf2_matrix.mul a b) (Gf2_matrix.of_rows expect)))
+    [ (64, 64, 64); (70, 130, 65) ];
+  List.iter
+    (fun logn ->
+      let a =
+        Array.init (1 lsl logn) (fun _ -> if Prng.bool g then 1.0 else 0.0)
+      in
+      let b = Array.copy a in
+      Fourier.wht_inplace a;
+      Bcc_kern.Ref.wht_butterfly b;
+      check (Printf.sprintf "wht len=2^%d" logn) (a = b))
+    [ 10; 16 ];
+  let f = Boolfun.random g 10 in
+  let t = Boolfun.packed_table f in
+  let eval = Boolfun.eval_int f in
+  check "enum count"
+    (Bcc_kern.Enum.count t = Bcc_kern.Ref.count_true ~n:10 eval);
+  check "enum forced-ones"
+    (Bcc_kern.Enum.count_forced_ones t ~mask:0x41
+    = Bcc_kern.Ref.count_forced_ones ~n:10 ~mask:0x41 eval);
+  check "enum flips"
+    (List.for_all
+       (fun i ->
+         Bcc_kern.Enum.count_flips t ~i = Bcc_kern.Ref.count_flips ~n:10 ~i eval)
+       [ 0; 3; 7; 9 ]);
+  let stats = Array.init 1000 (fun _ -> Prng.float g) in
+  check "count-above"
+    (Bcc_kern.Enum.count_above stats ~threshold:0.5
+    = Bcc_kern.Ref.count_above stats ~threshold:0.5);
+  match !failures with
+  | [] ->
+      Format.printf "all kernels agree with their reference oracles@.";
+      Ok ()
+  | fs ->
+      Error (`Msg ("kernel/oracle mismatch: " ^ String.concat ", " (List.rev fs)))
+
+let kern_cmd =
+  let doc =
+    "Self-check the Bcc_kern kernels against their naive reference oracles"
+  in
+  Cmd.v (Cmd.info "kern" ~doc)
+    Term.(term_result (const run_kern_check $ seed_arg))
+
 (* ---------------------------------------------------------------- main *)
 
 let cmd =
@@ -219,7 +300,7 @@ let cmd =
     ]
   in
   let info = Cmd.info "bcc_cli" ~doc ~envs in
-  Cmd.group ~default:run_term info [ run_cmd; trace_cmd; metrics_cmd ]
+  Cmd.group ~default:run_term info [ run_cmd; trace_cmd; metrics_cmd; kern_cmd ]
 
 (* Keep `bcc_cli e1 e2` working: a leading positional that is not a
    subcommand name is an experiment id for the default `run` command. *)
@@ -227,7 +308,7 @@ let argv =
   let argv = Sys.argv in
   if
     Array.length argv > 1
-    && (not (List.mem argv.(1) [ "run"; "trace"; "metrics" ]))
+    && (not (List.mem argv.(1) [ "run"; "trace"; "metrics"; "kern" ]))
     && String.length argv.(1) > 0
     && argv.(1).[0] <> '-'
   then Array.concat [ [| argv.(0); "run" |]; Array.sub argv 1 (Array.length argv - 1) ]

@@ -103,20 +103,57 @@ let lognot v =
   normalize r;
   r
 
+(* 16-bit popcount table.  An immutable string (one count per character)
+   so it can be read from any domain without synchronisation. *)
+let popcount16 =
+  String.init 65536 (fun i ->
+      let rec pop v acc = if v = 0 then acc else pop (v lsr 1) (acc + (v land 1)) in
+      Char.chr (pop i 0))
+
+let popcount_int x =
+  if x < 0 then invalid_arg "Bitvec.popcount_int: negative";
+  Char.code (String.unsafe_get popcount16 (x land 0xffff))
+  + Char.code (String.unsafe_get popcount16 ((x lsr 16) land 0xffff))
+  + Char.code (String.unsafe_get popcount16 ((x lsr 32) land 0xffff))
+  + Char.code (String.unsafe_get popcount16 (x lsr 48))
+
 let popcount_word w =
-  (* SWAR popcount on int64. *)
-  let w = Int64.sub w (Int64.logand (Int64.shift_right_logical w 1) 0x5555555555555555L) in
-  let w =
-    Int64.add
-      (Int64.logand w 0x3333333333333333L)
-      (Int64.logand (Int64.shift_right_logical w 2) 0x3333333333333333L)
-  in
-  let w = Int64.logand (Int64.add w (Int64.shift_right_logical w 4)) 0x0f0f0f0f0f0f0f0fL in
-  Int64.to_int (Int64.shift_right_logical (Int64.mul w 0x0101010101010101L) 56)
+  (* Four table lookups; the two halves are extracted separately because
+     [Int64.to_int] would drop bit 63. *)
+  let lo = Int64.to_int (Int64.logand w 0xffffffffL) in
+  let hi = Int64.to_int (Int64.shift_right_logical w 32) in
+  Char.code (String.unsafe_get popcount16 (lo land 0xffff))
+  + Char.code (String.unsafe_get popcount16 (lo lsr 16))
+  + Char.code (String.unsafe_get popcount16 (hi land 0xffff))
+  + Char.code (String.unsafe_get popcount16 (hi lsr 16))
 
 let popcount v = Array.fold_left (fun acc w -> acc + popcount_word w) 0 v.words
 
 let is_zero v = Array.for_all (fun w -> w = 0L) v.words
+
+let first_set v =
+  let nwords = Array.length v.words in
+  let rec go wi =
+    if wi >= nwords then -1
+    else
+      let w = v.words.(wi) in
+      if w = 0L then go (wi + 1)
+      else
+        (* Index of the lowest set bit: popcount of (low - 1). *)
+        let low = Int64.logand w (Int64.neg w) in
+        (wi * 64) + popcount_word (Int64.sub low 1L)
+  in
+  go 0
+
+(* Raw word access for the packed kernels (Bcc_kern); the words are
+   little-endian in bit index, garbage bits above [len] always zero. *)
+let word_length v = Array.length v.words
+
+let get_word v i = v.words.(i)
+
+let set_word v i w =
+  v.words.(i) <- w;
+  if i = Array.length v.words - 1 then normalize v
 
 let dot a b =
   check_same_len a b "dot";

@@ -58,9 +58,20 @@ val logor : t -> t -> t
 val lognot : t -> t
 
 val popcount : t -> int
-(** Number of set bits. *)
+(** Number of set bits (16-bit table lookup per half-word). *)
+
+val popcount_int : int -> int
+(** Population count of a nonnegative OCaml int, via the same 16-bit
+    table.  Raises [Invalid_argument] on negative input. *)
+
+val popcount_word : int64 -> int
+(** Population count of a raw [int64] word — exposed for the packed
+    kernels in [Bcc_kern]. *)
 
 val is_zero : t -> bool
+
+val first_set : t -> int
+(** Index of the lowest set bit, or [-1] if the vector is zero. *)
 
 val dot : t -> t -> bool
 (** GF(2) inner product: parity of [popcount (logand a b)]. *)
@@ -94,5 +105,16 @@ val set_indices : t -> int list -> unit
 
 val restrict_ones : t -> int list -> bool
 (** [restrict_ones v is] is [true] iff every position in [is] is set. *)
+
+(** {1 Word access}
+
+    Raw access to the packed [int64] words, for the bit-sliced kernels in
+    [Bcc_kern].  Bit [i] of the vector is bit [i mod 64] of word [i / 64].
+    Garbage bits above [length] are maintained as zero: [set_word] on the
+    last word masks them off. *)
+
+val word_length : t -> int
+val get_word : t -> int -> int64
+val set_word : t -> int -> int64 -> unit
 
 val pp : Format.formatter -> t -> unit

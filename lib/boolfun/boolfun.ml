@@ -1,4 +1,7 @@
-type t = { n : int; table : Bytes.t }
+(* Truth table twice over: [table] for O(1) byte-indexed evaluation,
+   [packed] (64 inputs per int64 word) for the bit-sliced enumeration
+   kernels.  Both are immutable after [make]. *)
+type t = { n : int; table : Bytes.t; packed : Bcc_kern.Enum.table }
 
 let max_arity = 24
 
@@ -7,20 +10,30 @@ let check_arity n =
 
 let size n = 1 lsl n
 
+(* The single smart constructor: every function is packed once here. *)
+let make n bytes = { n; table = bytes; packed = Bcc_kern.Enum.of_bytes n bytes }
+
+let packed_table f = f.packed
+
 let of_table n tbl =
   check_arity n;
   if Array.length tbl <> size n then invalid_arg "Boolfun.of_table: wrong table size";
   let bytes = Bytes.make (size n) '\000' in
   Array.iteri (fun i b -> if b then Bytes.set bytes i '\001') tbl;
-  { n; table = bytes }
+  make n bytes
 
 let of_fun n f =
   check_arity n;
   let bytes = Bytes.make (size n) '\000' in
-  for x = 0 to size n - 1 do
-    if f (Bitvec.of_int ~width:n x) then Bytes.set bytes x '\001'
-  done;
-  { n; table = bytes }
+  (* Gray-code walk: one reusable input vector, one coordinate flip per
+     step, instead of a fresh [Bitvec.of_int] per input. *)
+  let v = Bitvec.create n in
+  Bcc_kern.Enum.iter_gray n
+    ~first:(fun () -> if f v then Bytes.set bytes 0 '\001')
+    ~next:(fun ~flipped ~index ->
+      Bitvec.flip v flipped;
+      if f v then Bytes.set bytes index '\001');
+  make n bytes
 
 let arity f = f.n
 
@@ -34,7 +47,7 @@ let eval f v =
 
 let const n b =
   check_arity n;
-  { n; table = Bytes.make (size n) (if b then '\001' else '\000') }
+  make n (Bytes.make (size n) (if b then '\001' else '\000'))
 
 let dictator n i =
   if i < 0 || i >= n then invalid_arg "Boolfun.dictator";
@@ -50,18 +63,14 @@ let majority n = threshold n ((n / 2) + 1)
 
 let random g n =
   check_arity n;
-  { n; table = Bytes.init (size n) (fun _ -> if Prng.bool g then '\001' else '\000') }
+  make n (Bytes.init (size n) (fun _ -> if Prng.bool g then '\001' else '\000'))
 
 let random_biased g n p =
   check_arity n;
-  { n; table = Bytes.init (size n) (fun _ -> if Prng.bernoulli g p then '\001' else '\000') }
+  make n (Bytes.init (size n) (fun _ -> if Prng.bernoulli g p then '\001' else '\000'))
 
 let bias f =
-  let count = ref 0 in
-  for x = 0 to size f.n - 1 do
-    if eval_int f x then incr count
-  done;
-  float_of_int !count /. float_of_int (size f.n)
+  float_of_int (Bcc_kern.Enum.count f.packed) /. float_of_int (size f.n)
 
 (* Mask of coordinates forced to 1: iterate only over inputs containing the
    mask by enumerating the complement sub-cube. *)
@@ -86,11 +95,11 @@ let iter_supercube n mask f =
 
 let bias_forced_ones f coords =
   let mask = forced_mask f.n coords in
-  let count = ref 0 and total = ref 0 in
-  iter_supercube f.n mask (fun x ->
-      incr total;
-      if eval_int f x then incr count);
-  float_of_int !count /. float_of_int !total
+  (* Packed sub-cube count (Bcc_kern): popcounts over masked words
+     instead of one table probe per supercube input. *)
+  let count = Bcc_kern.Enum.count_forced_ones f.packed ~mask in
+  let total = size f.n lsr Bitvec.popcount_int mask in
+  float_of_int count /. float_of_int total
 
 let bias_on f mem =
   let count = ref 0 and total = ref 0 in

@@ -13,7 +13,9 @@ type t
 (** {1 Construction} *)
 
 val of_fun : int -> (Bitvec.t -> bool) -> t
-(** [of_fun n f] tabulates [f] on all [2^n] inputs.  [n <= 24]. *)
+(** [of_fun n f] tabulates [f] on all [2^n] inputs.  [n <= 24].  The
+    inputs are visited in Gray-code order through one reused vector, so
+    [f] must be pure and must not retain its argument. *)
 
 val of_table : int -> bool array -> t
 (** [of_table n tbl] with [Array.length tbl = 2^n]. *)
@@ -42,6 +44,10 @@ val random_biased : Prng.t -> int -> float -> t
 val arity : t -> int
 val eval : t -> Bitvec.t -> bool
 val eval_int : t -> int -> bool
+
+val packed_table : t -> Bcc_kern.Enum.table
+(** The truth table packed 64 inputs per word, for the bit-sliced
+    enumeration kernels (read-only). *)
 
 (** {1 Expectations over sub-cubes} *)
 

@@ -5,37 +5,29 @@ let real_table f =
 let wht_inplace a =
   let n = Array.length a in
   if n land (n - 1) <> 0 then invalid_arg "Fourier.wht_inplace: length not a power of two";
-  let h = ref 1 in
-  while !h < n do
-    let step = !h * 2 in
-    let i = ref 0 in
-    while !i < n do
-      for j = !i to !i + !h - 1 do
-        let x = a.(j) and y = a.(j + !h) in
-        a.(j) <- x +. y;
-        a.(j + !h) <- x -. y
-      done;
-      i := !i + step
-    done;
-    h := step
-  done
+  (* Cache-blocked butterflies; tables >= 2^16 fan the stages out across
+     the Par pool, byte-identically for every BCC_DOMAINS. *)
+  Bcc_kern.Wht.inplace_float a
 
+(* Integer-accumulator WHT on the 0/1 table.  Every intermediate is an
+   integer of magnitude <= 2^n <= 2^24, so the float butterfly computes
+   exactly the same values; running on untagged ints and scaling at the
+   end reproduces the float transform bit-for-bit. *)
 let transform f =
-  let a = real_table f in
-  wht_inplace a;
-  let scale = 1.0 /. float_of_int (Array.length a) in
-  Array.map (fun v -> v *. scale) a
+  let n = Boolfun.arity f in
+  let size = 1 lsl n in
+  let a = Array.make size 0 in
+  for x = 0 to size - 1 do
+    if Boolfun.eval_int f x then a.(x) <- 1
+  done;
+  Bcc_kern.Wht.inplace_int a;
+  let scale = 1.0 /. float_of_int size in
+  Array.init size (fun s -> float_of_int a.(s) *. scale)
 
 let popcount_parity v =
-  (* Folded XOR: each shift-xor halves the span carrying the parity, so
-     six steps cover all 63 bits instead of one loop iteration per bit. *)
-  let v = v lxor (v lsr 32) in
-  let v = v lxor (v lsr 16) in
-  let v = v lxor (v lsr 8) in
-  let v = v lxor (v lsr 4) in
-  let v = v lxor (v lsr 2) in
-  let v = v lxor (v lsr 1) in
-  v land 1 = 1
+  (* 16-bit-table popcount (Bitvec); same booleans as the folded-XOR
+     version on every 63-bit int, pinned by the 10k-input test. *)
+  (Bitvec.popcount_int (v land max_int) + if v < 0 then 1 else 0) land 1 = 1
 
 let coefficient f s =
   let n = Boolfun.arity f in
@@ -58,11 +50,10 @@ let parseval_gap f =
 let influence f i =
   let n = Boolfun.arity f in
   if i < 0 || i >= n then invalid_arg "Fourier.influence";
-  let flips = ref 0 in
-  for x = 0 to (1 lsl n) - 1 do
-    if Boolfun.eval_int f x <> Boolfun.eval_int f (x lxor (1 lsl i)) then incr flips
-  done;
-  float_of_int !flips /. float_of_int (1 lsl n)
+  (* Packed flip count: xor the table against itself shifted by 2^i and
+     popcount, instead of two probes per input. *)
+  let flips = Bcc_kern.Enum.count_flips (Boolfun.packed_table f) ~i in
+  float_of_int flips /. float_of_int (1 lsl n)
 
 let total_influence f =
   let n = Boolfun.arity f in
@@ -77,10 +68,7 @@ let spectral_total_influence f =
   let total = ref 0.0 in
   Array.iteri
     (fun s c ->
-      let weight =
-        let rec pop v acc = if v = 0 then acc else pop (v lsr 1) (acc + (v land 1)) in
-        pop s 0
-      in
+      let weight = Bitvec.popcount_int s in
       total := !total +. (float_of_int weight *. (2.0 *. c) *. (2.0 *. c)))
     coeffs;
   !total

@@ -13,15 +13,20 @@ val real_table : Boolfun.t -> float array
 val wht_inplace : float array -> unit
 (** In-place Walsh-Hadamard transform (unnormalized): after the call,
     [a.(s) = sum_x a0.(x) * (-1)^{popcount (s land x)}].  The array length
-    must be a power of two. *)
+    must be a power of two.  Runs the cache-blocked kernel
+    ([Bcc_kern.Wht]); tables of at least [2^16] entries fan the butterfly
+    stages out across the domain pool, byte-identically for every
+    [BCC_DOMAINS]. *)
 
 val transform : Boolfun.t -> float array
 (** All Fourier coefficients: [ (transform f).(s) = f^(S) ] with the
-    normalization [E_x], i.e. divided by [2^n]. *)
+    normalization [E_x], i.e. divided by [2^n].  Computed by the
+    integer-accumulator WHT on the 0/1 table — exact, and bit-identical
+    to the float butterfly. *)
 
 val popcount_parity : int -> bool
-(** Parity of the population count, by folded XOR (six shift-xor steps for
-    any 63-bit int) — the inner sign computation of {!coefficient}. *)
+(** Parity of the population count of any 63-bit int (16-bit-table
+    popcount) — the inner sign computation of {!coefficient}. *)
 
 val coefficient : Boolfun.t -> int -> float
 (** [coefficient f s]: the single coefficient at mask [s], computed

@@ -39,7 +39,11 @@ let set_row m i r =
   if Bitvec.length r <> m.ncols then invalid_arg "Gf2_matrix.set_row: length mismatch";
   m.data.(i) <- Bitvec.copy r
 
-let transpose m = init ~rows:m.ncols ~cols:m.nrows (fun i j -> get m j i)
+let pack m = Bcc_kern.Gf2.pack ~cols:m.ncols m.data
+
+let transpose m =
+  let p = Bcc_kern.Gf2.transpose (pack m) in
+  { nrows = m.ncols; ncols = m.nrows; data = Bcc_kern.Gf2.unpack p }
 
 let add a b =
   if a.nrows <> b.nrows || a.ncols <> b.ncols then
@@ -50,8 +54,15 @@ let equal a b =
   a.nrows = b.nrows && a.ncols = b.ncols && Array.for_all2 Bitvec.equal a.data b.data
 
 (* Row-vector times matrix: accumulate the rows of [m] selected by the set
-   bits of [x].  This is the method of four-Russians-free but still
-   word-parallel product the PRG uses per processor. *)
+   bits of [x] into [acc], which must be all-zeros of length [cols m] —
+   the allocation-free core the PRG expansion batches over. *)
+let vec_mul_into acc x m =
+  if Bitvec.length x <> m.nrows then
+    invalid_arg "Gf2_matrix.vec_mul_into: dimension mismatch";
+  if Bitvec.length acc <> m.ncols then
+    invalid_arg "Gf2_matrix.vec_mul_into: accumulator length mismatch";
+  Bitvec.iter_set (fun i -> Bitvec.xor_inplace acc m.data.(i)) x
+
 let vec_mul x m =
   if Bitvec.length x <> m.nrows then invalid_arg "Gf2_matrix.vec_mul: dimension mismatch";
   let acc = Bitvec.create m.ncols in
@@ -60,14 +71,30 @@ let vec_mul x m =
 
 let mul_vec m x =
   if Bitvec.length x <> m.ncols then invalid_arg "Gf2_matrix.mul_vec: dimension mismatch";
-  Bitvec.init m.nrows (fun i -> Bitvec.dot m.data.(i) x)
+  let r = Bitvec.create m.nrows in
+  for i = 0 to m.nrows - 1 do
+    if Bitvec.dot m.data.(i) x then Bitvec.set r i true
+  done;
+  r
 
+(* Method-of-Four-Russians product on the packed words (Bcc_kern): one
+   flat scratch buffer instead of a fresh Bitvec accumulation per row. *)
 let mul a b =
   if a.ncols <> b.nrows then invalid_arg "Gf2_matrix.mul: dimension mismatch";
-  { nrows = a.nrows; ncols = b.ncols;
-    data = Array.init a.nrows (fun i -> vec_mul a.data.(i) b) }
+  let p = Bcc_kern.Gf2.mul (pack a) (pack b) in
+  { nrows = a.nrows; ncols = b.ncols; data = Bcc_kern.Gf2.unpack p }
 
-(* Gaussian elimination on a scratch copy; returns (echelon rows, rank). *)
+(* Bounds-check-free column probe for the elimination inner loops: the
+   caller guarantees [col < length row]. *)
+let bit_at row col =
+  Int64.logand
+    (Int64.shift_right_logical (Bitvec.get_word row (col lsr 6)) (col land 63))
+    1L
+  = 1L
+
+(* Gauss-Jordan elimination on a scratch copy; returns (reduced echelon
+   rows, rank).  Kept on Bitvec rows because solve/kernel_vector/inverse
+   need the reduced form; plain rank goes through the packed kernel. *)
 let eliminate m =
   let work = Array.map Bitvec.copy m.data in
   let nrows = m.nrows and ncols = m.ncols in
@@ -76,20 +103,16 @@ let eliminate m =
   while !rank < nrows && !col < ncols do
     (* Find a pivot row at or below [!rank] with a 1 in column [!col]. *)
     let pivot = ref (-1) in
-    (try
-       for i = !rank to nrows - 1 do
-         if Bitvec.get work.(i) !col then begin
-           pivot := i;
-           raise Exit
-         end
-       done
-     with Exit -> ());
+    let i = ref !rank in
+    while !pivot < 0 && !i < nrows do
+      if bit_at work.(!i) !col then pivot := !i else incr i
+    done;
     if !pivot >= 0 then begin
       let tmp = work.(!rank) in
       work.(!rank) <- work.(!pivot);
       work.(!pivot) <- tmp;
       for i = 0 to nrows - 1 do
-        if i <> !rank && Bitvec.get work.(i) !col then
+        if i <> !rank && bit_at work.(i) !col then
           Bitvec.xor_inplace work.(i) work.(!rank)
       done;
       incr rank
@@ -98,7 +121,9 @@ let eliminate m =
   done;
   (work, !rank)
 
-let rank m = snd (eliminate m)
+(* Rank alone needs no reduced form: word-parallel forward elimination on
+   one flat packed copy (Bcc_kern), not a per-row Bitvec scratch. *)
+let rank m = Bcc_kern.Gf2.rank (pack m)
 
 let is_full_rank m = rank m = min m.nrows m.ncols
 
@@ -126,25 +151,19 @@ let solve m b =
   let consistent = ref true in
   for i = m.nrows - 1 downto 0 do
     let r = work.(i) in
-    (* Leading 1 of the row, if any, among the first ncols columns. *)
-    let lead = ref (-1) in
-    (try
-       for j = 0 to m.ncols - 1 do
-         if Bitvec.get r j then begin
-           lead := j;
-           raise Exit
-         end
-       done
-     with Exit -> ());
-    if !lead = -1 then begin
-      if Bitvec.get r m.ncols then consistent := false
+    (* Leading 1 of the row, if any, among the first ncols columns; a
+       single word scan instead of a per-bit probe. *)
+    let lead = Bitvec.first_set r in
+    if lead = -1 || lead >= m.ncols then begin
+      (* Zero left-hand side: inconsistent iff the rhs bit is set. *)
+      if lead = m.ncols then consistent := false
     end else begin
       (* Row is [x_lead + sum x_j = rhs]; free variables already fixed to 0. *)
       let rhs = ref (Bitvec.get r m.ncols) in
-      for j = !lead + 1 to m.ncols - 1 do
-        if Bitvec.get r j && Bitvec.get x j then rhs := not !rhs
+      for j = lead + 1 to m.ncols - 1 do
+        if bit_at r j && bit_at x j then rhs := not !rhs
       done;
-      Bitvec.set x !lead !rhs
+      Bitvec.set x lead !rhs
     end
   done;
   if !consistent then Some x else None
@@ -156,14 +175,8 @@ let kernel_vector m =
     (* Identify pivot columns of the echelon form. *)
     let is_pivot = Array.make m.ncols false in
     for i = 0 to r - 1 do
-      (try
-         for j = 0 to m.ncols - 1 do
-           if Bitvec.get work.(i) j then begin
-             is_pivot.(j) <- true;
-             raise Exit
-           end
-         done
-       with Exit -> ())
+      let lead = Bitvec.first_set work.(i) in
+      if lead >= 0 then is_pivot.(lead) <- true
     done;
     (* Pick the first free column, set it to 1, back-substitute pivots. *)
     let free = ref (-1) in
@@ -178,21 +191,13 @@ let kernel_vector m =
     let x = Bitvec.create m.ncols in
     Bitvec.set x !free true;
     for i = r - 1 downto 0 do
-      let lead = ref (-1) in
-      (try
-         for j = 0 to m.ncols - 1 do
-           if Bitvec.get work.(i) j then begin
-             lead := j;
-             raise Exit
-           end
-         done
-       with Exit -> ());
-      if !lead >= 0 then begin
+      let lead = Bitvec.first_set work.(i) in
+      if lead >= 0 then begin
         let v = ref false in
-        for j = !lead + 1 to m.ncols - 1 do
-          if Bitvec.get work.(i) j && Bitvec.get x j then v := not !v
+        for j = lead + 1 to m.ncols - 1 do
+          if bit_at work.(i) j && bit_at x j then v := not !v
         done;
-        Bitvec.set x !lead !v
+        Bitvec.set x lead !v
       end
     done;
     Some x
@@ -220,16 +225,8 @@ let inverse m =
     let rows_arr = Array.make n (Bitvec.create (2 * n)) in
     Array.iter
       (fun row ->
-        let lead = ref (-1) in
-        (try
-           for j = 0 to n - 1 do
-             if Bitvec.get row j then begin
-               lead := j;
-               raise Exit
-             end
-           done
-         with Exit -> ());
-        if !lead >= 0 then rows_arr.(!lead) <- row)
+        let lead = Bitvec.first_set row in
+        if lead >= 0 && lead < n then rows_arr.(lead) <- row)
       work;
     Some (init ~rows:n ~cols:n (fun i j -> Bitvec.get rows_arr.(i) (n + j)))
   end

@@ -34,11 +34,18 @@ val set_row : t -> int -> Bitvec.t -> unit
 (** {1 Algebra} *)
 
 val mul : t -> t -> t
-(** Matrix product over GF(2); [cols a = rows b]. *)
+(** Matrix product over GF(2); [cols a = rows b].  Computed by the packed
+    Method-of-Four-Russians kernel ([Bcc_kern.Gf2.mul]): one flat scratch
+    buffer, no per-row [Bitvec] accumulation. *)
 
 val vec_mul : Bitvec.t -> t -> Bitvec.t
 (** [vec_mul x m] is the row-vector product [x^T M] — the PRG expansion map
     of Theorem 1.3.  [Bitvec.length x = rows m]. *)
+
+val vec_mul_into : Bitvec.t -> Bitvec.t -> t -> unit
+(** [vec_mul_into acc x m] accumulates [x^T M] into [acc] (all-zeros, of
+    length [cols m]) without allocating — the reusable-scratch form of
+    {!vec_mul} for hot loops. *)
 
 val mul_vec : t -> Bitvec.t -> Bitvec.t
 (** [mul_vec m x] is [M x]. *)

@@ -1,0 +1,591 @@
+(* Packed bit-sliced compute kernels.
+
+   Everything the experiments measure is executable mathematics — GF(2)
+   linear algebra, exact enumeration over 2^n inputs, Walsh-Hadamard
+   transforms — and all of it bottoms out in loops over packed int64
+   words.  This module is the single home for those loops: [Gf2] works on
+   flat word arrays packed from Bitvec rows, [Enum] on packed truth
+   tables (64 inputs per word), [Wht] on in-place butterfly arrays.
+
+   [Ref] keeps the naive implementations (per-bit, per-input) as
+   reference oracles: every kernel is property-tested against its oracle
+   in test/test_kern.ml and benchmarked against it by `bench kern`
+   (docs/PERFORMANCE.md).
+
+   Determinism contract: kernels are pure functions of their inputs.
+   The only parallel path (Wht stages >= [Wht.par_threshold]) partitions
+   elementwise-disjoint butterfly pairs across domains, so results are
+   byte-identical for every BCC_DOMAINS (docs/PARALLELISM.md). *)
+
+let ctz v =
+  if v = 0 then invalid_arg "Bcc_kern.ctz: zero";
+  let rec go v acc = if v land 1 = 1 then acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+(* ------------------------------------------------------- GF(2) kernels *)
+
+module Gf2 = struct
+  type packed = { rows : int; cols : int; stride : int; words : int64 array }
+
+  let pack ~cols rows_arr =
+    if cols < 0 then invalid_arg "Bcc_kern.Gf2.pack: negative cols";
+    let rows = Array.length rows_arr in
+    let stride = (cols + 63) / 64 in
+    let words = Array.make (max 1 (rows * stride)) 0L in
+    for i = 0 to rows - 1 do
+      let r = rows_arr.(i) in
+      if Bitvec.length r <> cols then
+        invalid_arg "Bcc_kern.Gf2.pack: ragged rows";
+      for j = 0 to stride - 1 do
+        words.((i * stride) + j) <- Bitvec.get_word r j
+      done
+    done;
+    { rows; cols; stride; words }
+
+  let unpack p =
+    Array.init p.rows (fun i ->
+        let v = Bitvec.create p.cols in
+        for j = 0 to p.stride - 1 do
+          Bitvec.set_word v j p.words.((i * p.stride) + j)
+        done;
+        v)
+
+  let get p i j =
+    if i < 0 || i >= p.rows || j < 0 || j >= p.cols then
+      invalid_arg "Bcc_kern.Gf2.get";
+    Int64.logand
+      (Int64.shift_right_logical p.words.((i * p.stride) + (j lsr 6)) (j land 63))
+      1L
+    = 1L
+
+  (* In-place transpose of a 64x64 bit block (one int64 per row, bit [c]
+     of row [r] = element (r, c)): recursive block swaps at strides
+     32/16/8/4/2/1 — Hacker's Delight 7-3, which is convention-agnostic
+     because the transpose commutes with reversing both indices. *)
+  let transpose64 a =
+    if Array.length a <> 64 then
+      invalid_arg "Bcc_kern.Gf2.transpose64: need 64 words";
+    let j = ref 32 and m = ref 0xFFFFFFFFL in
+    while !j <> 0 do
+      let k = ref 0 in
+      while !k < 64 do
+        (* Swap the top-right block (rows k.., high bits) with the
+           bottom-left one (rows k+j.., low bits): under the LSB-first
+           convention (bit c = column c) this is the transposing swap;
+           the Hacker's Delight orientation would anti-transpose. *)
+        let x = a.(!k) and y = a.(!k + !j) in
+        let t =
+          Int64.logand (Int64.logxor (Int64.shift_right_logical x !j) y) !m
+        in
+        a.(!k) <- Int64.logxor x (Int64.shift_left t !j);
+        a.(!k + !j) <- Int64.logxor y t;
+        k := (!k + !j + 1) land lnot !j
+      done;
+      j := !j lsr 1;
+      if !j <> 0 then m := Int64.logxor !m (Int64.shift_left !m !j)
+    done
+
+  let transpose p =
+    let stride = (p.rows + 63) / 64 in
+    let words = Array.make (max 1 (p.cols * stride)) 0L in
+    let out = { rows = p.cols; cols = p.rows; stride; words } in
+    let blk = Array.make 64 0L in
+    for bi = 0 to stride - 1 do
+      for bj = 0 to p.stride - 1 do
+        for t = 0 to 63 do
+          let row = (bi * 64) + t in
+          blk.(t) <-
+            (if row < p.rows then p.words.((row * p.stride) + bj) else 0L)
+        done;
+        transpose64 blk;
+        for u = 0 to 63 do
+          let orow = (bj * 64) + u in
+          if orow < p.cols then words.((orow * stride) + bi) <- blk.(u)
+        done
+      done
+    done;
+    out
+
+  (* Rank by word-parallel forward elimination on a scratch copy.  Rows
+     below the pivot are already zero in every column left of [col]
+     (pivot columns by elimination, pivotless columns because no
+     candidate row had a 1), so swaps and xors start at the pivot word. *)
+  let rank pk =
+    let { rows; cols; stride; words } = pk in
+    let w = Array.copy words in
+    let bit_at base wi sh =
+      Int64.logand (Int64.shift_right_logical w.(base + wi) sh) 1L = 1L
+    in
+    let rank = ref 0 and col = ref 0 in
+    while !rank < rows && !col < cols do
+      let wi = !col lsr 6 and sh = !col land 63 in
+      let pivot = ref (-1) and i = ref !rank in
+      while !pivot < 0 && !i < rows do
+        if bit_at (!i * stride) wi sh then pivot := !i else incr i
+      done;
+      if !pivot >= 0 then begin
+        let pr = !rank * stride in
+        if !pivot <> !rank then begin
+          let qr = !pivot * stride in
+          for j = wi to stride - 1 do
+            let t = w.(pr + j) in
+            w.(pr + j) <- w.(qr + j);
+            w.(qr + j) <- t
+          done
+        end;
+        for r = !rank + 1 to rows - 1 do
+          let rr = r * stride in
+          if bit_at rr wi sh then
+            for j = wi to stride - 1 do
+              w.(rr + j) <- Int64.logxor w.(rr + j) w.(pr + j)
+            done
+        done;
+        incr rank
+      end;
+      incr col
+    done;
+    !rank
+
+  (* Method of Four Russians: chunk the inner dimension into bytes; for
+     each chunk, Gray-code a 256-entry table of xor-combinations of the
+     corresponding 8 rows of [b], then accumulate one table row per byte
+     of [a].  8 is a multiple of 64's divisors, so a chunk's selector
+     never straddles a word boundary. *)
+  let mul a b =
+    if a.cols <> b.rows then invalid_arg "Bcc_kern.Gf2.mul: dimension mismatch";
+    let stride = (b.cols + 63) / 64 in
+    let out = Array.make (max 1 (a.rows * stride)) 0L in
+    let table = Array.make (256 * stride) 0L in
+    let nchunks = (a.cols + 7) / 8 in
+    for c = 0 to nchunks - 1 do
+      let base = c * 8 in
+      let nbits = min 8 (a.cols - base) in
+      let entries = 1 lsl nbits in
+      for idx = 1 to entries - 1 do
+        let low = idx land -idx in
+        let prev = (idx lxor low) * stride in
+        let brow = (base + ctz low) * b.stride in
+        for j = 0 to stride - 1 do
+          table.((idx * stride) + j) <-
+            Int64.logxor table.(prev + j) b.words.(brow + j)
+        done
+      done;
+      let wi = base lsr 6 and sh = base land 63 in
+      for i = 0 to a.rows - 1 do
+        let sel =
+          Int64.to_int
+            (Int64.shift_right_logical a.words.((i * a.stride) + wi) sh)
+          land (entries - 1)
+        in
+        if sel <> 0 then begin
+          let src = sel * stride and dst = i * stride in
+          for j = 0 to stride - 1 do
+            out.(dst + j) <- Int64.logxor out.(dst + j) table.(src + j)
+          done
+        end
+      done
+    done;
+    { rows = a.rows; cols = b.cols; stride; words = out }
+end
+
+(* ------------------------------------------------- enumeration kernels *)
+
+module Enum = struct
+  type table = { n : int; words : int64 array }
+
+  let max_arity = 24
+
+  let check_arity n =
+    if n < 0 || n > max_arity then
+      invalid_arg "Bcc_kern.Enum: arity out of range [0, 24]"
+
+  let word_count n = ((1 lsl n) + 63) / 64
+
+  let set_bit words x =
+    words.(x lsr 6) <- Int64.logor words.(x lsr 6) (Int64.shift_left 1L (x land 63))
+
+  let pack n f =
+    check_arity n;
+    let words = Array.make (word_count n) 0L in
+    for x = 0 to (1 lsl n) - 1 do
+      if f x then set_bit words x
+    done;
+    { n; words }
+
+  let of_bytes n bytes =
+    check_arity n;
+    if Bytes.length bytes <> 1 lsl n then
+      invalid_arg "Bcc_kern.Enum.of_bytes: wrong table size";
+    let words = Array.make (word_count n) 0L in
+    for x = 0 to (1 lsl n) - 1 do
+      if Bytes.unsafe_get bytes x <> '\000' then set_bit words x
+    done;
+    { n; words }
+
+  let get t x =
+    if x < 0 || x >= 1 lsl t.n then invalid_arg "Bcc_kern.Enum.get";
+    Int64.logand (Int64.shift_right_logical t.words.(x lsr 6) (x land 63)) 1L = 1L
+
+  let count t =
+    Array.fold_left (fun acc w -> acc + Bitvec.popcount_word w) 0 t.words
+
+  (* Within-word selection pattern for low coordinate [i] (< 6): the bits
+     whose input has x_i = 1. *)
+  let low_pattern i =
+    match i with
+    | 0 -> 0xAAAAAAAAAAAAAAAAL
+    | 1 -> 0xCCCCCCCCCCCCCCCCL
+    | 2 -> 0xF0F0F0F0F0F0F0F0L
+    | 3 -> 0xFF00FF00FF00FF00L
+    | 4 -> 0xFFFF0000FFFF0000L
+    | _ -> 0xFFFFFFFF00000000L
+
+  (* |{x ⊇ mask : f(x) = 1}|: coordinates < 6 select bits within each
+     word by a constant pattern; coordinates >= 6 select whole words by
+     their word index, enumerated with the standard subset trick over the
+     free high bits. *)
+  let count_forced_ones t ~mask =
+    if mask < 0 || mask >= 1 lsl t.n then
+      invalid_arg "Bcc_kern.Enum.count_forced_ones: mask out of range";
+    let lowpat = ref (-1L) in
+    for i = 0 to 5 do
+      if mask land (1 lsl i) <> 0 then
+        lowpat := Int64.logand !lowpat (low_pattern i)
+    done;
+    let nwords = Array.length t.words in
+    let hi = mask lsr 6 in
+    let free = lnot hi land (nwords - 1) in
+    let acc = ref 0 in
+    let s = ref free and continue = ref true in
+    while !continue do
+      acc :=
+        !acc + Bitvec.popcount_word (Int64.logand t.words.(hi lor !s) !lowpat);
+      if !s = 0 then continue := false else s := (!s - 1) land free
+    done;
+    !acc
+
+  (* |{x : f(x) <> f(x xor e_i)}|: xor the table with itself shifted by
+     2^i (within words for i < 6, across word pairs for i >= 6), count
+     each differing pair once on its x_i = 0 side, then double. *)
+  let count_flips t ~i =
+    if i < 0 || i >= t.n then invalid_arg "Bcc_kern.Enum.count_flips";
+    let acc = ref 0 in
+    if i < 6 then begin
+      let s = 1 lsl i in
+      let keep = Int64.lognot (low_pattern i) in
+      Array.iter
+        (fun w ->
+          acc :=
+            !acc
+            + Bitvec.popcount_word
+                (Int64.logand (Int64.logxor w (Int64.shift_right_logical w s)) keep))
+        t.words
+    end
+    else begin
+      let step = 1 lsl (i - 6) in
+      for wi = 0 to Array.length t.words - 1 do
+        if wi land step = 0 then
+          acc :=
+            !acc
+            + Bitvec.popcount_word (Int64.logxor t.words.(wi) t.words.(wi lor step))
+      done
+    end;
+    2 * !acc
+
+  (* Batched threshold counting for the Monte-Carlo distinguisher loops:
+     64 trial statistics per word, one comparison bit each, popcounted. *)
+  let count_above stats ~threshold =
+    let n = Array.length stats in
+    let hits = ref 0 and i = ref 0 in
+    while !i < n do
+      let limit = min 64 (n - !i) in
+      let w = ref 0L in
+      for b = 0 to limit - 1 do
+        if stats.(!i + b) > threshold then
+          w := Int64.logor !w (Int64.shift_left 1L b)
+      done;
+      hits := !hits + Bitvec.popcount_word !w;
+      i := !i + 64
+    done;
+    !hits
+
+  (* Gray-code walk over the n-cube: [first ()] for input 0, then one
+     [next ~flipped ~index] per remaining input — each step flips exactly
+     one coordinate, so a caller can maintain its input incrementally. *)
+  let iter_gray n ~first ~next =
+    check_arity n;
+    first ();
+    for j = 1 to (1 lsl n) - 1 do
+      next ~flipped:(ctz j) ~index:(j lxor (j lsr 1))
+    done
+end
+
+(* --------------------------------------------------------- WHT kernels *)
+
+module Wht = struct
+  (* 4096 floats = 32 KiB per block: comfortably L1-resident. *)
+  let block = 4096
+
+  (* Tables with at least this many entries fan their stages out across
+     the Par pool. *)
+  let par_threshold = 65536
+
+  let check_pow2 n =
+    if n land (n - 1) <> 0 then
+      invalid_arg "Bcc_kern.Wht: length not a power of two"
+
+  (* One contiguous run of butterfly pairs: every j in [lo, hi) is a
+     lower-half index (the caller guarantees [lo, hi) stays inside one
+     half), paired with j + h.  Unsafe accesses: the drivers below only
+     pass ranges with hi - 1 + h < length a. *)
+  let pairs_float a ~h ~lo ~hi =
+    for j = lo to hi - 1 do
+      let x = Array.unsafe_get a j and y = Array.unsafe_get a (j + h) in
+      Array.unsafe_set a j (x +. y);
+      Array.unsafe_set a (j + h) (x -. y)
+    done
+
+  let pairs_int a ~h ~lo ~hi =
+    for j = lo to hi - 1 do
+      let x = Array.unsafe_get a j and y = Array.unsafe_get a (j + h) in
+      Array.unsafe_set a j (x + y);
+      Array.unsafe_set a (j + h) (x - y)
+    done
+
+  (* All stages with h < hi - lo, confined to [lo, hi) — monomorphic per
+     element type so the inner loop stays a direct tight loop (a closure
+     parameter here costs ~20% at small sizes). *)
+  let seq_float a lo hi =
+    let h = ref 1 in
+    while !h < hi - lo do
+      let hh = !h in
+      let step = 2 * hh in
+      let i = ref lo in
+      while !i < hi do
+        pairs_float a ~h:hh ~lo:!i ~hi:(!i + hh);
+        i := !i + step
+      done;
+      h := step
+    done
+
+  let seq_int a lo hi =
+    let h = ref 1 in
+    while !h < hi - lo do
+      let hh = !h in
+      let step = 2 * hh in
+      let i = ref lo in
+      while !i < hi do
+        pairs_int a ~h:hh ~lo:!i ~hi:(!i + hh);
+        i := !i + step
+      done;
+      h := step
+    done
+
+  (* Shared driver: stage [h] pairs index j with j+h; distinct pairs are
+     elementwise disjoint, so cache-blocking and domain-partitioning only
+     reorder independent updates — results are identical to the plain
+     doubling loop for every BCC_DOMAINS (the pool itself falls back to a
+     sequential loop when nested or traced). *)
+  let blocked ~pairs ~seq ~len:n a =
+    check_pow2 n;
+    if n < par_threshold then seq a 0 n
+    else begin
+      (* Phase 1: every stage with h < block stays inside one L1-sized
+         block; blocks are independent and fan out across domains. *)
+      let nb = n / block in
+      ignore
+        (Par.map_array
+           (fun b ->
+             seq a (b * block) ((b + 1) * block);
+             0)
+           (Array.init nb (fun b -> b)));
+      (* Phase 2: the outer stages, one at a time; each butterfly's lower
+         half [b*2h, b*2h + h) is cut into h/block block-sized chunks and
+         the chunks fan out across domains. *)
+      let h = ref block in
+      while !h < n do
+        let hh = !h in
+        let chunks_per_block = hh / block in
+        let nblocks = n / (2 * hh) in
+        ignore
+          (Par.map_array
+             (fun t ->
+               let b = t / chunks_per_block and c = t mod chunks_per_block in
+               let lo = (b * 2 * hh) + (c * block) in
+               pairs a ~h:hh ~lo ~hi:(lo + block);
+               0)
+             (Array.init (nblocks * chunks_per_block) (fun t -> t)));
+        h := 2 * hh
+      done
+    end
+
+  let inplace_float a =
+    blocked ~pairs:pairs_float ~seq:seq_float ~len:(Array.length a) a
+
+  let inplace_int a =
+    blocked ~pairs:pairs_int ~seq:seq_int ~len:(Array.length a) a
+end
+
+(* ---------------------------------------------------- reference oracles *)
+
+module Ref = struct
+  (* SWAR popcount — the pre-table implementation, kept as the oracle and
+     ablation baseline for the 16-bit-table popcount in Bitvec. *)
+  let popcount_swar w =
+    let w =
+      Int64.sub w (Int64.logand (Int64.shift_right_logical w 1) 0x5555555555555555L)
+    in
+    let w =
+      Int64.add
+        (Int64.logand w 0x3333333333333333L)
+        (Int64.logand (Int64.shift_right_logical w 2) 0x3333333333333333L)
+    in
+    let w =
+      Int64.logand (Int64.add w (Int64.shift_right_logical w 4)) 0x0f0f0f0f0f0f0f0fL
+    in
+    Int64.to_int (Int64.shift_right_logical (Int64.mul w 0x0101010101010101L) 56)
+
+  (* Full Gauss-Jordan on Bitvec rows with per-bit pivot probing — the
+     rank path Gf2_matrix used before the packed kernel. *)
+  let rank_rows rows_arr =
+    let nrows = Array.length rows_arr in
+    if nrows = 0 then 0
+    else begin
+      let ncols = Bitvec.length rows_arr.(0) in
+      let work = Array.map Bitvec.copy rows_arr in
+      let rank = ref 0 and col = ref 0 in
+      while !rank < nrows && !col < ncols do
+        let pivot = ref (-1) in
+        (try
+           for i = !rank to nrows - 1 do
+             if Bitvec.get work.(i) !col then begin
+               pivot := i;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !pivot >= 0 then begin
+          let tmp = work.(!rank) in
+          work.(!rank) <- work.(!pivot);
+          work.(!pivot) <- tmp;
+          for i = 0 to nrows - 1 do
+            if i <> !rank && Bitvec.get work.(i) !col then
+              Bitvec.xor_inplace work.(i) work.(!rank)
+          done;
+          incr rank
+        end;
+        incr col
+      done;
+      !rank
+    end
+
+  (* Scalar elimination over a bool matrix — the fully naive rank. *)
+  let rank_bools m =
+    let rows = Array.length m in
+    if rows = 0 then 0
+    else begin
+      let cols = Array.length m.(0) in
+      let work = Array.map Array.copy m in
+      let rank = ref 0 and col = ref 0 in
+      while !rank < rows && !col < cols do
+        let pivot = ref (-1) in
+        (try
+           for i = !rank to rows - 1 do
+             if work.(i).(!col) then begin
+               pivot := i;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !pivot >= 0 then begin
+          let tmp = work.(!rank) in
+          work.(!rank) <- work.(!pivot);
+          work.(!pivot) <- tmp;
+          for i = 0 to rows - 1 do
+            if i <> !rank && work.(i).(!col) then
+              for j = 0 to cols - 1 do
+                work.(i).(j) <- work.(i).(j) <> work.(!rank).(j)
+              done
+          done;
+          incr rank
+        end;
+        incr col
+      done;
+      !rank
+    end
+
+  (* Row-at-a-time product: for each row of [a], xor together the rows of
+     [b] selected by its set bits — the pre-M4RM Gf2_matrix.mul. *)
+  let mul_rows a b ~cols =
+    Array.map
+      (fun ra ->
+        let acc = Bitvec.create cols in
+        Bitvec.iter_set (fun i -> Bitvec.xor_inplace acc b.(i)) ra;
+        acc)
+      a
+
+  let transpose_rows rows_arr ~cols =
+    let nrows = Array.length rows_arr in
+    Array.init cols (fun i -> Bitvec.init nrows (fun j -> Bitvec.get rows_arr.(j) i))
+
+  (* Direct O(4^n) transform: one O(2^n) sign-weighted sum per output. *)
+  let wht a =
+    let n = Array.length a in
+    Wht.check_pow2 n;
+    Array.init n (fun s ->
+        let acc = ref 0.0 in
+        for x = 0 to n - 1 do
+          if Bitvec.popcount_int (s land x) land 1 = 1 then acc := !acc -. a.(x)
+          else acc := !acc +. a.(x)
+        done;
+        !acc)
+
+  (* The plain in-place doubling butterfly — the pre-kernel
+     Fourier.wht_inplace. *)
+  let wht_butterfly a =
+    let n = Array.length a in
+    Wht.check_pow2 n;
+    let h = ref 1 in
+    while !h < n do
+      let step = !h * 2 in
+      let i = ref 0 in
+      while !i < n do
+        for j = !i to !i + !h - 1 do
+          let x = a.(j) and y = a.(j + !h) in
+          a.(j) <- x +. y;
+          a.(j + !h) <- x -. y
+        done;
+        i := !i + step
+      done;
+      h := step
+    done
+
+  let count_true ~n f =
+    let acc = ref 0 in
+    for x = 0 to (1 lsl n) - 1 do
+      if f x then incr acc
+    done;
+    !acc
+
+  (* Per-input supercube walk, as Boolfun.bias_forced_ones enumerated it
+     before the packed kernel. *)
+  let count_forced_ones ~n ~mask f =
+    let free = lnot mask land ((1 lsl n) - 1) in
+    let acc = ref 0 in
+    let s = ref free and continue = ref true in
+    while !continue do
+      if f (mask lor !s) then incr acc;
+      if !s = 0 then continue := false else s := (!s - 1) land free
+    done;
+    !acc
+
+  let count_flips ~n ~i f =
+    let acc = ref 0 in
+    for x = 0 to (1 lsl n) - 1 do
+      if f x <> f (x lxor (1 lsl i)) then incr acc
+    done;
+    !acc
+
+  let count_above stats ~threshold =
+    Array.fold_left (fun acc s -> if s > threshold then acc + 1 else acc) 0 stats
+end

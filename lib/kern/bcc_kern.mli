@@ -1,0 +1,142 @@
+(** Packed bit-sliced compute kernels for the hot paths.
+
+    Three families, each operating on packed [int64] words: {!Gf2} (block
+    transpose, word-parallel elimination, Method-of-Four-Russians
+    multiply) behind [Gf2_matrix]; {!Enum} (packed truth tables, 64
+    inputs per word) behind [Boolfun]'s exact-enumeration expectations
+    and the batched distinguisher trials; {!Wht} (cache-blocked, optionally
+    domain-parallel butterflies) behind [Fourier].
+
+    {!Ref} keeps the naive implementations as reference oracles: every
+    kernel is property-tested against its oracle (test/test_kern.ml) and
+    benchmarked against it (`bench kern`, docs/PERFORMANCE.md).
+
+    All kernels are deterministic; the only parallel path ({!Wht} on
+    tables >= [par_threshold]) partitions elementwise-disjoint butterfly
+    pairs across the [Par] pool, so results are byte-identical for every
+    [BCC_DOMAINS]. *)
+
+val ctz : int -> int
+(** Count of trailing zeros; raises [Invalid_argument] on 0. *)
+
+(** GF(2) kernels on flat packed word arrays. *)
+module Gf2 : sig
+  type packed = {
+    rows : int;
+    cols : int;
+    stride : int;  (** words per row: [(cols + 63) / 64] *)
+    words : int64 array;  (** row-major, [rows * stride] words *)
+  }
+
+  val pack : cols:int -> Bitvec.t array -> packed
+  (** Copy Bitvec rows (all of length [cols]) into one flat word array. *)
+
+  val unpack : packed -> Bitvec.t array
+
+  val get : packed -> int -> int -> bool
+  (** [get p i j] is element (i, j); bounds-checked, for tests. *)
+
+  val transpose64 : int64 array -> unit
+  (** In-place transpose of a 64x64 bit block (64 words; bit [c] of word
+      [r] is element (r, c)). *)
+
+  val transpose : packed -> packed
+  (** Transpose via 64x64 blocks. *)
+
+  val rank : packed -> int
+  (** Rank over GF(2): word-parallel forward elimination on a scratch
+      copy of the words. *)
+
+  val mul : packed -> packed -> packed
+  (** Method-of-Four-Russians product (byte-chunked Gray-code tables);
+      requires [cols a = rows b]. *)
+end
+
+(** Exact-enumeration kernels on packed truth tables. *)
+module Enum : sig
+  type table = { n : int; words : int64 array }
+  (** [f : {0,1}^n -> {0,1}] with f(x) at bit [x mod 64] of word
+      [x / 64] — input encoding as in [Boolfun]. *)
+
+  val max_arity : int
+
+  val pack : int -> (int -> bool) -> table
+  (** [pack n f] evaluates [f] on every input. *)
+
+  val of_bytes : int -> Bytes.t -> table
+  (** Pack a [Boolfun]-style byte table ([2^n] bytes, nonzero = true). *)
+
+  val get : table -> int -> bool
+
+  val count : table -> int
+  (** [|{x : f(x) = 1}|] — one popcount per word. *)
+
+  val count_forced_ones : table -> mask:int -> int
+  (** [|{x ⊇ mask : f(x) = 1}|]: the sub-cube counts behind
+      [Boolfun.bias_forced_ones] (the planted-clique restriction).
+      Coordinates < 6 are constant within-word patterns; coordinates
+      >= 6 select whole words. *)
+
+  val count_flips : table -> i:int -> int
+  (** [|{x : f(x) <> f(x xor e_i)}|] — the influence numerator. *)
+
+  val count_above : float array -> threshold:float -> int
+  (** [|{j : stats.(j) > threshold}|], 64 comparison bits per popcounted
+      word — the batched distinguisher hit count. *)
+
+  val iter_gray : int -> first:(unit -> unit) -> next:(flipped:int -> index:int -> unit) -> unit
+  (** Gray-code walk over the n-cube: [first ()] for input 0, then one
+      [next ~flipped ~index] per remaining input, where [flipped] is the
+      single coordinate that changed and [index] the input's encoding. *)
+end
+
+(** Walsh-Hadamard kernels (in-place, unnormalized). *)
+module Wht : sig
+  val block : int
+  (** Floats per cache block (32 KiB). *)
+
+  val par_threshold : int
+  (** Minimum table length for the domain-parallel path. *)
+
+  val inplace_float : float array -> unit
+  (** Cache-blocked in-place WHT; length must be a power of two.  Tables
+      >= [par_threshold] fan butterfly stages out across the [Par] pool;
+      results are byte-identical for every domain count. *)
+
+  val inplace_int : int array -> unit
+  (** Integer-accumulator variant: on 0/1 (or any small-integer) tables
+      all intermediates are exact, so scaling the output reproduces the
+      float transform bit-for-bit while running on untagged ints. *)
+end
+
+(** Naive reference oracles (the pre-kernel implementations). *)
+module Ref : sig
+  val popcount_swar : int64 -> int
+  (** SWAR popcount — oracle for the 16-bit-table [Bitvec.popcount]. *)
+
+  val rank_rows : Bitvec.t array -> int
+  (** Full Gauss-Jordan on Bitvec rows with per-bit pivot probing — the
+      pre-kernel [Gf2_matrix.rank]. *)
+
+  val rank_bools : bool array array -> int
+  (** Scalar elimination over bools — the fully naive rank. *)
+
+  val mul_rows : Bitvec.t array -> Bitvec.t array -> cols:int -> Bitvec.t array
+  (** Row-at-a-time xor-accumulate product — the pre-M4RM
+      [Gf2_matrix.mul]; [cols] is the column count of [b]. *)
+
+  val transpose_rows : Bitvec.t array -> cols:int -> Bitvec.t array
+  (** Per-bit transpose. *)
+
+  val wht : float array -> float array
+  (** Direct O(4^n) transform. *)
+
+  val wht_butterfly : float array -> unit
+  (** Plain in-place doubling butterfly — the pre-kernel
+      [Fourier.wht_inplace]. *)
+
+  val count_true : n:int -> (int -> bool) -> int
+  val count_forced_ones : n:int -> mask:int -> (int -> bool) -> int
+  val count_flips : n:int -> i:int -> (int -> bool) -> int
+  val count_above : float array -> threshold:float -> int
+end

@@ -5,9 +5,7 @@ let holds c = c.measured <= c.bound +. 1e-9
 let sqrtf = Float.sqrt
 let foi = float_of_int
 
-let parity_int v =
-  let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc <> (v land 1 = 1)) in
-  go v false
+let parity_int v = Bitvec.popcount_int v land 1 = 1
 
 (* Iterate all size-k subsets of {0..n-1}. *)
 let iter_subsets n k f =

@@ -25,9 +25,26 @@ let sample_secret g p =
 
 let sample_um g secret = expand secret (Prng.bitvec g (Gf2_matrix.rows secret))
 
+let expand_rows secret seeds =
+  let k = Gf2_matrix.rows secret in
+  Array.iter
+    (fun x ->
+      if Bitvec.length x <> k then invalid_arg "Full_prg.expand_rows: seed length mismatch")
+    seeds;
+  if Array.length seeds = 0 then [||]
+  else begin
+    (* One M4RM matrix product computes every [x^T M] at once instead of a
+       bit-at-a-time vec_mul per seed. *)
+    let xm = Gf2_matrix.mul (Gf2_matrix.of_rows seeds) secret in
+    Array.mapi (fun i x -> Bitvec.concat x (Gf2_matrix.row xm i)) seeds
+  end
+
 let sample_inputs_pseudo g p =
   let secret = sample_secret g p in
-  (Array.init p.n (fun _ -> sample_um g secret), secret)
+  (* Draw all the seeds first (same Prng stream order as the one-by-one
+     sampler), then expand them as a single matrix product. *)
+  let seeds = Array.init p.n (fun _ -> Prng.bitvec g p.k) in
+  (expand_rows secret seeds, secret)
 
 let sample_inputs_rand g p =
   validate p;

@@ -33,6 +33,11 @@ val sample_secret : Prng.t -> params -> Gf2_matrix.t
 val sample_um : Prng.t -> Gf2_matrix.t -> Bitvec.t
 (** One draw from [U_M]: uniform seed, expanded. *)
 
+val expand_rows : Gf2_matrix.t -> Bitvec.t array -> Bitvec.t array
+(** [expand_rows m_secret seeds] is [Array.map (expand m_secret) seeds],
+    computed as one packed matrix product [S * M] (Method of Four
+    Russians) — the batch form behind {!sample_inputs_pseudo}. *)
+
 val sample_inputs_pseudo : Prng.t -> params -> Bitvec.t array * Gf2_matrix.t
 (** Case (B) of Theorem 5.4: fresh secret [M], then [n] draws from [U_M]. *)
 

@@ -92,13 +92,15 @@ let advantage d ~n ~k ~calibration ~trials g =
   let q = 1.0 -. (1.0 /. Float.sqrt (float_of_int (max 2 calibration))) in
   let threshold = Stats.quantile calib_stats q in
   let hit_rate branch sample_graph =
-    let hits =
-      Par.map_reduce branch ~trials ~init:0
-        ~f:(fun ~trial:_ gt ->
+    (* Collect the raw statistics, then count threshold exceedances in one
+       batched pass (64 trials per word) — same comparisons in the same
+       order as the per-trial test, so artifacts are unchanged. *)
+    let stats =
+      Par.map_trials branch ~trials (fun ~trial:_ gt ->
           let graph = sample_graph gt in
-          if d.statistic gt graph > threshold then 1 else 0)
-        ~reduce:( + )
+          d.statistic gt graph)
     in
+    let hits = Bcc_kern.Enum.count_above stats ~threshold in
     float_of_int hits /. float_of_int trials
   in
   let p_planted =

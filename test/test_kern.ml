@@ -1,0 +1,341 @@
+(* Property tests for the packed bit-sliced kernels (Bcc_kern): every
+   kernel against its naive Ref oracle, plus the determinism contract for
+   the domain-parallel WHT path and the experiment artifacts. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* Runs [f] with the pool pinned to [domains], restoring the previous
+   size afterwards even if [f] raises. *)
+let with_domains domains f =
+  let old = Par.domain_count () in
+  Par.set_domain_count domains;
+  Fun.protect ~finally:(fun () -> Par.set_domain_count old) f
+
+(* ------------------------------------------------------------ popcount *)
+
+let test_popcount_lut_vs_swar () =
+  let g = Prng.create 11 in
+  for _ = 1 to 2000 do
+    let w = Prng.bits64 g in
+    check_int "word" (Bcc_kern.Ref.popcount_swar w) (Bitvec.popcount_word w)
+  done;
+  List.iter
+    (fun w -> check_int "edge" (Bcc_kern.Ref.popcount_swar w) (Bitvec.popcount_word w))
+    [ 0L; 1L; -1L; Int64.min_int; Int64.max_int; 0x8000000000000001L ]
+
+let test_popcount_int () =
+  let g = Prng.create 12 in
+  for _ = 1 to 2000 do
+    let v = Prng.int g max_int in
+    let rec slow v acc = if v = 0 then acc else slow (v lsr 1) (acc + (v land 1)) in
+    check_int "int" (slow v 0) (Bitvec.popcount_int v)
+  done;
+  check_int "zero" 0 (Bitvec.popcount_int 0);
+  check_int "max_int" 62 (Bitvec.popcount_int max_int)
+
+let test_first_set () =
+  let v = Bitvec.create 200 in
+  check_int "empty" (-1) (Bitvec.first_set v);
+  Bitvec.set v 137 true;
+  check_int "high" 137 (Bitvec.first_set v);
+  Bitvec.set v 3 true;
+  check_int "low wins" 3 (Bitvec.first_set v)
+
+(* ----------------------------------------------------------- transpose *)
+
+let random_matrix g ~rows ~cols = Gf2_matrix.random g ~rows ~cols
+
+let test_transpose64_involution () =
+  let g = Prng.create 21 in
+  let blk = Array.init 64 (fun _ -> Prng.bits64 g) in
+  let orig = Array.copy blk in
+  Bcc_kern.Gf2.transpose64 blk;
+  check_bool "changed" true (blk <> orig);
+  Bcc_kern.Gf2.transpose64 blk;
+  check_bool "involution" true (blk = orig)
+
+let test_transpose_vs_ref () =
+  let g = Prng.create 22 in
+  List.iter
+    (fun (rows, cols) ->
+      let m = random_matrix g ~rows ~cols in
+      let t = Gf2_matrix.transpose m in
+      let expect =
+        Bcc_kern.Ref.transpose_rows (Array.init rows (Gf2_matrix.row m)) ~cols
+      in
+      check_bool
+        (Printf.sprintf "transpose %dx%d" rows cols)
+        true
+        (Gf2_matrix.equal t (Gf2_matrix.of_rows expect)))
+    [ (1, 1); (7, 3); (64, 64); (70, 130); (130, 65); (128, 128) ]
+
+(* ---------------------------------------------------------------- rank *)
+
+let ranks_agree name m =
+  let rows = Array.init (Gf2_matrix.rows m) (Gf2_matrix.row m) in
+  let bools =
+    Array.init (Gf2_matrix.rows m) (fun i ->
+        Array.init (Gf2_matrix.cols m) (fun j -> Gf2_matrix.get m i j))
+  in
+  let kern = Gf2_matrix.rank m in
+  check_int (name ^ " vs gauss-jordan") (Bcc_kern.Ref.rank_rows rows) kern;
+  check_int (name ^ " vs scalar") (Bcc_kern.Ref.rank_bools bools) kern;
+  kern
+
+let test_rank_random () =
+  let g = Prng.create 31 in
+  List.iter
+    (fun (rows, cols) ->
+      ignore (ranks_agree (Printf.sprintf "random %dx%d" rows cols)
+                (random_matrix g ~rows ~cols)))
+    [ (1, 1); (5, 9); (48, 48); (64, 64); (100, 70); (70, 130); (129, 129) ]
+
+let test_rank_identity () =
+  List.iter
+    (fun n ->
+      check_int
+        (Printf.sprintf "identity %d" n)
+        n
+        (ranks_agree "identity" (Gf2_matrix.identity n)))
+    [ 1; 17; 64; 100 ]
+
+let test_rank_deficient () =
+  let g = Prng.create 32 in
+  List.iter
+    (fun (n, r) ->
+      let m = Gf2_matrix.random_of_rank_at_most g ~n ~r in
+      let rank = ranks_agree (Printf.sprintf "deficient n=%d r=%d" n r) m in
+      check_bool "at most r" true (rank <= r))
+    [ (20, 3); (64, 10); (100, 64); (80, 0) ]
+
+(* ------------------------------------------------------------ multiply *)
+
+let test_mul_vs_ref () =
+  let g = Prng.create 41 in
+  List.iter
+    (fun (r, k, c) ->
+      let a = random_matrix g ~rows:r ~cols:k in
+      let b = random_matrix g ~rows:k ~cols:c in
+      let expect =
+        Bcc_kern.Ref.mul_rows
+          (Array.init r (Gf2_matrix.row a))
+          (Array.init k (Gf2_matrix.row b))
+          ~cols:c
+      in
+      check_bool
+        (Printf.sprintf "mul %dx%d.%dx%d" r k k c)
+        true
+        (Gf2_matrix.equal (Gf2_matrix.mul a b) (Gf2_matrix.of_rows expect)))
+    [ (1, 1, 1); (3, 5, 7); (64, 64, 64); (70, 130, 65); (130, 70, 128); (256, 256, 256) ]
+
+let test_mul_identity () =
+  let g = Prng.create 42 in
+  let m = random_matrix g ~rows:70 ~cols:70 in
+  check_bool "I*m" true (Gf2_matrix.equal m (Gf2_matrix.mul (Gf2_matrix.identity 70) m));
+  check_bool "m*I" true (Gf2_matrix.equal m (Gf2_matrix.mul m (Gf2_matrix.identity 70)))
+
+let test_expand_rows_matches_expand () =
+  let g = Prng.create 43 in
+  let params = { Full_prg.n = 20; k = 24; m = 60 } in
+  let secret = Full_prg.sample_secret g params in
+  let seeds = Array.init 20 (fun _ -> Prng.bitvec g params.Full_prg.k) in
+  let batched = Full_prg.expand_rows secret seeds in
+  check_int "count" 20 (Array.length batched);
+  Array.iteri
+    (fun i x ->
+      check_bool
+        (Printf.sprintf "row %d" i)
+        true
+        (Bitvec.equal batched.(i) (Full_prg.expand secret x)))
+    seeds;
+  check_int "empty" 0 (Array.length (Full_prg.expand_rows secret [||]))
+
+(* --------------------------------------------------------------- enum *)
+
+let test_enum_counts_vs_per_input () =
+  let g = Prng.create 51 in
+  List.iter
+    (fun n ->
+      let f = Boolfun.random g n in
+      let t = Boolfun.packed_table f in
+      let eval = Boolfun.eval_int f in
+      check_int
+        (Printf.sprintf "count n=%d" n)
+        (Bcc_kern.Ref.count_true ~n eval)
+        (Bcc_kern.Enum.count t);
+      for x = 0 to (1 lsl n) - 1 do
+        check_bool "get" (eval x) (Bcc_kern.Enum.get t x)
+      done;
+      for i = 0 to n - 1 do
+        check_int
+          (Printf.sprintf "flips n=%d i=%d" n i)
+          (Bcc_kern.Ref.count_flips ~n ~i eval)
+          (Bcc_kern.Enum.count_flips t ~i)
+      done;
+      List.iter
+        (fun mask ->
+          let mask = mask land ((1 lsl n) - 1) in
+          check_int
+            (Printf.sprintf "forced n=%d mask=%d" n mask)
+            (Bcc_kern.Ref.count_forced_ones ~n ~mask eval)
+            (Bcc_kern.Enum.count_forced_ones t ~mask))
+        [ 0; 1; 0x21; 0x41; 0x181; 0x2a5; (1 lsl n) - 1 ])
+    [ 1; 3; 6; 7; 9; 11 ]
+
+let test_iter_gray_covers_cube () =
+  List.iter
+    (fun n ->
+      let seen = Array.make (1 lsl n) 0 in
+      let x = ref 0 in
+      Bcc_kern.Enum.iter_gray n
+        ~first:(fun () -> seen.(0) <- seen.(0) + 1)
+        ~next:(fun ~flipped ~index ->
+          x := !x lxor (1 lsl flipped);
+          check_int "index tracks flips" index !x;
+          seen.(index) <- seen.(index) + 1);
+      Array.iteri (fun i c -> check_int (Printf.sprintf "visit %d" i) 1 c) seen)
+    [ 0; 1; 2; 5; 10 ]
+
+let test_count_above_strict () =
+  let g = Prng.create 52 in
+  let stats = Array.init 1000 (fun _ -> Prng.float g) in
+  List.iter
+    (fun threshold ->
+      check_int "vs scalar"
+        (Bcc_kern.Ref.count_above stats ~threshold)
+        (Bcc_kern.Enum.count_above stats ~threshold))
+    [ -1.0; 0.0; 0.25; 0.5; 0.999; 1.0 ];
+  (* Strictly above: a value equal to the threshold is not a hit. *)
+  check_int "strict" 0 (Bcc_kern.Enum.count_above [| 0.5; 0.5 |] ~threshold:0.5);
+  check_int "empty" 0 (Bcc_kern.Enum.count_above [||] ~threshold:0.0)
+
+(* ----------------------------------------------------------------- wht *)
+
+let random_table g len = Array.init len (fun _ -> if Prng.bool g then 1.0 else 0.0)
+
+let test_wht_blocked_vs_naive () =
+  let g = Prng.create 61 in
+  for n = 0 to 10 do
+    let a = random_table g (1 lsl n) in
+    let blocked = Array.copy a in
+    Fourier.wht_inplace blocked;
+    let butterfly = Array.copy a in
+    Bcc_kern.Ref.wht_butterfly butterfly;
+    check_bool (Printf.sprintf "vs butterfly n=%d" n) true (blocked = butterfly);
+    check_bool (Printf.sprintf "vs direct n=%d" n) true (blocked = Bcc_kern.Ref.wht a)
+  done
+
+let test_wht_int_matches_float () =
+  let g = Prng.create 62 in
+  List.iter
+    (fun len ->
+      let floats = random_table g len in
+      let ints = Array.map int_of_float floats in
+      Bcc_kern.Wht.inplace_int ints;
+      Bcc_kern.Wht.inplace_float floats;
+      let same = ref true in
+      Array.iteri
+        (fun i v -> if float_of_int v <> floats.(i) then same := false)
+        ints;
+      check_bool (Printf.sprintf "len=%d" len) true !same)
+    [ 1; 64; 4096; 65536 ]
+
+let test_wht_parallel_identical () =
+  (* 2^17 crosses par_threshold: the butterfly stages fan out across the
+     pool; the result must be byte-identical at 1 and 4 domains, and equal
+     to the plain butterfly. *)
+  let len = 1 lsl 17 in
+  let base = random_table (Prng.create 63) len in
+  let seq =
+    with_domains 1 (fun () ->
+        let a = Array.copy base in
+        Fourier.wht_inplace a;
+        a)
+  in
+  let par =
+    with_domains 4 (fun () ->
+        let a = Array.copy base in
+        Fourier.wht_inplace a;
+        a)
+  in
+  check_bool "1 vs 4 domains" true (seq = par);
+  let butterfly = Array.copy base in
+  Bcc_kern.Ref.wht_butterfly butterfly;
+  check_bool "vs butterfly" true (seq = butterfly)
+
+let test_fourier_transform_exact () =
+  (* The integer-accumulator transform must reproduce the old float path
+     bit-for-bit. *)
+  let g = Prng.create 64 in
+  List.iter
+    (fun n ->
+      let f = Boolfun.random g n in
+      let old_path =
+        let a = Fourier.real_table f in
+        Bcc_kern.Ref.wht_butterfly a;
+        let scale = 1.0 /. float_of_int (Array.length a) in
+        Array.map (fun v -> v *. scale) a
+      in
+      check_bool (Printf.sprintf "n=%d" n) true (Fourier.transform f = old_path))
+    [ 0; 1; 4; 8; 12 ]
+
+(* ----------------------------------------------------- artifact pinning *)
+
+let artifact_fingerprint f seed =
+  Artifact.to_string ~pretty:true (Experiments.artifact ~seed (f ~seed ()))
+
+let test_e1_artifact_identical_across_pools () =
+  let f ~seed () = Experiments.e1_lemma_1_10 ~seed () in
+  let seq = with_domains 1 (fun () -> artifact_fingerprint f 5) in
+  let par = with_domains 4 (fun () -> artifact_fingerprint f 5) in
+  check_string "e1 artifact" seq par
+
+let test_e5_artifact_identical_across_pools () =
+  let f ~seed () = Experiments.e5_distinguisher_advantage ~seed ~n:96 () in
+  let seq = with_domains 1 (fun () -> artifact_fingerprint f 5) in
+  let par = with_domains 4 (fun () -> artifact_fingerprint f 5) in
+  check_string "e5 artifact" seq par
+
+let () =
+  Alcotest.run "kern"
+    [
+      ( "popcount",
+        [
+          Alcotest.test_case "LUT vs SWAR (words)" `Quick test_popcount_lut_vs_swar;
+          Alcotest.test_case "popcount_int" `Quick test_popcount_int;
+          Alcotest.test_case "first_set" `Quick test_first_set;
+        ] );
+      ( "gf2",
+        [
+          Alcotest.test_case "transpose64 involution" `Quick test_transpose64_involution;
+          Alcotest.test_case "transpose vs ref" `Quick test_transpose_vs_ref;
+          Alcotest.test_case "rank random" `Quick test_rank_random;
+          Alcotest.test_case "rank identity" `Quick test_rank_identity;
+          Alcotest.test_case "rank deficient" `Quick test_rank_deficient;
+          Alcotest.test_case "mul vs ref" `Quick test_mul_vs_ref;
+          Alcotest.test_case "mul identity" `Quick test_mul_identity;
+          Alcotest.test_case "expand_rows batch" `Quick test_expand_rows_matches_expand;
+        ] );
+      ( "enum",
+        [
+          Alcotest.test_case "counts vs per-input" `Quick test_enum_counts_vs_per_input;
+          Alcotest.test_case "gray walk covers cube" `Quick test_iter_gray_covers_cube;
+          Alcotest.test_case "count_above strict" `Quick test_count_above_strict;
+        ] );
+      ( "wht",
+        [
+          Alcotest.test_case "blocked vs naive (n<=10)" `Quick test_wht_blocked_vs_naive;
+          Alcotest.test_case "int path exact" `Quick test_wht_int_matches_float;
+          Alcotest.test_case "parallel identical" `Quick test_wht_parallel_identical;
+          Alcotest.test_case "transform bit-identical" `Quick test_fourier_transform_exact;
+        ] );
+      ( "artifacts",
+        [
+          Alcotest.test_case "e1 identical at 1 and 4 domains" `Quick
+            test_e1_artifact_identical_across_pools;
+          Alcotest.test_case "e5 identical at 1 and 4 domains" `Quick
+            test_e5_artifact_identical_across_pools;
+        ] );
+    ]
