@@ -17,16 +17,27 @@
    (BENCH_kern.json), checking agreement in-run: any kernel/oracle
    mismatch makes the process exit nonzero.
 
+   Part 5 does the same for the packed graph kernels — A land A^T core,
+   triangle/K4 counting, scratch-stack Bron-Kerbosch (BENCH_graph.json).
+
+   Part 6 ("compare") is the regression gate: it re-measures parts 4-5 in
+   quick mode and diffs the kernel-vs-oracle speedup ratios against the
+   committed BENCH_baseline.json, failing on any kernel whose edge over
+   its own oracle shrank by more than 1.5x.
+
    Whatever ran is also consolidated into one versioned BENCH.json
    envelope (params carry bench_schema_version; payload has one section
    per part).
 
-     dune exec bench/main.exe                  # everything
-     dune exec bench/main.exe -- tables        # only the experiment tables
-     dune exec bench/main.exe -- micro         # only the micro-benchmarks
-     dune exec bench/main.exe -- par           # only the domain-count sweep
-     dune exec bench/main.exe -- kern          # only the kernel-vs-oracle sweep
-     dune exec bench/main.exe -- kern --quick  # smaller sizes (CI smoke)
+     dune exec bench/main.exe                     # everything
+     dune exec bench/main.exe -- tables           # only the experiment tables
+     dune exec bench/main.exe -- micro            # only the micro-benchmarks
+     dune exec bench/main.exe -- par              # only the domain-count sweep
+     dune exec bench/main.exe -- kern             # only the kernel-vs-oracle sweep
+     dune exec bench/main.exe -- kern --quick     # smaller sizes (CI smoke)
+     dune exec bench/main.exe -- graph            # only the graph-kernel sweep
+     dune exec bench/main.exe -- compare          # regression gate vs baseline
+     dune exec bench/main.exe -- compare --update # regenerate the baseline
 *)
 
 open Bechamel
@@ -663,6 +674,234 @@ let run_kern ~quick () =
   Format.printf "@.";
   (json, all_agree)
 
+(* ------------------------------------------------- graph kernels *)
+
+(* Packed graph kernels (Bcc_kern.Graph) vs the allocating Ref oracles
+   they replaced: the A land A^T core, triangle/K4 counting, and the
+   scratch-stack Bron-Kerbosch.  Same in-run agreement contract as
+   [run_kern]: any mismatch exits nonzero. *)
+let run_graph ~quick () =
+  Format.printf "=====================================================@.";
+  Format.printf " Graph kernel sweep (Bcc_kern.Graph vs naive Ref oracles)@.";
+  Format.printf "=====================================================@.";
+  let reps = if quick then 3 else 5 in
+  let g = Prng.create 2026 in
+  let rows = ref [] in
+  let add r = rows := r :: !rows in
+  Format.printf "%-16s %-16s %14s %14s %10s@." "group" "case" "naive ns"
+    "kernel ns" "speedup";
+  Format.printf "%s@." (String.make 76 '-');
+  let sizes = if quick then [ 128; 256 ] else [ 128; 256; 512 ] in
+  List.iter
+    (fun n ->
+      let graph = Planted.sample_rand g n in
+      let adj_rows = Digraph.unsafe_rows graph in
+      add
+        (kern_case ~reps ~group:"graph-core"
+           ~case:(Printf.sprintf "n=%d" n)
+           ~naive:(fun () -> Bcc_kern.Ref.bidirectional_core adj_rows)
+           ~kern:(fun () -> Bcc_kern.Graph.bidirectional_core adj_rows)
+           ~equal:(fun a b ->
+             Array.length a = Array.length b && Array.for_all2 Bitvec.equal a b));
+      (* The core of A_rand is G(n, 1/4) — the e17 counting regime. *)
+      let core = Clique.bidirectional_core graph in
+      add
+        (kern_case ~reps ~group:"graph-tri"
+           ~case:(Printf.sprintf "n=%d" n)
+           ~naive:(fun () -> Bcc_kern.Ref.count_triangles core)
+           ~kern:(fun () -> Bcc_kern.Graph.count_triangles core)
+           ~equal:Int.equal);
+      add
+        (kern_case ~reps ~group:"graph-k4"
+           ~case:(Printf.sprintf "n=%d" n)
+           ~naive:(fun () -> Bcc_kern.Ref.count_k4 core)
+           ~kern:(fun () -> Bcc_kern.Graph.count_k4 core)
+           ~equal:Int.equal))
+    sizes;
+  (* Bron-Kerbosch on planted instances (the e12/e19 regime, k ~ 8 sqrt n
+     so the planted clique dominates the core's natural cliques). *)
+  List.iter
+    (fun (n, k) ->
+      let graph, _ = Planted.sample_planted g ~n ~k in
+      let core = Clique.bidirectional_core graph in
+      let everyone = Bitvec.ones n in
+      add
+        (kern_case ~reps ~group:"graph-maxclique"
+           ~case:(Printf.sprintf "n=%d,k=%d" n k)
+           ~naive:(fun () -> Bcc_kern.Ref.max_clique core everyone)
+           ~kern:(fun () -> Bcc_kern.Graph.max_clique core everyone)
+           ~equal:(List.equal Int.equal)))
+    (if quick then [ (128, 24); (256, 40) ] else [ (128, 24); (256, 40); (512, 64) ]);
+  let rows = List.rev !rows in
+  let all_agree = List.for_all (fun r -> r.agree) rows in
+  let json =
+    Artifact.List
+      (List.map
+         (fun r ->
+           Artifact.Obj
+             [
+               ("group", Artifact.String r.group);
+               ("case", Artifact.String r.case);
+               ("naive_ns", Artifact.Float r.naive_ns);
+               ("kern_ns", Artifact.Float r.kern_ns);
+               ("speedup", Artifact.Float (r.naive_ns /. r.kern_ns));
+               ("agree", Artifact.Bool r.agree);
+             ])
+         rows)
+  in
+  Artifact.write_file
+    ~path:(Filename.concat Artifact.default_dir "BENCH_graph.json")
+    (Artifact.make ~kind:"bench" ~id:"graph"
+       ~params:
+         [
+           ("repetitions", Artifact.Int reps);
+           ("quick", Artifact.Bool quick);
+         ]
+       json);
+  Format.printf "@.artifact written to %s/BENCH_graph.json@." Artifact.default_dir;
+  if not all_agree then
+    Format.printf "KERNEL/ORACLE MISMATCH — see the rows marked MISMATCH@.";
+  Format.printf "@.";
+  (json, all_agree)
+
+(* --------------------------------------------------- regression gate *)
+
+(* The gate compares kernel-vs-oracle *speedup ratios* against the
+   committed baseline, not raw nanoseconds: both sides of each ratio are
+   measured on the same machine in the same run, so the comparison is
+   meaningful on hardware the baseline was never measured on.  A kernel
+   whose advantage over its own oracle shrank by more than
+   [compare_tolerance] has regressed. *)
+let compare_tolerance = 1.5
+
+let baseline_path = "BENCH_baseline.json"
+
+let speedup_rows section_json =
+  match Artifact.to_list_opt section_json with
+  | None -> []
+  | Some rows ->
+      List.filter_map
+        (fun row ->
+          match
+            ( Option.bind (Artifact.member "group" row) Artifact.to_string_opt,
+              Option.bind (Artifact.member "case" row) Artifact.to_string_opt,
+              Option.bind (Artifact.member "speedup" row) Artifact.to_float_opt )
+          with
+          | Some g, Some c, Some s -> Some (g ^ "/" ^ c, s)
+          | _ -> None)
+        rows
+
+let run_compare ~update () =
+  (* Two independent quick-mode measurements of both kernel families.  The
+     gate pairs the per-kernel extreme that is robust for its side — the
+     stored baseline keeps each kernel's *minimum* observed speedup, a
+     fresh run is credited its *maximum* — so a single noisy sample can
+     neither trip the tolerance nor inflate the baseline, while a real
+     regression (which shifts both samples) still fails. *)
+  let measure () =
+    let kern_json, kern_ok = run_kern ~quick:true () in
+    let graph_json, graph_ok = run_graph ~quick:true () in
+    ( speedup_rows kern_json @ speedup_rows graph_json,
+      Artifact.Obj [ ("kern", kern_json); ("graph", graph_json) ],
+      kern_ok && graph_ok )
+  in
+  let s1, fresh_payload, ok1 = measure () in
+  let s2, _, ok2 = measure () in
+  let agree_ok = ok1 && ok2 in
+  let combine f =
+    List.map
+      (fun (name, v1) ->
+        match List.assoc_opt name s2 with
+        | Some v2 -> (name, f v1 v2)
+        | None -> (name, v1))
+      s1
+  in
+  if update then begin
+    Artifact.write_file ~path:baseline_path
+      (Artifact.make ~kind:"bench" ~id:"baseline"
+         ~params:
+           [
+             ("bench_schema_version", Artifact.Int 1);
+             ("tolerance", Artifact.Float compare_tolerance);
+           ]
+         (Artifact.List
+            (List.map
+               (fun (name, s) ->
+                 Artifact.Obj
+                   [
+                     ("name", Artifact.String name);
+                     ("speedup", Artifact.Float s);
+                   ])
+               (combine Float.min))));
+    Format.printf "baseline written to %s@." baseline_path;
+    (fresh_payload, agree_ok)
+  end
+  else begin
+    let baseline =
+      try Artifact.read_file ~path:baseline_path
+      with Sys_error _ ->
+        failwith
+          (Printf.sprintf
+             "%s not found — run `bench compare --update` and commit it"
+             baseline_path)
+    in
+    let base =
+      match
+        Option.bind (Artifact.member "payload" baseline) Artifact.to_list_opt
+      with
+      | None -> failwith (Printf.sprintf "%s: malformed payload" baseline_path)
+      | Some rows ->
+          List.filter_map
+            (fun row ->
+              match
+                ( Option.bind (Artifact.member "name" row) Artifact.to_string_opt,
+                  Option.bind (Artifact.member "speedup" row)
+                    Artifact.to_float_opt )
+              with
+              | Some name, Some s -> Some (name, s)
+              | _ -> None)
+            rows
+    in
+    let fresh = combine Float.max in
+    Format.printf "=====================================================@.";
+    (* bcc-lint: allow det/float-format — human console report; the JSON mirror goes through Artifact *)
+    Format.printf " Regression gate vs %s (tolerance %.1fx)@." baseline_path
+      compare_tolerance;
+    Format.printf "=====================================================@.";
+    Format.printf "%-34s %9s %9s %7s@." "kernel" "base" "fresh" "ratio";
+    Format.printf "%s@." (String.make 62 '-');
+    let failures = ref [] in
+    List.iter
+      (fun (name, base_speedup) ->
+        match List.assoc_opt name fresh with
+        | None ->
+            failures := Printf.sprintf "%s: missing from fresh run" name :: !failures;
+            (* bcc-lint: allow det/float-format — human console report; the JSON mirror goes through Artifact *)
+            Format.printf "%-34s %9.1f %9s %7s MISSING@." name base_speedup "-" "-"
+        | Some fresh_speedup ->
+            (* ratio > 1 means the kernel's edge over its oracle shrank. *)
+            let ratio = base_speedup /. fresh_speedup in
+            let bad = ratio > compare_tolerance in
+            if bad then
+              failures :=
+                (* bcc-lint: allow det/float-format — human console report; the JSON mirror goes through Artifact *)
+                Printf.sprintf "%s: speedup %.1fx -> %.1fx (%.2fx regression)"
+                  name base_speedup fresh_speedup ratio
+                :: !failures;
+            (* bcc-lint: allow det/float-format — human console report; the JSON mirror goes through Artifact *)
+            Format.printf "%-34s %9.1f %9.1f %7.2f %s@." name base_speedup
+              fresh_speedup ratio
+              (if bad then "REGRESSED" else "ok"))
+      base;
+    let ok = agree_ok && !failures = [] in
+    if !failures <> [] then begin
+      Format.printf "@.regressions:@.";
+      List.iter (Format.printf "  %s@.") (List.rev !failures)
+    end;
+    Format.printf "@.";
+    (fresh_payload, ok)
+  end
+
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   let quick = Array.exists (String.equal "--quick") Sys.argv in
@@ -677,13 +916,25 @@ let () =
       let payload, agree = run_kern ~quick () in
       add "kern" payload;
       ok := agree
+  | "graph" ->
+      let payload, agree = run_graph ~quick () in
+      add "graph" payload;
+      ok := agree
+  | "compare" ->
+      let update = Array.exists (String.equal "--update") Sys.argv in
+      let payload, pass = run_compare ~update () in
+      add "compare" payload;
+      ok := pass
   | _ ->
       add "tables" (run_tables ());
       add "micro" (run_micro ());
       add "par" (run_par ());
       let payload, agree = run_kern ~quick () in
       add "kern" payload;
-      ok := agree);
+      ok := agree;
+      let payload, agree = run_graph ~quick () in
+      add "graph" payload;
+      ok := !ok && agree);
   (* One stable envelope over whatever ran, for cross-commit tracking. *)
   Artifact.write_file
     ~path:(Filename.concat Artifact.default_dir "BENCH.json")

@@ -271,6 +271,29 @@ let run_kern_check seed =
   check "count-above"
     (Bcc_kern.Enum.count_above stats ~threshold:0.5
     = Bcc_kern.Ref.count_above stats ~threshold:0.5);
+  List.iter
+    (fun n ->
+      let graph, _ = Planted.sample_planted g ~n ~k:(max 4 (n / 6)) in
+      let rows = Digraph.unsafe_rows graph in
+      let core = Bcc_kern.Graph.bidirectional_core rows in
+      let ref_core = Bcc_kern.Ref.bidirectional_core rows in
+      check
+        (Printf.sprintf "graph-core n=%d" n)
+        (Array.for_all2 Bitvec.equal core ref_core);
+      check
+        (Printf.sprintf "graph-triangles n=%d" n)
+        (Bcc_kern.Graph.count_triangles core
+        = Bcc_kern.Ref.count_triangles ref_core);
+      check
+        (Printf.sprintf "graph-k4 n=%d" n)
+        (Bcc_kern.Graph.count_k4 core = Bcc_kern.Ref.count_k4 ref_core);
+      let everyone = Bitvec.ones n in
+      check
+        (Printf.sprintf "graph-maxclique n=%d" n)
+        (List.equal Int.equal
+           (Bcc_kern.Graph.max_clique core everyone)
+           (Bcc_kern.Ref.max_clique ref_core everyone)))
+    [ 63; 64; 96 ];
   match !failures with
   | [] ->
       Format.printf "all kernels agree with their reference oracles@.";

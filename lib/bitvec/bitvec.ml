@@ -23,6 +23,11 @@ let set v i b =
   if b then v.words.(w) <- Int64.logor v.words.(w) (Int64.shift_left 1L s)
   else v.words.(w) <- Int64.logand v.words.(w) (Int64.lognot (Int64.shift_left 1L s))
 
+let unsafe_set_bit v i =
+  let w = i lsr 6 and s = i land 63 in
+  Array.unsafe_set v.words w
+    (Int64.logor (Array.unsafe_get v.words w) (Int64.shift_left 1L s))
+
 let flip v i =
   check_index v i;
   let w = i / 64 and s = i mod 64 in
@@ -97,6 +102,32 @@ let xor_inplace dst src =
     dst.words.(i) <- Int64.logxor dst.words.(i) src.words.(i)
   done
 
+(* No-alloc combinators for the packed graph kernels (Bcc_kern.Graph):
+   everything below writes into caller-owned scratch or returns an int, so
+   the triangle/clique inner loops allocate nothing.  Operands are
+   normalized ([len]-excess bits zero), so and/andnot results are too. *)
+
+let assign dst src =
+  check_same_len dst src "assign";
+  Array.blit src.words 0 dst.words 0 (Array.length src.words)
+
+let logand_into ~dst a b =
+  check_same_len dst a "logand_into";
+  check_same_len a b "logand_into";
+  for i = 0 to Array.length dst.words - 1 do
+    Array.unsafe_set dst.words i
+      (Int64.logand (Array.unsafe_get a.words i) (Array.unsafe_get b.words i))
+  done
+
+let logandnot_into ~dst a b =
+  check_same_len dst a "logandnot_into";
+  check_same_len a b "logandnot_into";
+  for i = 0 to Array.length dst.words - 1 do
+    Array.unsafe_set dst.words i
+      (Int64.logand (Array.unsafe_get a.words i)
+         (Int64.lognot (Array.unsafe_get b.words i)))
+  done
+
 let lognot v =
   let words = Array.map Int64.lognot v.words in
   let r = { len = v.len; words } in
@@ -128,6 +159,60 @@ let popcount_word w =
   + Char.code (String.unsafe_get popcount16 (hi lsr 16))
 
 let popcount v = Array.fold_left (fun acc w -> acc + popcount_word w) 0 v.words
+
+let popcount_and2 a b =
+  check_same_len a b "popcount_and2";
+  let acc = ref 0 in
+  for i = 0 to Array.length a.words - 1 do
+    acc :=
+      !acc
+      + popcount_word
+          (Int64.logand (Array.unsafe_get a.words i) (Array.unsafe_get b.words i))
+  done;
+  !acc
+
+let popcount_and3 a b c =
+  check_same_len a b "popcount_and3";
+  check_same_len b c "popcount_and3";
+  let acc = ref 0 in
+  for i = 0 to Array.length a.words - 1 do
+    acc :=
+      !acc
+      + popcount_word
+          (Int64.logand
+             (Int64.logand (Array.unsafe_get a.words i) (Array.unsafe_get b.words i))
+             (Array.unsafe_get c.words i))
+  done;
+  !acc
+
+let popcount_and2_above a b ~above =
+  check_same_len a b "popcount_and2_above";
+  (* Count set bits of [a land b] at indices strictly greater than
+     [above]: mask the word containing [above + 1], take later words
+     whole.  Replaces the per-iteration [init n (fun u -> u > v)] suffix
+     mask of the triangle/K4 counters. *)
+  let lo = above + 1 in
+  if lo >= a.len then 0
+  else begin
+    let wi = lo lsr 6 and sh = lo land 63 in
+    let nwords = Array.length a.words in
+    let acc =
+      ref
+        (popcount_word
+           (Int64.logand
+              (Int64.shift_left (-1L) sh)
+              (Int64.logand (Array.unsafe_get a.words wi)
+                 (Array.unsafe_get b.words wi))))
+    in
+    for i = wi + 1 to nwords - 1 do
+      acc :=
+        !acc
+        + popcount_word
+            (Int64.logand (Array.unsafe_get a.words i)
+               (Array.unsafe_get b.words i))
+    done;
+    !acc
+  end
 
 let is_zero v = Array.for_all (fun w -> w = 0L) v.words
 

@@ -60,6 +60,37 @@ val lognot : t -> t
 val popcount : t -> int
 (** Number of set bits (16-bit table lookup per half-word). *)
 
+(** {2 No-alloc combinators}
+
+    Word-level fused operations for the packed graph kernels
+    ({!Bcc_kern.Graph}): they write into caller-owned scratch or return an
+    [int], so hot inner loops (triangle counting, Bron-Kerbosch) allocate
+    nothing.  All operands must share one length. *)
+
+val popcount_and2 : t -> t -> int
+(** [popcount_and2 a b = popcount (logand a b)], without the intermediate
+    vector. *)
+
+val popcount_and3 : t -> t -> t -> int
+(** [popcount_and3 a b c = popcount (logand (logand a b) c)]. *)
+
+val popcount_and2_above : t -> t -> above:int -> int
+(** [popcount_and2_above a b ~above]: set bits of [logand a b] at indices
+    strictly greater than [above] — the suffix-masked intersection count
+    of the triangle/K4 kernels, with the mask applied word-wise instead of
+    materialized. *)
+
+val assign : t -> t -> unit
+(** [assign dst src] copies [src]'s bits into [dst]. *)
+
+val logand_into : dst:t -> t -> t -> unit
+(** [logand_into ~dst a b] sets [dst <- logand a b]; [dst] may alias [a]
+    or [b]. *)
+
+val logandnot_into : dst:t -> t -> t -> unit
+(** [logandnot_into ~dst a b] sets [dst <- logand a (lognot b)]; [dst] may
+    alias [a] or [b]. *)
+
 val popcount_int : int -> int
 (** Population count of a nonnegative OCaml int, via the same 16-bit
     table.  Raises [Invalid_argument] on negative input. *)
@@ -116,5 +147,10 @@ val restrict_ones : t -> int list -> bool
 val word_length : t -> int
 val get_word : t -> int -> int64
 val set_word : t -> int -> int64 -> unit
+
+val unsafe_set_bit : t -> int -> unit
+(** [unsafe_set_bit v i] sets bit [i] to 1 with no bounds check — the
+    unchecked row writer behind [Gnp.sample_fast]'s geometric-skip
+    decoder.  The caller must guarantee [0 <= i < length v]. *)
 
 val pp : Format.formatter -> t -> unit

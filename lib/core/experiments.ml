@@ -1062,7 +1062,9 @@ let e24_connectivity ?(seed = 42) () =
       let agree = ref 0 and comp_sum = ref 0 in
       for i = 1 to trials do
         let gi = Prng.split g (int_of_float (p *. 1000.0) + i) in
-        let graph = Gnp.sample gi ~n ~p in
+        (* Stream change vs the Bernoulli-per-pair sampler — e24 artifacts
+           re-pinned when this switched (see EXPERIMENTS.md). *)
+        let graph = Gnp.sample_fast gi ~n ~p in
         let cfg = Connectivity.default_config ~n ~seed:(seed + i) in
         let got = Connectivity.run_on cfg graph gi in
         let want = Connectivity.exact_components graph in

@@ -1,50 +1,14 @@
-let bidirectional_core g =
-  let n = Digraph.vertex_count g in
-  Array.init n (fun i ->
-      let row = Digraph.out_row g i in
-      Bitvec.init n (fun j -> j <> i && Bitvec.get row j && Digraph.has_edge g j i))
+(* One packed transpose + word-AND (Bcc_kern.Graph) instead of an O(n^2)
+   per-bit has_edge closure. *)
+let bidirectional_core g = Bcc_kern.Graph.bidirectional_core (Digraph.unsafe_rows g)
 
 let is_clique g vs = Digraph.is_bidirectional_clique g vs
 
-(* Bron-Kerbosch with pivoting on bitset neighborhoods. *)
-let max_clique_core adj vertices =
-  let best = ref [] in
-  let best_size = ref 0 in
-  let rec expand r r_size p x =
-    if Bitvec.is_zero p && Bitvec.is_zero x then begin
-      if r_size > !best_size then begin
-        best := r;
-        best_size := r_size
-      end
-    end
-    else begin
-      (* Choose the pivot maximizing |P ∩ N(pivot)|. *)
-      let pivot = ref (-1) in
-      let pivot_score = ref (-1) in
-      let consider u =
-        let score = Bitvec.popcount (Bitvec.logand p adj.(u)) in
-        if score > !pivot_score then begin
-          pivot := u;
-          pivot_score := score
-        end
-      in
-      Bitvec.iter_set consider p;
-      Bitvec.iter_set consider x;
-      let candidates =
-        if !pivot >= 0 then Bitvec.logand p (Bitvec.lognot adj.(!pivot)) else Bitvec.copy p
-      in
-      let p = Bitvec.copy p and x = Bitvec.copy x in
-      Bitvec.iter_set
-        (fun v ->
-          expand (v :: r) (r_size + 1) (Bitvec.logand p adj.(v)) (Bitvec.logand x adj.(v));
-          Bitvec.set p v false;
-          Bitvec.set x v true)
-        candidates
-    end
-  in
-  let n = Array.length adj in
-  expand [] 0 vertices (Bitvec.create n);
-  List.sort Int.compare !best
+(* Bron-Kerbosch with pivoting on bitset neighborhoods, running on
+   Bcc_kern.Graph's scratch stack (per-depth buffers, no allocation per
+   node); same traversal and result as the allocating Bcc_kern.Ref
+   version it is property-tested against. *)
+let max_clique_core adj vertices = Bcc_kern.Graph.max_clique adj vertices
 
 let max_clique g =
   let adj = bidirectional_core g in

@@ -19,6 +19,8 @@ let add_edge g i j =
   check_vertex g j;
   if i <> j then Bitvec.set g.adj.(i) j true
 
+let unsafe_add_edge g i j = Bitvec.unsafe_set_bit g.adj.(i) j
+
 let remove_edge g i j =
   check_vertex g i;
   check_vertex g j;
@@ -48,6 +50,15 @@ let set_out_row g i r =
   Bitvec.set r i false;
   g.adj.(i) <- r
 
+let install_out_row g i r =
+  check_vertex g i;
+  if Bitvec.length r <> g.n then
+    invalid_arg "Digraph.install_out_row: length mismatch";
+  Bitvec.set r i false;
+  g.adj.(i) <- r
+
+let unsafe_rows g = g.adj
+
 let out_degree g i =
   check_vertex g i;
   Bitvec.popcount g.adj.(i)
@@ -71,6 +82,11 @@ let common_out_neighbors g i j =
   check_vertex g i;
   check_vertex g j;
   Bitvec.logand g.adj.(i) g.adj.(j)
+
+let count_common_out_neighbors g i j =
+  check_vertex g i;
+  check_vertex g j;
+  Bitvec.popcount_and2 g.adj.(i) g.adj.(j)
 
 let copy g = { g with adj = Array.map Bitvec.copy g.adj }
 

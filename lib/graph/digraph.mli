@@ -21,11 +21,27 @@ val has_edge : t -> int -> int -> bool
 val add_edge : t -> int -> int -> unit
 val remove_edge : t -> int -> int -> unit
 
+val unsafe_add_edge : t -> int -> int -> unit
+(** [add_edge] without bounds or diagonal checks — the unchecked row
+    writer for samplers whose loop structure already guarantees
+    [0 <= i, j < n] and [i <> j] (e.g. [Gnp.sample_fast]'s geometric-skip
+    decoder).  Violating either precondition corrupts the graph. *)
+
 val out_row : t -> int -> Bitvec.t
 (** A copy of vertex [i]'s out-adjacency row — processor [i]'s input. *)
 
 val set_out_row : t -> int -> Bitvec.t -> unit
 (** Copies the row in; the diagonal bit is cleared. *)
+
+val install_out_row : t -> int -> Bitvec.t -> unit
+(** Like {!set_out_row} but takes ownership of the vector instead of
+    copying it (the diagonal bit is still cleared); the caller must not
+    use the row afterwards.  For samplers that build each row once. *)
+
+val unsafe_rows : t -> Bitvec.t array
+(** The live adjacency rows, shared with the graph — the packed-kernel
+    view ({!Bcc_kern.Graph} operates on it without per-row copies).
+    Callers must not mutate the rows or the array. *)
 
 val out_degree : t -> int -> int
 val in_degree : t -> int -> int
@@ -38,6 +54,10 @@ val is_bidirectional_clique : t -> int list -> bool
 
 val common_out_neighbors : t -> int -> int -> Bitvec.t
 (** Intersection of the two out-rows. *)
+
+val count_common_out_neighbors : t -> int -> int -> int
+(** [popcount (common_out_neighbors g i j)] without materializing the
+    intersection — the common-neighbor distinguisher statistic. *)
 
 val copy : t -> t
 val equal : t -> t -> bool

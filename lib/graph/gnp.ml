@@ -18,8 +18,8 @@ let sample_fast g ~n ~p =
   if p >= 1.0 then
     for i = 0 to n - 1 do
       for j = i + 1 to n - 1 do
-        Digraph.add_edge graph i j;
-        Digraph.add_edge graph j i
+        Digraph.unsafe_add_edge graph i j;
+        Digraph.unsafe_add_edge graph j i
       done
     done
   else if p > 0.0 && total > 0 then begin
@@ -47,8 +47,10 @@ let sample_fast g ~n ~p =
         done;
         let i = !row in
         let j = i + 1 + (!idx - !row_start) in
-        Digraph.add_edge graph i j;
-        Digraph.add_edge graph j i
+        (* The loop structure guarantees 0 <= i < j < n, so the decoded
+           skips write straight into the packed rows unchecked. *)
+        Digraph.unsafe_add_edge graph i j;
+        Digraph.unsafe_add_edge graph j i
       end
     done
   end;

@@ -3,7 +3,10 @@ let hamiltonicity_threshold n =
   (Float.log nf +. Float.log (Float.log nf)) /. nf
 
 let sample_planted_cycle g ~n ~p =
-  let graph = Gnp.sample g ~n ~p in
+  (* Geometric-skip sampler: O(pn^2 + n) draws instead of one Bernoulli per
+     pair.  Different PRNG stream than [Gnp.sample] — e23 artifacts were
+     re-pinned when this switched (see EXPERIMENTS.md). *)
+  let graph = Gnp.sample_fast g ~n ~p in
   let cycle = Prng.permutation g n in
   for i = 0 to n - 1 do
     let a = cycle.(i) and b = cycle.((i + 1) mod n) in

@@ -1,8 +1,11 @@
 let sample_rand g n =
   let graph = Digraph.create n in
   for i = 0 to n - 1 do
-    let row = Prng.bitvec g n in
-    Digraph.set_out_row graph i row
+    (* [Prng.bitvec] writes whole 64-bit draws into the packed words;
+       installing (not copying) the fresh row keeps the per-row cost at
+       one allocation.  Stream order and the sampled graph are exactly
+       the set_out_row path's. *)
+    Digraph.install_out_row graph i (Prng.bitvec g n)
   done;
   graph
 

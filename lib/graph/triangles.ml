@@ -2,44 +2,13 @@ let foi = float_of_int
 
 let choose3 n = foi (n * (n - 1) * (n - 2)) /. 6.0
 
-(* Mask of vertices strictly above v, intersected into neighborhoods so
-   each triangle is counted once (i < j < l). *)
-let above n v = Bitvec.init n (fun u -> u > v)
+(* Each triangle (K4) is counted once as i < j < l (< m): the suffix
+   constraint and the neighborhood intersections run as fused word counts
+   in Bcc_kern.Graph — no allocation in the inner loops, same counts as
+   the mask-materializing Bcc_kern.Ref versions. *)
+let count g = Bcc_kern.Graph.count_triangles (Clique.bidirectional_core g)
 
-let count g =
-  let n = Digraph.vertex_count g in
-  let core = Clique.bidirectional_core g in
-  let total = ref 0 in
-  for i = 0 to n - 1 do
-    let ni = core.(i) in
-    Bitvec.iter_set
-      (fun j ->
-        if j > i then
-          total := !total + Bitvec.popcount (Bitvec.logand (Bitvec.logand ni core.(j)) (above n j)))
-      ni
-  done;
-  !total
-
-let count_k4 g =
-  let n = Digraph.vertex_count g in
-  let core = Clique.bidirectional_core g in
-  let total = ref 0 in
-  for i = 0 to n - 1 do
-    let ni = core.(i) in
-    Bitvec.iter_set
-      (fun j ->
-        if j > i then begin
-          let nij = Bitvec.logand ni core.(j) in
-          Bitvec.iter_set
-            (fun l ->
-              if l > j then
-                total :=
-                  !total + Bitvec.popcount (Bitvec.logand (Bitvec.logand nij core.(l)) (above n l)))
-            nij
-        end)
-      ni
-  done;
-  !total
+let count_k4 g = Bcc_kern.Graph.count_k4 (Clique.bidirectional_core g)
 
 (* The bidirectional core of A_rand is G(n, 1/4). *)
 let p_core = 0.25

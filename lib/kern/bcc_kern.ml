@@ -188,6 +188,229 @@ module Gf2 = struct
     { rows = a.rows; cols = b.cols; stride; words = out }
 end
 
+(* ------------------------------------------------------- graph kernels *)
+
+module Graph = struct
+  (* Kernels for the planted-clique experiments.  A directed graph is its
+     adjacency rows: [rows.(i)] has bit [j] iff edge i -> j, diagonal
+     zero — exactly what [Digraph] stores and what each BCAST processor
+     receives as input.  Everything here is observationally identical to
+     the per-bit implementations it replaced (kept in [Ref]); the only
+     difference is packed words and reused scratch. *)
+
+  (* A land A^T in packed words: one block transpose + one word-AND pass,
+     instead of an O(n^2) has_edge closure per entry.  The diagonal of
+     the result is zero because adjacency diagonals are. *)
+  let bidirectional_core rows =
+    let n = Array.length rows in
+    let a = Gf2.pack ~cols:n rows in
+    let at = Gf2.transpose a in
+    let w = a.Gf2.words and wt = at.Gf2.words in
+    for i = 0 to Array.length w - 1 do
+      w.(i) <- Int64.logand w.(i) wt.(i)
+    done;
+    Gf2.unpack a
+
+  (* Bron-Kerbosch with pivoting, on a scratch stack of raw packed words:
+     depth [d] owns flat P/X/candidate word buffers plus a *support list*
+     — the ascending indices of words where P or X can still be nonzero.
+     Every scan (maximality check, pivot scoring, child construction) runs
+     over the support only; since the skipped words are logically zero and
+     both the word order and the LSB-first bit extraction match
+     [Bitvec.iter_set], the traversal order, pivot choice, and returned
+     clique are exactly [Ref.max_clique]'s.  Deep nodes touch O(live
+     words) instead of O(n/64), and nothing allocates per node. *)
+  let max_clique adj vertices =
+    let n = Array.length adj in
+    if n = 0 then []
+    else begin
+      let nwords = (n + 63) / 64 in
+      (* Row-major copy of the adjacency words: row [v] at [v * nwords]. *)
+      let aw = Array.make (n * nwords) 0L in
+      for v = 0 to n - 1 do
+        for w = 0 to nwords - 1 do
+          Array.unsafe_set aw ((v * nwords) + w) (Bitvec.get_word adj.(v) w)
+        done
+      done;
+      (* Words outside a depth's support may hold stale garbage from
+         earlier siblings; they are never read. *)
+      let pw = Array.make ((n + 1) * nwords) 0L in
+      let xw = Array.make ((n + 1) * nwords) 0L in
+      let cw = Array.make ((n + 1) * nwords) 0L in
+      let sup = Array.make ((n + 1) * nwords) 0 in
+      let nsup = Array.make (n + 1) 0 in
+      (* P-only support (pivot scores and candidates involve P alone). *)
+      let psup = Array.make ((n + 1) * nwords) 0 in
+      (* Whole-row degrees: |P ∩ N(u)| <= degs.(u), so a vertex with
+         degs.(u) <= pivot_score can be skipped without scoring — an upper
+         bound, never a different argmax. *)
+      let degs = Array.make n 0 in
+      for v = 0 to n - 1 do
+        degs.(v) <- Bitvec.popcount adj.(v)
+      done;
+      let best = ref [] in
+      let best_size = ref 0 in
+      let rec expand r r_size d =
+        let base = d * nwords in
+        let ns = nsup.(d) in
+        let nonempty = ref false in
+        let np = ref 0 in
+        let psize = ref 0 in
+        for si = 0 to ns - 1 do
+          let w = Array.unsafe_get sup (base + si) in
+          let pv = Array.unsafe_get pw (base + w) in
+          if pv <> 0L then begin
+            Array.unsafe_set psup (base + !np) w;
+            incr np;
+            psize := !psize + Bitvec.popcount_word pv;
+            nonempty := true
+          end
+          else if Array.unsafe_get xw (base + w) <> 0L then nonempty := true
+        done;
+        if not !nonempty then begin
+          if r_size > !best_size then begin
+            best := r;
+            best_size := r_size
+          end
+        end
+        else if r_size + !psize <= !best_size then
+          (* Branch-and-bound: even taking all of P, this subtree cannot
+             strictly beat the incumbent, and best-updates require strict
+             improvement — so it cannot update [best] at all.  Skipping it
+             leaves the sequence of updates, hence the returned clique,
+             exactly [Ref.max_clique]'s. *)
+          ()
+        else begin
+          (* Choose the pivot maximizing |P ∩ N(pivot)|, P's bits first
+             then X's — iter_set order on the logical vectors.  Strict [>]
+             keeps the first maximum, so two exact prunings apply: skip
+             vertices whose whole-row degree cannot beat the running
+             score, and stop outright once the score reaches |P| (later
+             vertices can at most tie). *)
+          let pivot = ref (-1) in
+          let pivot_score = ref (-1) in
+          let consider u =
+            if Array.unsafe_get degs u > !pivot_score then begin
+              let row = u * nwords in
+              let score = ref 0 in
+              for si = 0 to !np - 1 do
+                let w = Array.unsafe_get psup (base + si) in
+                score :=
+                  !score
+                  + Bitvec.popcount_word
+                      (Int64.logand
+                         (Array.unsafe_get pw (base + w))
+                         (Array.unsafe_get aw (row + w)))
+              done;
+              if !score > !pivot_score then begin
+                pivot := u;
+                pivot_score := !score;
+                if !score = !psize then raise Exit
+              end
+            end
+          in
+          let iter_bits nw supb buf f =
+            for si = 0 to nw - 1 do
+              let w = Array.unsafe_get supb (base + si) in
+              let bits = ref (Array.unsafe_get buf (base + w)) in
+              while !bits <> 0L do
+                let low = Int64.logand !bits (Int64.neg !bits) in
+                f ((w * 64) + Bitvec.popcount_word (Int64.sub low 1L));
+                bits := Int64.logxor !bits low
+              done
+            done
+          in
+          (try
+             iter_bits !np psup pw consider;
+             iter_bits ns sup xw consider
+           with Exit -> ());
+          (* P ∪ X nonempty ⇒ consider ran ⇒ a pivot was chosen. *)
+          let prow = !pivot * nwords in
+          for si = 0 to !np - 1 do
+            let w = Array.unsafe_get psup (base + si) in
+            Array.unsafe_set cw (base + w)
+              (Int64.logand
+                 (Array.unsafe_get pw (base + w))
+                 (Int64.lognot (Array.unsafe_get aw (prow + w))))
+          done;
+          (* [cw] is a fixed snapshot; P/X mutate underneath it exactly as
+             in the allocating version. *)
+          iter_bits !np psup cw (fun v ->
+              let row = v * nwords in
+              let base' = base + nwords in
+              let k = ref 0 in
+              for si = 0 to ns - 1 do
+                let w = Array.unsafe_get sup (base + si) in
+                let nv = Array.unsafe_get aw (row + w) in
+                let pv = Int64.logand (Array.unsafe_get pw (base + w)) nv in
+                let xv = Int64.logand (Array.unsafe_get xw (base + w)) nv in
+                Array.unsafe_set pw (base' + w) pv;
+                Array.unsafe_set xw (base' + w) xv;
+                if pv <> 0L || xv <> 0L then begin
+                  Array.unsafe_set sup (base' + !k) w;
+                  incr k
+                end
+              done;
+              nsup.(d + 1) <- !k;
+              expand (v :: r) (r_size + 1) (d + 1);
+              let wv = base + (v lsr 6) in
+              let bit = Int64.shift_left 1L (v land 63) in
+              Array.unsafe_set pw wv
+                (Int64.logand (Array.unsafe_get pw wv) (Int64.lognot bit));
+              Array.unsafe_set xw wv (Int64.logor (Array.unsafe_get xw wv) bit))
+        end
+      in
+      for w = 0 to nwords - 1 do
+        pw.(w) <- Bitvec.get_word vertices w;
+        sup.(w) <- w
+      done;
+      nsup.(0) <- nwords;
+      expand [] 0 0;
+      List.sort Int.compare !best
+    end
+
+  (* Triangles of an undirected adjacency (e.g. the bidirectional core),
+     each counted once as i < j < l: the suffix constraint is a masked
+     word count, the intersections never materialize. *)
+  let count_triangles core =
+    let n = Array.length core in
+    let total = ref 0 in
+    for i = 0 to n - 1 do
+      let ni = core.(i) in
+      Bitvec.iter_set
+        (fun j ->
+          if j > i then
+            total := !total + Bitvec.popcount_and2_above ni core.(j) ~above:j)
+        ni
+    done;
+    !total
+
+  (* K4s as i < j < l < m, with one scratch vector for N(i) ∩ N(j) reused
+     across the whole count. *)
+  let count_k4 core =
+    let n = Array.length core in
+    let total = ref 0 in
+    if n > 0 then begin
+      let nij = Bitvec.create n in
+      for i = 0 to n - 1 do
+        let ni = core.(i) in
+        Bitvec.iter_set
+          (fun j ->
+            if j > i then begin
+              Bitvec.logand_into ~dst:nij ni core.(j);
+              Bitvec.iter_set
+                (fun l ->
+                  if l > j then
+                    total :=
+                      !total + Bitvec.popcount_and2_above nij core.(l) ~above:l)
+                nij
+            end)
+          ni
+      done
+    end;
+    !total
+end
+
 (* ------------------------------------------------- enumeration kernels *)
 
 module Enum = struct
@@ -588,4 +811,109 @@ module Ref = struct
 
   let count_above stats ~threshold =
     Array.fold_left (fun acc s -> if s > threshold then acc + 1 else acc) 0 stats
+
+  (* ----------------------- graph oracles (the pre-Graph implementations) *)
+
+  let popcount_and2 a b = Bitvec.popcount (Bitvec.logand a b)
+
+  let popcount_and3 a b c = Bitvec.popcount (Bitvec.logand (Bitvec.logand a b) c)
+
+  let popcount_and2_above a b ~above =
+    let n = Bitvec.length a in
+    Bitvec.popcount
+      (Bitvec.logand (Bitvec.logand a b) (Bitvec.init n (fun u -> u > above)))
+
+  (* Per-bit core: row i bit j iff both directions present — the closure
+     the pre-kernel Clique.bidirectional_core built per entry. *)
+  let bidirectional_core rows =
+    let n = Array.length rows in
+    Array.init n (fun i ->
+        Bitvec.init n (fun j ->
+            j <> i && Bitvec.get rows.(i) j && Bitvec.get rows.(j) i))
+
+  (* The allocating Bron-Kerbosch (fresh copy/logand/lognot vectors per
+     node) — the pre-kernel Clique.max_clique_core, kept verbatim as the
+     oracle for the scratch-stack version. *)
+  let max_clique adj vertices =
+    let best = ref [] in
+    let best_size = ref 0 in
+    let rec expand r r_size p x =
+      if Bitvec.is_zero p && Bitvec.is_zero x then begin
+        if r_size > !best_size then begin
+          best := r;
+          best_size := r_size
+        end
+      end
+      else begin
+        let pivot = ref (-1) in
+        let pivot_score = ref (-1) in
+        let consider u =
+          let score = Bitvec.popcount (Bitvec.logand p adj.(u)) in
+          if score > !pivot_score then begin
+            pivot := u;
+            pivot_score := score
+          end
+        in
+        Bitvec.iter_set consider p;
+        Bitvec.iter_set consider x;
+        let candidates =
+          if !pivot >= 0 then Bitvec.logand p (Bitvec.lognot adj.(!pivot))
+          else Bitvec.copy p
+        in
+        let p = Bitvec.copy p and x = Bitvec.copy x in
+        Bitvec.iter_set
+          (fun v ->
+            expand (v :: r) (r_size + 1)
+              (Bitvec.logand p adj.(v))
+              (Bitvec.logand x adj.(v));
+            Bitvec.set p v false;
+            Bitvec.set x v true)
+          candidates
+      end
+    in
+    let n = Array.length adj in
+    expand [] 0 vertices (Bitvec.create n);
+    List.sort Int.compare !best
+
+  (* Pre-kernel triangle/K4 counters: fresh logand vectors plus a fresh
+     [u > v] suffix mask per inner iteration. *)
+  let above n v = Bitvec.init n (fun u -> u > v)
+
+  let count_triangles core =
+    let n = Array.length core in
+    let total = ref 0 in
+    for i = 0 to n - 1 do
+      let ni = core.(i) in
+      Bitvec.iter_set
+        (fun j ->
+          if j > i then
+            total :=
+              !total
+              + Bitvec.popcount
+                  (Bitvec.logand (Bitvec.logand ni core.(j)) (above n j)))
+        ni
+    done;
+    !total
+
+  let count_k4 core =
+    let n = Array.length core in
+    let total = ref 0 in
+    for i = 0 to n - 1 do
+      let ni = core.(i) in
+      Bitvec.iter_set
+        (fun j ->
+          if j > i then begin
+            let nij = Bitvec.logand ni core.(j) in
+            Bitvec.iter_set
+              (fun l ->
+                if l > j then
+                  total :=
+                    !total
+                    + Bitvec.popcount
+                        (Bitvec.logand (Bitvec.logand nij core.(l)) (above n l)))
+              nij
+          end)
+        ni
+    done;
+    !total
 end

@@ -52,6 +52,36 @@ module Gf2 : sig
       requires [cols a = rows b]. *)
 end
 
+(** Packed graph kernels for the planted-clique experiments.
+
+    A directed graph is its adjacency rows ([rows.(i)] bit [j] iff edge
+    [i -> j], diagonal zero) — the representation [Digraph] stores and the
+    BCAST processors receive.  Every function is observationally identical
+    to the per-bit implementation it replaced (kept in {!Ref}); only the
+    word-level execution differs. *)
+module Graph : sig
+  val bidirectional_core : Bitvec.t array -> Bitvec.t array
+  (** [A land A^T] (row [i] bit [j] iff both [i -> j] and [j -> i]) as one
+      64x64 block transpose plus a word-AND pass — behind
+      [Clique.bidirectional_core]. *)
+
+  val max_clique : Bitvec.t array -> Bitvec.t -> int list
+  (** Maximum clique of the undirected adjacency [adj] restricted to the
+      vertex mask, by Bron-Kerbosch with pivoting on a scratch stack of
+      per-depth P/X/candidate word buffers (no allocation per node), with
+      support-word lists bounding every scan and exact prunings
+      (degree-bounded pivot scoring, early stop at a full score,
+      branch-and-bound on [|R| + |P|]) that cannot change which clique is
+      returned.  Same result as {!Ref.max_clique}, bit for bit. *)
+
+  val count_triangles : Bitvec.t array -> int
+  (** Triangles of an undirected adjacency (each counted once, [i < j < l])
+      via suffix-masked word counts; zero allocation. *)
+
+  val count_k4 : Bitvec.t array -> int
+  (** K4s ([i < j < l < m]); one scratch vector reused across the count. *)
+end
+
 (** Exact-enumeration kernels on packed truth tables. *)
 module Enum : sig
   type table = { n : int; words : int64 array }
@@ -139,4 +169,22 @@ module Ref : sig
   val count_forced_ones : n:int -> mask:int -> (int -> bool) -> int
   val count_flips : n:int -> i:int -> (int -> bool) -> int
   val count_above : float array -> threshold:float -> int
+
+  (** {2 Graph oracles} — the pre-{!Graph} implementations. *)
+
+  val popcount_and2 : Bitvec.t -> Bitvec.t -> int
+  val popcount_and3 : Bitvec.t -> Bitvec.t -> Bitvec.t -> int
+  val popcount_and2_above : Bitvec.t -> Bitvec.t -> above:int -> int
+  (** Materializing oracles for the fused [Bitvec] popcounts. *)
+
+  val bidirectional_core : Bitvec.t array -> Bitvec.t array
+  (** Per-bit [A land A^T] with a closure per entry. *)
+
+  val max_clique : Bitvec.t array -> Bitvec.t -> int list
+  (** The allocating Bron-Kerbosch (fresh vectors per node). *)
+
+  val count_triangles : Bitvec.t array -> int
+  val count_k4 : Bitvec.t array -> int
+  (** Triangle/K4 counts with fresh intersection vectors and a fresh
+      suffix mask per inner iteration. *)
 end

@@ -66,23 +66,15 @@ let float g =
   float_of_int v /. 9007199254740992.0
 
 let bitvec g len =
+  (* One [bits64] draw per 64 bits, written whole-word (LSB-first, matching
+     the bit-at-a-time decode this replaces; [set_word] masks the garbage
+     bits of a trailing partial word).  Same draws, same vector. *)
   let v = Bitvec.create len in
   let full_words = len / 64 in
   for i = 0 to full_words - 1 do
-    let w = bits64 g in
-    for b = 0 to 63 do
-      if Int64.logand (Int64.shift_right_logical w b) 1L = 1L then
-        Bitvec.set v ((i * 64) + b) true
-    done
+    Bitvec.set_word v i (bits64 g)
   done;
-  let rem = len mod 64 in
-  if rem > 0 then begin
-    let w = bits64 g in
-    for b = 0 to rem - 1 do
-      if Int64.logand (Int64.shift_right_logical w b) 1L = 1L then
-        Bitvec.set v ((full_words * 64) + b) true
-    done
-  end;
+  if len mod 64 > 0 then Bitvec.set_word v full_words (bits64 g);
   v
 
 let subset g ~n ~k =

@@ -36,9 +36,18 @@ let sampled_clique_protocol ~n ~sample_size =
   (* Everyone computes the same induced-subgraph max clique; share the
      Bron-Kerbosch run across processors of one protocol value.  The cache
      outlives a single [Bcast.run], so parallel trial loops (Par) can hit
-     it from several domains — guard it. *)
-  let cache : (string, int) Hashtbl.t = Hashtbl.create 4 in
+     it from several domains — guard it.  Keys are an FNV-1a fold over the
+     packed row words instead of an O(s^2) string rendering; entries keep
+     the rows and are verified structurally on lookup, so a collision can
+     never change hit/miss behavior. *)
+  let cache : (int, (Bitvec.t array * int) list) Hashtbl.t = Hashtbl.create 4 in
   let cache_guard = Mutex.create () in
+  let rows_key rows =
+    Array.fold_left
+      (fun acc r -> (acc lxor Bitvec.hash r) * 0x01000193 land max_int)
+      0x811c9dc5 rows
+  in
+  let rows_equal a b = Array.length a = Array.length b && Array.for_all2 Bitvec.equal a b in
   {
     Bcast.name = Printf.sprintf "sampled-clique(n=%d,s=%d)" n sample_size;
     msg_bits = w;
@@ -73,21 +82,23 @@ let sampled_clique_protocol ~n ~sample_size =
               done);
           finish =
             (fun () ->
-              let key = String.concat ";" (Array.to_list (Array.map Bitvec.to_string rows)) in
+              let key = rows_key rows in
               let cached =
                 Mutex.lock cache_guard;
-                let v = Hashtbl.find_opt cache key in
+                let bucket = Option.value ~default:[] (Hashtbl.find_opt cache key) in
+                let v = List.find_opt (fun (r, _) -> rows_equal r rows) bucket in
                 Mutex.unlock cache_guard;
                 v
               in
               match cached with
-              | Some size -> size
+              | Some (_, size) -> size
               | None ->
                   let sub = Digraph.create sample_size in
                   Array.iteri (fun i r -> Digraph.set_out_row sub i r) rows;
                   let size = List.length (Clique.max_clique sub) in
                   Mutex.lock cache_guard;
-                  Hashtbl.replace cache key size;
+                  let bucket = Option.value ~default:[] (Hashtbl.find_opt cache key) in
+                  Hashtbl.replace cache key ((rows, size) :: bucket);
                   Mutex.unlock cache_guard;
                   size);
         });

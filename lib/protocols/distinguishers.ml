@@ -71,7 +71,7 @@ let common_neighbors ~pairs =
           let i = Prng.int coins n in
           let j = Prng.int coins n in
           if i <> j && Digraph.has_edge g i j && Digraph.has_edge g j i then begin
-            let c = Bitvec.popcount (Digraph.common_out_neighbors g i j) in
+            let c = Digraph.count_common_out_neighbors g i j in
             if c > !best then best := c
           end
         done;

@@ -26,17 +26,40 @@ let expected_success_probability ~n ~k =
 
 (* All processors compute the same maximum clique from common knowledge; a
    cache keyed by the broadcast data avoids n identical Bron-Kerbosch runs
-   in the simulator. *)
-type shared_cache = (string, int list) Hashtbl.t
+   in the simulator.  The key is a cheap FNV-1a fold over the active list
+   and the packed words of each edge column (Bitvec.hash) — O(|actives| +
+   n·|actives|/64) instead of the O(n·|actives|) string rendering this
+   replaces.  Entries carry the full broadcast data and are verified
+   structurally on lookup, so a hash collision can never change hit/miss
+   behavior. *)
+type cache_entry = {
+  e_actives : int list;
+  e_edges : Bitvec.t list;
+  e_clique : int list;
+}
+
+type shared_cache = (int, cache_entry list) Hashtbl.t
+
+let fnv_prime = 0x01000193
+
+let cache_key ~actives ~edges =
+  let h =
+    List.fold_left
+      (fun acc a -> (acc lxor a) * fnv_prime land max_int)
+      0x811c9dc5 actives
+  in
+  List.fold_left
+    (fun acc col -> (acc lxor Bitvec.hash col) * fnv_prime land max_int)
+    h edges
+
+let entry_matches ~actives ~edges e =
+  List.equal Int.equal e.e_actives actives && List.equal Bitvec.equal e.e_edges edges
 
 let compute_active_clique cache ~actives ~edges =
-  let key =
-    String.concat "," (List.map string_of_int actives)
-    ^ "#"
-    ^ String.concat ";" (List.map Bitvec.to_string edges)
-  in
-  match Hashtbl.find_opt cache key with
-  | Some c -> c
+  let key = cache_key ~actives ~edges in
+  let bucket = Option.value ~default:[] (Hashtbl.find_opt cache key) in
+  match List.find_opt (entry_matches ~actives ~edges) bucket with
+  | Some e -> e.e_clique
   | None ->
       (* [edges] has one column per active vertex: element [r] is every
          processor's adjacency bit to the r-th active vertex.  Build the
@@ -53,7 +76,8 @@ let compute_active_clique cache ~actives ~edges =
       done;
       let local = Clique.max_clique sub in
       let c = List.sort Int.compare (List.map (fun i -> active_arr.(i)) local) in
-      Hashtbl.replace cache key c;
+      Hashtbl.replace cache key
+        ({ e_actives = actives; e_edges = edges; e_clique = c } :: bucket);
       c
 
 let protocol ~n ~k =
