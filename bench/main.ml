@@ -62,8 +62,7 @@ let run_tables () =
   (* The populated registry rides along with the tables. *)
   Artifact.write_file
     ~path:(Filename.concat Artifact.default_dir "METRICS_tables.json")
-    (Artifact.make ~kind:"metrics" ~id:"tables" ~seed
-       (Metrics.to_json (Metrics.snapshot ())));
+    (Metrics.snapshot_artifact ~id:"tables" ~seed ());
   Format.printf "@.artifacts written to %s/@." Artifact.default_dir;
   Format.printf "@.";
   Artifact.Obj
@@ -426,7 +425,7 @@ let run_par () =
                   (* warm the pool *)
                   let best = ref infinity and value = ref nan in
                   for _ = 1 to 3 do
-                    let v, seconds = Metrics.time run in
+                    let v, seconds = Prof.time run in
                     value := v;
                     if seconds < !best then best := seconds
                   done;
@@ -505,7 +504,7 @@ let time_best ~reps f =
   let v = f () in
   let best = ref infinity in
   for _ = 1 to reps do
-    let _, seconds = Metrics.time f in
+    let _, seconds = Prof.time f in
     if seconds < !best then best := seconds
   done;
   (v, !best *. 1e9)
@@ -905,6 +904,10 @@ let run_compare ~update () =
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   let quick = Array.exists (String.equal "--quick") Sys.argv in
+  (* --prof: run the selected sections under the hierarchical profiler and
+     write PROF_bench.json / PROF_bench.trace.json alongside BENCH.json. *)
+  let prof = Array.exists (String.equal "--prof") Sys.argv in
+  if prof then Prof.start ();
   let sections = ref [] in
   let add name payload = sections := (name, payload) :: !sections in
   let ok = ref true in
@@ -943,5 +946,19 @@ let () =
        (Artifact.Obj (List.rev !sections)));
   Format.printf "consolidated envelope written to %s/BENCH.json@."
     Artifact.default_dir;
+  if prof then begin
+    Prof.stop ();
+    let r = Prof.report () in
+    Prof.pp_report Format.std_formatter r;
+    Artifact.write_file
+      ~path:(Filename.concat Artifact.default_dir "PROF_bench.json")
+      (Prof.to_artifact ~id:"bench" r);
+    let oc = open_out (Filename.concat Artifact.default_dir "PROF_bench.trace.json") in
+    output_string oc (Prof.to_perfetto ());
+    output_char oc '\n';
+    close_out oc;
+    Format.printf "profile written to %s/PROF_bench.json (+ .trace.json)@."
+      Artifact.default_dir
+  end;
   Format.printf "done.@.";
   if not !ok then exit 1

@@ -4,6 +4,7 @@
      bcc_cli trace PROTO         run a named protocol with a trace sink
      bcc_cli metrics [IDS...]    run experiments and dump the metrics registry
      bcc_cli kern                self-check the Bcc_kern kernels vs their oracles
+     bcc_cli prof TARGET         run an experiment or protocol under the profiler
 
    `bcc_cli e1 e2` (no subcommand) keeps working: `run` is the default. *)
 
@@ -172,10 +173,8 @@ let run_metrics json protos replicas ids seed =
           ok := false)
     targets;
   Metrics.set_collecting false;
-  let samples = Metrics.snapshot () in
-  if json then
-    print_string (Artifact.to_string ~pretty:true (Metrics.to_json samples) ^ "\n")
-  else Metrics.pp Format.std_formatter samples;
+  if json then print_string (Metrics.to_json () ^ "\n")
+  else Metrics.pp Format.std_formatter (Metrics.snapshot ());
   if !ok then Ok () else Error (`Msg "unknown experiment or protocol id")
   end
 
@@ -308,6 +307,92 @@ let kern_cmd =
   Cmd.v (Cmd.info "kern" ~doc)
     Term.(term_result (const run_kern_check $ seed_arg))
 
+(* ----------------------------------------------------------------- prof *)
+
+(* Run one experiment id or Runner protocol under the profiler, print the
+   span tree + top-k report with a wall-clock coverage line, and write
+   PROF_<target>.json (deterministic comparison payload + telemetry) and
+   PROF_<target>.trace.json (Chrome/Perfetto trace events). *)
+let run_prof list_only dir top target seed =
+  if list_only then begin
+    List.iter (Format.printf "%s@.") Experiments.ids;
+    List.iter (Format.printf "%s@.") Runner.names;
+    Ok ()
+  end
+  else
+    let launch =
+      match target with
+      | None -> Error (`Msg "missing TARGET argument (try --list)")
+      | Some t -> (
+          match Experiments.by_id t with
+          | Some f -> Ok (t, fun () -> ignore (f ~seed ()))
+          | None ->
+              if List.mem t Runner.names then
+                Ok (t, fun () -> ignore (Runner.run ~name:t ~seed))
+              else
+                Error
+                  (`Msg
+                     (Printf.sprintf
+                        "unknown target %S (experiments: %s; protocols: %s)" t
+                        (String.concat ", " Experiments.ids)
+                        (String.concat ", " Runner.names))))
+    in
+    match launch with
+    | Error e -> Error e
+    | Ok (name, body) -> (
+        Prof.start ();
+        let (), wall = Prof.time body in
+        Prof.stop ();
+        let r = Prof.report () in
+        Prof.pp_report ~top Format.std_formatter r;
+        let wall_ns = int_of_float (wall *. 1e9) in
+        let self_ns = Prof.sum_self_ns r in
+        (* bcc-lint: allow det/float-format — human console report; artifact bytes go through to_artifact *)
+        Format.printf "@.wall %.3f ms, span self-time coverage %.1f%%@."
+          (wall *. 1e3)
+          (if wall_ns = 0 then 0.0
+           else 100.0 *. float_of_int self_ns /. float_of_int wall_ns);
+        let json_path = Filename.concat dir (Printf.sprintf "PROF_%s.json" name) in
+        let trace_path =
+          Filename.concat dir (Printf.sprintf "PROF_%s.trace.json" name)
+        in
+        try
+          Artifact.write_file ~path:json_path (Prof.to_artifact ~id:name ~seed r);
+          let oc = open_out trace_path in
+          output_string oc (Prof.to_perfetto ());
+          output_string oc "\n";
+          close_out oc;
+          Format.eprintf "wrote %s@.wrote %s@." json_path trace_path;
+          Ok ()
+        with Sys_error msg -> Error (`Msg msg))
+
+let prof_list_arg =
+  let doc = "List the profilable targets (experiment ids, then protocols)." in
+  Arg.(value & flag & info [ "list" ] ~doc)
+
+let prof_dir_arg =
+  let doc = "Directory for PROF_<target>.json and PROF_<target>.trace.json." in
+  Arg.(value & opt string Artifact.default_dir & info [ "out" ] ~docv:"DIR" ~doc)
+
+let prof_top_arg =
+  let doc = "Rows in the top-spans-by-self-time table." in
+  Arg.(value & opt int 10 & info [ "top" ] ~docv:"K" ~doc)
+
+let prof_target_arg =
+  let doc = "Experiment id (e1..e29) or protocol name to profile (see --list)." in
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"TARGET" ~doc)
+
+let prof_cmd =
+  let doc =
+    "Run an experiment or protocol under the hierarchical profiler and dump \
+     the span tree, PROF json and a Perfetto trace"
+  in
+  Cmd.v (Cmd.info "prof" ~doc)
+    Term.(
+      term_result
+        (const run_prof $ prof_list_arg $ prof_dir_arg $ prof_top_arg
+       $ prof_target_arg $ seed_arg))
+
 (* ---------------------------------------------------------------- main *)
 
 let cmd =
@@ -323,7 +408,8 @@ let cmd =
     ]
   in
   let info = Cmd.info "bcc_cli" ~doc ~envs in
-  Cmd.group ~default:run_term info [ run_cmd; trace_cmd; metrics_cmd; kern_cmd ]
+  Cmd.group ~default:run_term info
+    [ run_cmd; trace_cmd; metrics_cmd; kern_cmd; prof_cmd ]
 
 (* Keep `bcc_cli e1 e2` working: a leading positional that is not a
    subcommand name is an experiment id for the default `run` command. *)
@@ -331,7 +417,7 @@ let argv =
   let argv = Sys.argv in
   if
     Array.length argv > 1
-    && (not (List.mem argv.(1) [ "run"; "trace"; "metrics"; "kern" ]))
+    && (not (List.mem argv.(1) [ "run"; "trace"; "metrics"; "kern"; "prof" ]))
     && String.length argv.(1) > 0
     && argv.(1).[0] <> '-'
   then Array.concat [ [| argv.(0); "run" |]; Array.sub argv 1 (Array.length argv - 1) ]

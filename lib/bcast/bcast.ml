@@ -141,6 +141,10 @@ let run_with_sources proto ~inputs ~sources =
   if Array.length sources <> n then invalid_arg "Bcast.run: sources/inputs mismatch";
   Array.iteri (fun id r -> Rand_counter.set_owner r id) sources;
   let scope = proto.name in
+  (* Captured once: start/stop mid-run would otherwise unbalance the
+     span stack. *)
+  let profiling = Prof.enabled () in
+  if profiling then Prof.enter ("bcast:" ^ proto.name);
   let traced = Trace.enabled () in
   if traced then begin
     Trace.emit ~scope (Trace.Span_start { name = proto.name });
@@ -194,12 +198,18 @@ let run_with_sources proto ~inputs ~sources =
           (float_of_int (Rand_counter.bits_used r)))
       sources
   end;
+  let random_bits = Array.map Rand_counter.bits_used sources in
+  if profiling then begin
+    Prof.add Prof.Broadcast_bits broadcast_bits;
+    Prof.add Prof.Prng_bits (Array.fold_left ( + ) 0 random_bits);
+    Prof.exit ()
+  end;
   {
     transcript = !transcript;
     outputs;
     rounds_used = proto.rounds;
     broadcast_bits;
-    random_bits = Array.map Rand_counter.bits_used sources;
+    random_bits;
   }
 
 let run proto ~inputs ~rand =

@@ -1382,7 +1382,11 @@ let m_wall =
   lazy (Metrics.histogram ~buckets:Metrics.duration_buckets "experiment_wall_seconds")
 
 let run_metered id f ?seed () =
-  let table, dt = Metrics.time (fun () -> f ?seed ()) in
+  let table, dt =
+    Prof.time (fun () ->
+        if Prof.enabled () then Prof.span ("exp:" ^ id) (fun () -> f ?seed ())
+        else f ?seed ())
+  in
   Metrics.observe (Lazy.force m_wall) dt;
   Metrics.set (Metrics.gauge (Printf.sprintf "experiment_wall_seconds_%s" id)) dt;
   Metrics.inc (Lazy.force m_experiments);

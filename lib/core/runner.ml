@@ -149,7 +149,9 @@ let describe name = Option.map (fun e -> e.describe) (find name)
 
 let run ~name ~seed =
   match find name with
-  | Some e -> e.run ~seed
+  | Some e ->
+      if Prof.enabled () then Prof.span ("runner:" ^ name) (fun () -> e.run ~seed)
+      else e.run ~seed
   | None ->
       invalid_arg
         (Printf.sprintf "Runner.run: unknown protocol %S (known: %s)" name

@@ -186,6 +186,31 @@ module Gf2 = struct
       done
     done;
     { rows = a.rows; cols = b.cols; stride; words = out }
+
+  (* Profiler shims over the measured entry points: one flag read when
+     disabled, and the word-op charge is derived from operand shapes, so
+     the counter is a pure function of the seeded computation. *)
+  let transpose p =
+    if Prof.enabled () then
+      Prof.span "kern:gf2.transpose" (fun () ->
+          Prof.add Prof.Word_ops (((p.rows + 63) / 64) * p.stride * 64);
+          transpose p)
+    else transpose p
+
+  let rank pk =
+    if Prof.enabled () then
+      Prof.span "kern:gf2.rank" (fun () ->
+          Prof.add Prof.Word_ops (pk.rows * pk.stride);
+          rank pk)
+    else rank pk
+
+  let mul a b =
+    if Prof.enabled () then
+      Prof.span "kern:gf2.mul" (fun () ->
+          Prof.add Prof.Word_ops
+            (a.rows * ((b.cols + 63) / 64) * ((a.cols + 7) / 8));
+          mul a b)
+    else mul a b
 end
 
 (* ------------------------------------------------------- graph kernels *)
@@ -409,6 +434,41 @@ module Graph = struct
       done
     end;
     !total
+
+  (* Profiler shims; charges are word volumes of the packed scans. *)
+  let words_of n = (n + 63) / 64
+
+  let bidirectional_core rows =
+    if Prof.enabled () then
+      Prof.span "kern:graph.bidirectional_core" (fun () ->
+          let n = Array.length rows in
+          Prof.add Prof.Word_ops (3 * n * words_of n);
+          bidirectional_core rows)
+    else bidirectional_core rows
+
+  let max_clique adj vertices =
+    if Prof.enabled () then
+      Prof.span "kern:graph.max_clique" (fun () ->
+          let n = Array.length adj in
+          Prof.add Prof.Word_ops (n * words_of n);
+          max_clique adj vertices)
+    else max_clique adj vertices
+
+  let count_triangles core =
+    if Prof.enabled () then
+      Prof.span "kern:graph.count_triangles" (fun () ->
+          let n = Array.length core in
+          Prof.add Prof.Word_ops (n * words_of n);
+          count_triangles core)
+    else count_triangles core
+
+  let count_k4 core =
+    if Prof.enabled () then
+      Prof.span "kern:graph.count_k4" (fun () ->
+          let n = Array.length core in
+          Prof.add Prof.Word_ops (n * words_of n);
+          count_k4 core)
+    else count_k4 core
 end
 
 (* ------------------------------------------------- enumeration kernels *)
@@ -541,6 +601,35 @@ module Enum = struct
     for j = 1 to (1 lsl n) - 1 do
       next ~flipped:(ctz j) ~index:(j lxor (j lsr 1))
     done
+
+  (* Profiler shims; charges are the scanned word counts. *)
+  let count t =
+    if Prof.enabled () then
+      Prof.span "kern:enum.count" (fun () ->
+          Prof.add Prof.Word_ops (Array.length t.words);
+          count t)
+    else count t
+
+  let count_forced_ones t ~mask =
+    if Prof.enabled () then
+      Prof.span "kern:enum.count_forced_ones" (fun () ->
+          Prof.add Prof.Word_ops (Array.length t.words);
+          count_forced_ones t ~mask)
+    else count_forced_ones t ~mask
+
+  let count_flips t ~i =
+    if Prof.enabled () then
+      Prof.span "kern:enum.count_flips" (fun () ->
+          Prof.add Prof.Word_ops (Array.length t.words);
+          count_flips t ~i)
+    else count_flips t ~i
+
+  let count_above stats ~threshold =
+    if Prof.enabled () then
+      Prof.span "kern:enum.count_above" (fun () ->
+          Prof.add Prof.Word_ops ((Array.length stats + 63) / 64);
+          count_above stats ~threshold)
+    else count_above stats ~threshold
 end
 
 (* --------------------------------------------------------- WHT kernels *)
@@ -647,6 +736,25 @@ module Wht = struct
 
   let inplace_int a =
     blocked ~pairs:pairs_int ~seq:seq_int ~len:(Array.length a) a
+
+  (* Profiler shims; a length-n transform is n*log2(n) butterflies.  The
+     internal Par fan-out (len >= par_threshold) nests under this span
+     via the pool's context propagation. *)
+  let butterflies n = if n <= 1 then 0 else n * ctz n
+
+  let inplace_float a =
+    if Prof.enabled () then
+      Prof.span "kern:wht.inplace_float" (fun () ->
+          Prof.add Prof.Word_ops (butterflies (Array.length a));
+          inplace_float a)
+    else inplace_float a
+
+  let inplace_int a =
+    if Prof.enabled () then
+      Prof.span "kern:wht.inplace_int" (fun () ->
+          Prof.add Prof.Word_ops (butterflies (Array.length a));
+          inplace_int a)
+    else inplace_int a
 end
 
 (* ---------------------------------------------------- reference oracles *)

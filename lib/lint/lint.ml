@@ -27,8 +27,9 @@ let catalogue =
       id = "det/wall-clock";
       severity = Error;
       summary =
-        "Sys.time/Unix.gettimeofday/Unix.time outside lib/obs: wall-clock \
-         must never reach experiment output";
+        "Sys.time/Unix.gettimeofday/Unix.time or an external clock \
+         primitive outside lib/obs/prof.ml: Prof owns the one audited \
+         clock; wall-clock must never reach experiment output";
     };
     {
       id = "det/poly-compare";
@@ -119,7 +120,8 @@ let in_lib path =
 let rule_applies ~path id =
   match id with
   | "det/ambient-rng" -> not (under ~dir:"lib" ~sub:"prng" path)
-  | "det/wall-clock" -> not (under ~dir:"lib" ~sub:"obs" path)
+  | "det/wall-clock" ->
+      not (under ~dir:"lib" ~sub:"obs" path && Filename.basename path = "prof.ml")
   | "det/float-format" ->
       not (under ~dir:"lib" ~sub:"obs" path && Filename.basename path = "artifact.ml")
   | "par/global-mutable" -> in_lib path
@@ -447,8 +449,8 @@ let check_ident ctx ~loc lid =
   | Longident.Ldot (Longident.Lident "Unix", "gettimeofday")
   | Longident.Ldot (Longident.Lident "Unix", "time") ->
       add ctx ~loc "det/wall-clock"
-        "wall-clock read; timing belongs to Bcc_obs (Metrics.timed / \
-         Metrics.time), never to experiment output"
+        "wall-clock read; timing belongs to Prof (Prof.time / Prof.timed \
+         / Prof.span), never to experiment output"
   | Longident.Lident "compare" when not ctx.c_local_compare ->
       add ctx ~loc "det/poly-compare"
         "bare polymorphic [compare]; use a monomorphic comparison \
@@ -500,6 +502,24 @@ let check_structure_item ctx item =
                    kind)
           | None -> ())
         vbs
+  | Parsetree.Pstr_primitive vd ->
+      (* An [external] binding a C primitive whose name mentions "clock"
+         is a second way to smuggle a timer past the Ldot checks above;
+         the only sanctioned one is Prof's monotonic stub. *)
+      let mentions_clock s =
+        let n = String.length s and m = String.length "clock" in
+        let rec go i =
+          i + m <= n
+          && (String.lowercase_ascii (String.sub s i m) = "clock" || go (i + 1))
+        in
+        go 0
+      in
+      if List.exists mentions_clock vd.Parsetree.pval_prim then
+        add ctx ~loc:vd.Parsetree.pval_loc "det/wall-clock"
+          (Printf.sprintf
+             "external %S binds a clock primitive; the one audited clock \
+              lives in lib/obs/prof.ml (use Prof.now_ns / Prof.time)"
+             vd.Parsetree.pval_name.Location.txt)
   | _ -> ()
 
 let make_iterator ctx =

@@ -148,15 +148,6 @@ let record_many r ~successes ~trials =
       r.r_successes <- r.r_successes + successes;
       r.r_trials <- r.r_trials + trials)
 
-let timed h f =
-  let t0 = Unix.gettimeofday () in
-  Fun.protect ~finally:(fun () -> observe h (Unix.gettimeofday () -. t0)) f
-
-let time f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
-
 (* ------------------------------------------------------------ snapshot *)
 
 type value =
@@ -267,8 +258,13 @@ let value_to_json = function
           ("z", Float wilson_z);
         ]
 
-let to_json samples =
+let samples_to_json samples =
   Artifact.Obj (List.map (fun s -> (s.name, value_to_json s.value)) samples)
+
+let snapshot_artifact ?(id = "snapshot") ?seed () =
+  Artifact.make ~kind:"metrics" ~id ?seed (samples_to_json (snapshot ()))
+
+let to_json () = Artifact.to_string ~pretty:true (snapshot_artifact ())
 
 let pp fmt samples =
   List.iter

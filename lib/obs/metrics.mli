@@ -58,11 +58,9 @@ val ratio : string -> ratio
 val record : ratio -> success:bool -> unit
 val record_many : ratio -> successes:int -> trials:int -> unit
 
-val timed : histogram -> (unit -> 'a) -> 'a
-(** Runs the thunk and observes its wall-clock duration in seconds. *)
-
-val time : (unit -> 'a) -> 'a * float
-(** The thunk's result and its wall-clock duration in seconds. *)
+(** Timing helpers live in [Prof] ([Prof.time], [Prof.timed]), which owns
+    the repo's one sanctioned monotonic clock; [Metrics] itself is
+    clock-free. *)
 
 (** {1 Snapshots} *)
 
@@ -91,5 +89,16 @@ val reset : unit -> unit
 (** Zeroes every registered metric in place.  Handles stay valid and
     registered (names still appear in snapshots, at zero). *)
 
-val to_json : sample list -> Artifact.json
+val samples_to_json : sample list -> Artifact.json
+(** The raw snapshot as a JSON object, one member per metric. *)
+
+val snapshot_artifact : ?id:string -> ?seed:int -> unit -> Artifact.json
+(** The current snapshot wrapped in the standard [Artifact] envelope
+    ([kind = "metrics"], default [id = "snapshot"]). *)
+
+val to_json : unit -> string
+(** [snapshot_artifact] pretty-printed — the stable serialization a
+    metrics endpoint (e.g. a future [bcc_serve]) hands out without
+    reaching into registry internals. *)
+
 val pp : Format.formatter -> sample list -> unit

@@ -1,0 +1,16 @@
+/* The repo's single wall-clock source (see docs/OBSERVABILITY.md and the
+ * det/wall-clock lint rule): CLOCK_MONOTONIC in nanoseconds, returned as a
+ * tagged OCaml integer.  A 63-bit nanosecond counter wraps after ~146
+ * years, so Val_long is safe; no OCaml allocation happens here, which is
+ * what lets prof.ml declare the external [@@noalloc].
+ */
+#include <time.h>
+#include <caml/mlvalues.h>
+
+CAMLprim value bcc_prof_clock_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

@@ -175,17 +175,39 @@ let tabulate n body =
   else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in
-    let lane_body _lane =
-      let rec loop () =
+    (* Profiler plumbing: worker lanes re-open the submitting domain's
+       span path as context frames, so their busy time merges under the
+       span that launched the job and the merged tree (and its call
+       counts) is independent of the domain count.  Lane 0 runs on the
+       caller and already has the real stack.  All of this is behind one
+       flag read; with the profiler off the job runs exactly as before. *)
+    let profiling = Prof.enabled () in
+    let ctx = if profiling then Prof.current_path () else [] in
+    let submit_ns = if profiling then Prof.now_ns () else 0 in
+    let lane_body lane =
+      let rec loop items =
         let t = Atomic.fetch_and_add next 1 in
         if t < n then begin
           results.(t) <- Some (body t);
-          loop ()
+          loop (items + 1)
         end
+        else items
       in
-      loop ()
+      if profiling then begin
+        let start_ns = Prof.now_ns () in
+        let items =
+          if lane = 0 then loop 0
+          else Prof.with_context ctx (fun () -> loop 0)
+        in
+        Prof.lane_report ~lane
+          ~busy_ns:(Prof.now_ns () - start_ns)
+          ~wait_ns:(start_ns - submit_ns)
+          ~items
+      end
+      else ignore (loop 0)
     in
     run_job (shared_pool lanes) lane_body;
+    if profiling then Prof.job_report ~wall_ns:(Prof.now_ns () - submit_ns);
     Array.map (function Some v -> v | None -> assert false) results
   end
 

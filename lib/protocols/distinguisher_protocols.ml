@@ -28,6 +28,24 @@ let degree_protocol ~n =
         });
   }
 
+(* Cache effectiveness counters for the sampled-clique structural cache;
+   lookup and insert are separate critical sections, so two domains can
+   both miss on the same key — the split is telemetry, not part of any
+   deterministic payload. *)
+let m_hits = lazy (Metrics.counter "sampled_clique_cache_hits_total")
+let m_misses = lazy (Metrics.counter "sampled_clique_cache_misses_total")
+let m_verify_fails = lazy (Metrics.counter "sampled_clique_cache_verify_fails_total")
+
+let count_lookup ~hit ~verify_fail =
+  if Metrics.collecting () then begin
+    Metrics.inc (Lazy.force (if hit then m_hits else m_misses));
+    if verify_fail then Metrics.inc (Lazy.force m_verify_fails)
+  end;
+  if Prof.enabled () then begin
+    Prof.add (if hit then Prof.Cache_hits else Prof.Cache_misses) 1;
+    if verify_fail then Prof.add Prof.Cache_verify_fails 1
+  end
+
 let sampled_clique_protocol ~n ~sample_size =
   if sample_size < 1 || sample_size > n then
     invalid_arg "Distinguisher_protocols.sampled_clique_protocol: bad sample size";
@@ -83,16 +101,19 @@ let sampled_clique_protocol ~n ~sample_size =
           finish =
             (fun () ->
               let key = rows_key rows in
-              let cached =
+              let cached, verify_fail =
                 Mutex.lock cache_guard;
                 let bucket = Option.value ~default:[] (Hashtbl.find_opt cache key) in
                 let v = List.find_opt (fun (r, _) -> rows_equal r rows) bucket in
                 Mutex.unlock cache_guard;
-                v
+                (v, v = None && bucket <> [])
               in
               match cached with
-              | Some (_, size) -> size
+              | Some (_, size) ->
+                  count_lookup ~hit:true ~verify_fail:false;
+                  size
               | None ->
+                  count_lookup ~hit:false ~verify_fail;
                   let sub = Digraph.create sample_size in
                   Array.iteri (fun i r -> Digraph.set_out_row sub i r) rows;
                   let size = List.length (Clique.max_clique sub) in

@@ -84,27 +84,33 @@ let advantage d ~n ~k ~calibration ~trials g =
      so the result is the same whatever the domain count.  [g] itself is
      never advanced — branches 0/1/2 keep the three stages on disjoint
      streams. *)
-  let calib_stats =
-    Par.map_trials (Prng.split g 0) ~trials:calibration (fun ~trial:_ gt ->
-        let graph = Planted.sample_rand gt n in
-        d.statistic gt graph)
-  in
-  let q = 1.0 -. (1.0 /. Float.sqrt (float_of_int (max 2 calibration))) in
-  let threshold = Stats.quantile calib_stats q in
-  let hit_rate branch sample_graph =
-    (* Collect the raw statistics, then count threshold exceedances in one
-       batched pass (64 trials per word) — same comparisons in the same
-       order as the per-trial test, so artifacts are unchanged. *)
-    let stats =
-      Par.map_trials branch ~trials (fun ~trial:_ gt ->
-          let graph = sample_graph gt in
-          d.statistic gt graph)
+  let body () =
+    let calib_stats =
+      Prof.span "calibrate" (fun () ->
+          Par.map_trials (Prng.split g 0) ~trials:calibration (fun ~trial:_ gt ->
+              let graph = Planted.sample_rand gt n in
+              d.statistic gt graph))
     in
-    let hits = Bcc_kern.Enum.count_above stats ~threshold in
-    float_of_int hits /. float_of_int trials
+    let q = 1.0 -. (1.0 /. Float.sqrt (float_of_int (max 2 calibration))) in
+    let threshold = Stats.quantile calib_stats q in
+    let hit_rate phase branch sample_graph =
+      (* Collect the raw statistics, then count threshold exceedances in
+         one batched pass (64 trials per word) — same comparisons in the
+         same order as the per-trial test, so artifacts are unchanged. *)
+      Prof.span phase (fun () ->
+          let stats =
+            Par.map_trials branch ~trials (fun ~trial:_ gt ->
+                let graph = sample_graph gt in
+                d.statistic gt graph)
+          in
+          let hits = Bcc_kern.Enum.count_above stats ~threshold in
+          float_of_int hits /. float_of_int trials)
+    in
+    let p_planted =
+      hit_rate "planted" (Prng.split g 1) (fun gt ->
+          fst (Planted.sample_planted gt ~n ~k))
+    in
+    let p_rand = hit_rate "rand" (Prng.split g 2) (fun gt -> Planted.sample_rand gt n) in
+    p_planted -. p_rand
   in
-  let p_planted =
-    hit_rate (Prng.split g 1) (fun gt -> fst (Planted.sample_planted gt ~n ~k))
-  in
-  let p_rand = hit_rate (Prng.split g 2) (fun gt -> Planted.sample_rand gt n) in
-  p_planted -. p_rand
+  if Prof.enabled () then Prof.span ("advantage:" ^ d.name) body else body ()

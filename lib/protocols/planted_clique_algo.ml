@@ -55,12 +55,31 @@ let cache_key ~actives ~edges =
 let entry_matches ~actives ~edges e =
   List.equal Int.equal e.e_actives actives && List.equal Bitvec.equal e.e_edges edges
 
+(* Cache effectiveness counters, registered lazily so the names only
+   appear in snapshots once the cache has actually run. *)
+let m_hits = lazy (Metrics.counter "planted_clique_cache_hits_total")
+let m_misses = lazy (Metrics.counter "planted_clique_cache_misses_total")
+let m_verify_fails = lazy (Metrics.counter "planted_clique_cache_verify_fails_total")
+
+let count_lookup ~hit ~verify_fail =
+  if Metrics.collecting () then begin
+    Metrics.inc (Lazy.force (if hit then m_hits else m_misses));
+    if verify_fail then Metrics.inc (Lazy.force m_verify_fails)
+  end;
+  if Prof.enabled () then begin
+    Prof.add (if hit then Prof.Cache_hits else Prof.Cache_misses) 1;
+    if verify_fail then Prof.add Prof.Cache_verify_fails 1
+  end
+
 let compute_active_clique cache ~actives ~edges =
   let key = cache_key ~actives ~edges in
   let bucket = Option.value ~default:[] (Hashtbl.find_opt cache key) in
   match List.find_opt (entry_matches ~actives ~edges) bucket with
-  | Some e -> e.e_clique
+  | Some e ->
+      count_lookup ~hit:true ~verify_fail:false;
+      e.e_clique
   | None ->
+      count_lookup ~hit:false ~verify_fail:(bucket <> []);
       (* [edges] has one column per active vertex: element [r] is every
          processor's adjacency bit to the r-th active vertex.  Build the
          induced directed subgraph on the active set. *)

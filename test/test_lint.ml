@@ -52,10 +52,24 @@ let test_wall_clock () =
   check_finds "det/wall-clock" "let t () = Unix.gettimeofday ()\n";
   check_finds "det/wall-clock" "let t () = Sys.time ()\n";
   check_finds "det/wall-clock" "let t () = Unix.time ()\n";
+  (* An external binding a clock primitive is flagged too — the Ldot
+     checks alone would miss a private C stub. *)
+  check_finds "det/wall-clock"
+    "external now : unit -> int = \"my_clock_gettime_ns\"\n";
   check_suppressed "det/wall-clock"
     "let t () = Sys.time () (* bcc-lint: allow det/wall-clock — fixture justification *)\n";
+  (* The exemption is path-scoped to Prof's implementation, not the whole
+     obs directory. *)
+  let r = lint ~path:"lib/obs/prof.ml" "let t () = Sys.time ()\n" in
+  check_int "wall-clock legal in lib/obs/prof.ml" 0 (List.length r.Lint.findings);
+  let r =
+    lint ~path:"lib/obs/prof.ml"
+      "external now : unit -> int = \"bcc_prof_clock_monotonic_ns\"\n"
+  in
+  check_int "clock external legal in lib/obs/prof.ml" 0
+    (List.length r.Lint.findings);
   let r = lint ~path:"lib/obs/fixture.ml" "let t () = Sys.time ()\n" in
-  check_int "wall-clock legal under lib/obs" 0 (List.length r.Lint.findings)
+  check_int "rest of lib/obs is not exempt" 1 (List.length r.Lint.findings)
 
 let test_poly_compare () =
   check_finds "det/poly-compare" "let f a b = compare a b\n";

@@ -339,14 +339,23 @@ let test_metrics_json_parses () =
   Metrics.inc (Metrics.counter "json_counter");
   Metrics.observe (Metrics.histogram "json_hist") 3.0;
   Metrics.record (Metrics.ratio "json_ratio") ~success:false;
-  let j = Metrics.to_json (Metrics.snapshot ()) in
+  let j = Metrics.samples_to_json (Metrics.snapshot ()) in
   let back = Artifact.of_string (Artifact.to_string ~pretty:true j) in
   check_bool "roundtrip" true (j = back);
-  match Artifact.member "json_counter" back with
+  (match Artifact.member "json_counter" back with
   | Some c ->
       check_bool "typed" true
         (Artifact.member "type" c = Some (Artifact.String "counter"))
-  | None -> Alcotest.fail "counter missing from json"
+  | None -> Alcotest.fail "counter missing from json");
+  (* The string form serves the same snapshot inside the Artifact
+     envelope. *)
+  let enveloped = Artifact.of_string (Metrics.to_json ()) in
+  check_bool "envelope kind" true
+    (Artifact.member "kind" enveloped = Some (Artifact.String "metrics"));
+  check_bool "envelope payload" true
+    (Option.bind (Artifact.member "payload" enveloped)
+       (Artifact.member "json_counter")
+    <> None)
 
 let test_simulator_metrics_gated () =
   Metrics.reset ();
