@@ -236,6 +236,8 @@ let word_length v = Array.length v.words
 
 let get_word v i = v.words.(i)
 
+let unsafe_get_word v i = Array.unsafe_get v.words i
+
 let set_word v i w =
   v.words.(i) <- w;
   if i = Array.length v.words - 1 then normalize v

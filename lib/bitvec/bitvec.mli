@@ -148,6 +148,11 @@ val word_length : t -> int
 val get_word : t -> int -> int64
 val set_word : t -> int -> int64 -> unit
 
+val unsafe_get_word : t -> int -> int64
+(** [get_word] with no bounds check — the row reader behind the packed
+    kernel loaders ([Bcc_kern.Gf2.pack], the Bron-Kerbosch row copy).  The
+    caller must guarantee [0 <= i < word_length v]. *)
+
 val unsafe_set_bit : t -> int -> unit
 (** [unsafe_set_bit v i] sets bit [i] to 1 with no bounds check — the
     unchecked row writer behind [Gnp.sample_fast]'s geometric-skip

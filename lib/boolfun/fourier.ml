@@ -9,20 +9,35 @@ let wht_inplace a =
      the Par pool, byte-identically for every BCC_DOMAINS. *)
   Bcc_kern.Wht.inplace_float a
 
-(* Integer-accumulator WHT on the 0/1 table.  Every intermediate is an
-   integer of magnitude <= 2^n <= 2^24, so the float butterfly computes
-   exactly the same values; running on untagged ints and scaling at the
-   end reproduces the float transform bit-for-bit. *)
+(* WHT on the 0/1 table, in place on one float array.  Every
+   intermediate is an integer of magnitude <= 2^n <= 2^24, exactly
+   representable, so the transform is exact and scaling at the end
+   loses nothing. *)
 let transform f =
   let n = Boolfun.arity f in
   let size = 1 lsl n in
-  let a = Array.make size 0 in
-  for x = 0 to size - 1 do
-    if Boolfun.eval_int f x then a.(x) <- 1
+  let a = Array.make size 0.0 in
+  (* Load the 0/1 table from the packed words: one word load per 64
+     inputs and branchless shift-and-mask stores, instead of a
+     bounds-checked byte probe per input.  The low 63 bits fit an OCaml
+     int; bit 63 is the sign of the word. *)
+  let words = (Boolfun.packed_table f).Bcc_kern.Enum.words in
+  for wi = 0 to Array.length words - 1 do
+    let base = wi * 64 in
+    let w = Array.unsafe_get words wi in
+    let lo = Int64.to_int w in
+    let last = if size - base < 63 then size - base - 1 else 62 in
+    for t = 0 to last do
+      Array.unsafe_set a (base + t) (float_of_int ((lo lsr t) land 1))
+    done;
+    if w < 0L && base + 63 < size then Array.unsafe_set a (base + 63) 1.0
   done;
-  Bcc_kern.Wht.inplace_int a;
+  Bcc_kern.Wht.inplace_float a;
   let scale = 1.0 /. float_of_int size in
-  Array.init size (fun s -> float_of_int a.(s) *. scale)
+  for s = 0 to size - 1 do
+    Array.unsafe_set a s (Array.unsafe_get a s *. scale)
+  done;
+  a
 
 let popcount_parity v =
   (* 16-bit-table popcount (Bitvec); same booleans as the folded-XOR

@@ -4,8 +4,15 @@
    linear algebra, exact enumeration over 2^n inputs, Walsh-Hadamard
    transforms — and all of it bottoms out in loops over packed int64
    words.  This module is the single home for those loops: [Gf2] works on
-   flat word arrays packed from Bitvec rows, [Enum] on packed truth
+   flat word buffers packed from Bitvec rows, [Enum] on packed truth
    tables (64 inputs per word), [Wht] on in-place butterfly arrays.
+
+   Hot storage is [Buf]: Bigarray-backed int64/float64 buffers.  An OCaml
+   [int64 array] holds pointers to boxed elements, so every store in an
+   inner loop costs a minor-heap allocation plus a GC write barrier; a
+   typed [Bigarray.Array1] gives unboxed monomorphic loads and stores the
+   GC never scans.  The packed GF(2) words and the Bron-Kerbosch scratch
+   stack live on [Buf.i64] for exactly this reason (docs/PERFORMANCE.md).
 
    [Ref] keeps the naive implementations (per-bit, per-input) as
    reference oracles: every kernel is property-tested against its oracle
@@ -14,7 +21,7 @@
 
    Determinism contract: kernels are pure functions of their inputs.
    The only parallel path (Wht stages >= [Wht.par_threshold]) partitions
-   elementwise-disjoint butterfly pairs across domains, so results are
+   elementwise-disjoint butterfly groups across domains, so results are
    byte-identical for every BCC_DOMAINS (docs/PARALLELISM.md). *)
 
 let ctz v =
@@ -22,22 +29,82 @@ let ctz v =
   let rec go v acc = if v land 1 = 1 then acc else go (v lsr 1) (acc + 1) in
   go v 0
 
+(* ------------------------------------------------------ hot buffers *)
+
+module Buf = struct
+  (* GC-invisible flat buffers for the kernel inner loops.  The element
+     types are pinned in the Bigarray kind, so [unsafe_get]/[unsafe_set]
+     compile to single unboxed loads/stores — no boxed [Int64]s, no write
+     barrier, nothing for the minor GC to do.  Accessors are unchecked by
+     design (these are the innermost loops); every caller owns its
+     indices, and the word-boundary property tests pin the semantics
+     against the [Bitvec]/[float array] oracles. *)
+
+  type i64 = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+  type f64 = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  let i64_create n : i64 =
+    let b = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout n in
+    Bigarray.Array1.fill b 0L;
+    b
+
+  let f64_create n : f64 =
+    let b = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
+    Bigarray.Array1.fill b 0.0;
+    b
+
+  (* Monomorphic re-declarations of the Bigarray primitives: with the
+     kind and layout pinned in the type, every call site compiles to a
+     direct unboxed load/store even without flambda — going through a
+     [let]-bound wrapper instead costs a call plus a boxed [Int64] per
+     access (~8x on the xor kernel). *)
+  external i64_length : i64 -> int = "%caml_ba_dim_1"
+  external f64_length : f64 -> int = "%caml_ba_dim_1"
+  external i64_get : i64 -> int -> int64 = "%caml_ba_unsafe_ref_1"
+  external i64_set : i64 -> int -> int64 -> unit = "%caml_ba_unsafe_set_1"
+  external f64_get : f64 -> int -> float = "%caml_ba_unsafe_ref_1"
+  external f64_set : f64 -> int -> float -> unit = "%caml_ba_unsafe_set_1"
+  let i64_fill (b : i64) v = Bigarray.Array1.fill b v
+  let f64_fill (b : f64) v = Bigarray.Array1.fill b v
+
+  (* Whole-buffer no-alloc blits (Bigarray memcpy; lengths must match). *)
+  let i64_blit ~(src : i64) ~(dst : i64) = Bigarray.Array1.blit src dst
+  let f64_blit ~(src : f64) ~(dst : f64) = Bigarray.Array1.blit src dst
+
+  let i64_copy (b : i64) =
+    let c =
+      Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout
+        (Bigarray.Array1.dim b)
+    in
+    Bigarray.Array1.blit b c;
+    c
+
+  let i64_of_array a =
+    Bigarray.Array1.of_array Bigarray.int64 Bigarray.c_layout a
+
+  let f64_of_array a =
+    Bigarray.Array1.of_array Bigarray.float64 Bigarray.c_layout a
+
+  let i64_to_array (b : i64) = Array.init (i64_length b) (Bigarray.Array1.get b)
+  let f64_to_array (b : f64) = Array.init (f64_length b) (Bigarray.Array1.get b)
+end
+
 (* ------------------------------------------------------- GF(2) kernels *)
 
 module Gf2 = struct
-  type packed = { rows : int; cols : int; stride : int; words : int64 array }
+  type packed = { rows : int; cols : int; stride : int; words : Buf.i64 }
 
   let pack ~cols rows_arr =
     if cols < 0 then invalid_arg "Bcc_kern.Gf2.pack: negative cols";
     let rows = Array.length rows_arr in
     let stride = (cols + 63) / 64 in
-    let words = Array.make (max 1 (rows * stride)) 0L in
+    let words = Buf.i64_create (max 1 (rows * stride)) in
     for i = 0 to rows - 1 do
       let r = rows_arr.(i) in
       if Bitvec.length r <> cols then
         invalid_arg "Bcc_kern.Gf2.pack: ragged rows";
       for j = 0 to stride - 1 do
-        words.((i * stride) + j) <- Bitvec.get_word r j
+        Buf.i64_set words ((i * stride) + j) (Bitvec.unsafe_get_word r j)
       done
     done;
     { rows; cols; stride; words }
@@ -46,7 +113,7 @@ module Gf2 = struct
     Array.init p.rows (fun i ->
         let v = Bitvec.create p.cols in
         for j = 0 to p.stride - 1 do
-          Bitvec.set_word v j p.words.((i * p.stride) + j)
+          Bitvec.set_word v j (Buf.i64_get p.words ((i * p.stride) + j))
         done;
         v)
 
@@ -54,7 +121,9 @@ module Gf2 = struct
     if i < 0 || i >= p.rows || j < 0 || j >= p.cols then
       invalid_arg "Bcc_kern.Gf2.get";
     Int64.logand
-      (Int64.shift_right_logical p.words.((i * p.stride) + (j lsr 6)) (j land 63))
+      (Int64.shift_right_logical
+         (Buf.i64_get p.words ((i * p.stride) + (j lsr 6)))
+         (j land 63))
       1L
     = 1L
 
@@ -85,22 +154,44 @@ module Gf2 = struct
       if !j <> 0 then m := Int64.logxor !m (Int64.shift_left !m !j)
     done
 
+  (* [transpose64] on a 64-word [Buf.i64] block — same swaps, but the
+     scratch loads and stores are unboxed so the per-block transpose
+     allocates nothing. *)
+  let transpose64_buf (a : Buf.i64) =
+    let j = ref 32 and m = ref 0xFFFFFFFFL in
+    while !j <> 0 do
+      let k = ref 0 in
+      while !k < 64 do
+        let x = Buf.i64_get a !k and y = Buf.i64_get a (!k + !j) in
+        let t =
+          Int64.logand (Int64.logxor (Int64.shift_right_logical x !j) y) !m
+        in
+        Buf.i64_set a !k (Int64.logxor x (Int64.shift_left t !j));
+        Buf.i64_set a (!k + !j) (Int64.logxor y t);
+        k := (!k + !j + 1) land lnot !j
+      done;
+      j := !j lsr 1;
+      if !j <> 0 then m := Int64.logxor !m (Int64.shift_left !m !j)
+    done
+
   let transpose p =
     let stride = (p.rows + 63) / 64 in
-    let words = Array.make (max 1 (p.cols * stride)) 0L in
+    let words = Buf.i64_create (max 1 (p.cols * stride)) in
     let out = { rows = p.cols; cols = p.rows; stride; words } in
-    let blk = Array.make 64 0L in
+    let blk = Buf.i64_create 64 in
     for bi = 0 to stride - 1 do
       for bj = 0 to p.stride - 1 do
         for t = 0 to 63 do
           let row = (bi * 64) + t in
-          blk.(t) <-
-            (if row < p.rows then p.words.((row * p.stride) + bj) else 0L)
+          Buf.i64_set blk t
+            (if row < p.rows then Buf.i64_get p.words ((row * p.stride) + bj)
+             else 0L)
         done;
-        transpose64 blk;
+        transpose64_buf blk;
         for u = 0 to 63 do
           let orow = (bj * 64) + u in
-          if orow < p.cols then words.((orow * stride) + bi) <- blk.(u)
+          if orow < p.cols then
+            Buf.i64_set words ((orow * stride) + bi) (Buf.i64_get blk u)
         done
       done
     done;
@@ -112,9 +203,10 @@ module Gf2 = struct
      candidate row had a 1), so swaps and xors start at the pivot word. *)
   let rank pk =
     let { rows; cols; stride; words } = pk in
-    let w = Array.copy words in
+    let w = Buf.i64_copy words in
     let bit_at base wi sh =
-      Int64.logand (Int64.shift_right_logical w.(base + wi) sh) 1L = 1L
+      Int64.logand (Int64.shift_right_logical (Buf.i64_get w (base + wi)) sh) 1L
+      = 1L
     in
     let rank = ref 0 and col = ref 0 in
     while !rank < rows && !col < cols do
@@ -128,16 +220,17 @@ module Gf2 = struct
         if !pivot <> !rank then begin
           let qr = !pivot * stride in
           for j = wi to stride - 1 do
-            let t = w.(pr + j) in
-            w.(pr + j) <- w.(qr + j);
-            w.(qr + j) <- t
+            let t = Buf.i64_get w (pr + j) in
+            Buf.i64_set w (pr + j) (Buf.i64_get w (qr + j));
+            Buf.i64_set w (qr + j) t
           done
         end;
         for r = !rank + 1 to rows - 1 do
           let rr = r * stride in
           if bit_at rr wi sh then
             for j = wi to stride - 1 do
-              w.(rr + j) <- Int64.logxor w.(rr + j) w.(pr + j)
+              Buf.i64_set w (rr + j)
+                (Int64.logxor (Buf.i64_get w (rr + j)) (Buf.i64_get w (pr + j)))
             done
         done;
         incr rank
@@ -146,46 +239,165 @@ module Gf2 = struct
     done;
     !rank
 
-  (* Method of Four Russians: chunk the inner dimension into bytes; for
-     each chunk, Gray-code a 256-entry table of xor-combinations of the
-     corresponding 8 rows of [b], then accumulate one table row per byte
-     of [a].  8 is a multiple of 64's divisors, so a chunk's selector
-     never straddles a word boundary. *)
-  let mul a b =
+  (* 16-bit trailing-zero-count table (an immutable string, one count per
+     character, domain-safe like Bitvec's popcount16); entry 0 unused.
+     The recursive [ctz] in the Gray fill below would cost a loop per
+     table entry. *)
+  let ctz16 =
+    String.init 65536 (fun i -> Char.chr (if i = 0 then 16 else ctz i))
+
+  (* Method of Four Russians: chunk the inner dimension into [bits]-wide
+     groups; for each chunk, walk a Gray code over the chunk's selector
+     values, building each table entry from its predecessor with one
+     xor-row (entry gray(k) = entry gray(k-1) xor row (base + ctz k)),
+     then accumulate one table row per selector of [a].  [bits] divides
+     64, so a chunk's selector never straddles a word boundary.  Entry 0
+     is never written: each chunk rewrites entries [1, entries) in Gray
+     order (every entry derives from one already rewritten this chunk),
+     so the table needs no clearing between chunks.
+
+     The one- and two-word row cases (cols <= 128 — every experiment
+     size) run straight-line instead of through the per-entry word loop;
+     that loop's setup would otherwise dominate the fill, which is the
+     bulk of the work at small row counts. *)
+  (* Per-domain Gray-table scratch, grown on demand and reused across
+     calls (the 16-bit table is 512 KiB per stride word — too big to
+     allocate per product).  Entry 0 — words [0, stride) — must be zero
+     (each chunk's Gray chain starts by reading it) and no fill ever
+     writes it, so it is re-zeroed here: a previous call with a
+     {e smaller} stride lays its entries over these words.  Every other
+     entry the accumulate can select is rewritten by the chunk's fill
+     before it is read, so reuse cannot leak state between calls, and
+     the per-domain keying means no two domains ever share a table. *)
+  let table_scratch = Par.lane_scratch (fun () -> ref (Buf.i64_create 0))
+
+  let mul_chunked ~bits a b =
     if a.cols <> b.rows then invalid_arg "Bcc_kern.Gf2.mul: dimension mismatch";
     let stride = (b.cols + 63) / 64 in
-    let out = Array.make (max 1 (a.rows * stride)) 0L in
-    let table = Array.make (256 * stride) 0L in
-    let nchunks = (a.cols + 7) / 8 in
-    for c = 0 to nchunks - 1 do
-      let base = c * 8 in
-      let nbits = min 8 (a.cols - base) in
-      let entries = 1 lsl nbits in
-      for idx = 1 to entries - 1 do
-        let low = idx land -idx in
-        let prev = (idx lxor low) * stride in
-        let brow = (base + ctz low) * b.stride in
-        for j = 0 to stride - 1 do
-          table.((idx * stride) + j) <-
-            Int64.logxor table.(prev + j) b.words.(brow + j)
-        done
+    let out = Buf.i64_create (max 1 (a.rows * stride)) in
+    let table =
+      let cell = table_scratch () in
+      let need = (1 lsl bits) * stride in
+      if Buf.i64_length !cell < need then cell := Buf.i64_create need;
+      let t = !cell in
+      for j = 0 to stride - 1 do
+        Buf.i64_set t j 0L
       done;
+      t
+    in
+    let aw = a.words and bw = b.words in
+    let astride = a.stride in
+    let nchunks = (a.cols + bits - 1) / bits in
+    for c = 0 to nchunks - 1 do
+      let base = c * bits in
+      let nbits = min bits (a.cols - base) in
+      let entries = 1 lsl nbits in
+      (if stride = 1 then begin
+         let gp = ref 0 in
+         for k = 1 to entries - 1 do
+           let bit = Char.code (String.unsafe_get ctz16 k) in
+           let g = k lxor (k lsr 1) in
+           Buf.i64_set table g
+             (Int64.logxor (Buf.i64_get table !gp) (Buf.i64_get bw (base + bit)));
+           gp := g
+         done
+       end
+       else if stride = 2 then begin
+         let gp = ref 0 in
+         for k = 1 to entries - 1 do
+           let bit = Char.code (String.unsafe_get ctz16 k) in
+           let g = (k lxor (k lsr 1)) * 2 in
+           let br = (base + bit) * 2 in
+           let p = !gp in
+           Buf.i64_set table g
+             (Int64.logxor (Buf.i64_get table p) (Buf.i64_get bw br));
+           Buf.i64_set table (g + 1)
+             (Int64.logxor (Buf.i64_get table (p + 1)) (Buf.i64_get bw (br + 1)));
+           gp := g
+         done
+       end
+       else begin
+         let gp = ref 0 in
+         for k = 1 to entries - 1 do
+           let bit = Char.code (String.unsafe_get ctz16 k) in
+           let g = (k lxor (k lsr 1)) * stride in
+           let br = (base + bit) * stride in
+           let p = !gp in
+           for j = 0 to stride - 1 do
+             Buf.i64_set table (g + j)
+               (Int64.logxor (Buf.i64_get table (p + j))
+                  (Buf.i64_get bw (br + j)))
+           done;
+           gp := g
+         done
+       end);
       let wi = base lsr 6 and sh = base land 63 in
-      for i = 0 to a.rows - 1 do
-        let sel =
-          Int64.to_int
-            (Int64.shift_right_logical a.words.((i * a.stride) + wi) sh)
-          land (entries - 1)
-        in
-        if sel <> 0 then begin
-          let src = sel * stride and dst = i * stride in
-          for j = 0 to stride - 1 do
-            out.(dst + j) <- Int64.logxor out.(dst + j) table.(src + j)
-          done
-        end
-      done
+      let mask = entries - 1 in
+      if stride = 1 then begin
+        let aoff = ref wi in
+        for i = 0 to a.rows - 1 do
+          let sel =
+            Int64.to_int (Int64.shift_right_logical (Buf.i64_get aw !aoff) sh)
+            land mask
+          in
+          if sel <> 0 then
+            Buf.i64_set out i
+              (Int64.logxor (Buf.i64_get out i) (Buf.i64_get table sel));
+          aoff := !aoff + astride
+        done
+      end
+      else if stride = 2 then begin
+        let aoff = ref wi and dst = ref 0 in
+        for _i = 0 to a.rows - 1 do
+          let sel =
+            Int64.to_int (Int64.shift_right_logical (Buf.i64_get aw !aoff) sh)
+            land mask
+          in
+          if sel <> 0 then begin
+            let src = sel * 2 and d = !dst in
+            Buf.i64_set out d
+              (Int64.logxor (Buf.i64_get out d) (Buf.i64_get table src));
+            Buf.i64_set out (d + 1)
+              (Int64.logxor (Buf.i64_get out (d + 1))
+                 (Buf.i64_get table (src + 1)))
+          end;
+          aoff := !aoff + astride;
+          dst := !dst + 2
+        done
+      end
+      else begin
+        let aoff = ref wi and dst = ref 0 in
+        for _i = 0 to a.rows - 1 do
+          let sel =
+            Int64.to_int (Int64.shift_right_logical (Buf.i64_get aw !aoff) sh)
+            land mask
+          in
+          if sel <> 0 then begin
+            let src = sel * stride and d = !dst in
+            for j = 0 to stride - 1 do
+              Buf.i64_set out (d + j)
+                (Int64.logxor (Buf.i64_get out (d + j))
+                   (Buf.i64_get table (src + j)))
+            done
+          end;
+          aoff := !aoff + astride;
+          dst := !dst + stride
+        done
+      end
     done;
     { rows = a.rows; cols = b.cols; stride; words = out }
+
+  (* 16-bit chunks halve the accumulate passes but cost 256x the table
+     fill (65536 vs 256 entries per chunk).  Per chunk the fill grows by
+     ~65280 row-xors while the accumulate saves one pass over [a.rows]
+     rows — so the wide table only pays past ~64k rows. *)
+  let mul_wide_min_rows = 65536
+
+  let mul_wide a b = mul_chunked ~bits:16 a b
+
+  let mul a b =
+    if a.rows >= mul_wide_min_rows then mul_chunked ~bits:16 a b
+    else mul_chunked ~bits:8 a b
 
   (* Profiler shims over the measured entry points: one flag read when
      disabled, and the word-op charge is derived from operand shapes, so
@@ -204,13 +416,23 @@ module Gf2 = struct
           rank pk)
     else rank pk
 
+  let mul_charge ~bits a b =
+    a.rows * ((b.cols + 63) / 64) * ((a.cols + bits - 1) / bits)
+
   let mul a b =
     if Prof.enabled () then
       Prof.span "kern:gf2.mul" (fun () ->
-          Prof.add Prof.Word_ops
-            (a.rows * ((b.cols + 63) / 64) * ((a.cols + 7) / 8));
+          let bits = if a.rows >= mul_wide_min_rows then 16 else 8 in
+          Prof.add Prof.Word_ops (mul_charge ~bits a b);
           mul a b)
     else mul a b
+
+  let mul_wide a b =
+    if Prof.enabled () then
+      Prof.span "kern:gf2.mul" (fun () ->
+          Prof.add Prof.Word_ops (mul_charge ~bits:16 a b);
+          mul_wide a b)
+    else mul_wide a b
 end
 
 (* ------------------------------------------------------- graph kernels *)
@@ -231,8 +453,8 @@ module Graph = struct
     let a = Gf2.pack ~cols:n rows in
     let at = Gf2.transpose a in
     let w = a.Gf2.words and wt = at.Gf2.words in
-    for i = 0 to Array.length w - 1 do
-      w.(i) <- Int64.logand w.(i) wt.(i)
+    for i = 0 to Buf.i64_length w - 1 do
+      Buf.i64_set w i (Int64.logand (Buf.i64_get w i) (Buf.i64_get wt i))
     done;
     Gf2.unpack a
 
@@ -250,18 +472,21 @@ module Graph = struct
     if n = 0 then []
     else begin
       let nwords = (n + 63) / 64 in
-      (* Row-major copy of the adjacency words: row [v] at [v * nwords]. *)
-      let aw = Array.make (n * nwords) 0L in
+      (* Row-major copy of the adjacency words: row [v] at [v * nwords].
+         The whole scratch stack lives on [Buf.i64]: stores in the
+         per-node loops below would each box an [Int64] on an OCaml
+         array, and deep searches do millions of them. *)
+      let aw = Buf.i64_create (n * nwords) in
       for v = 0 to n - 1 do
         for w = 0 to nwords - 1 do
-          Array.unsafe_set aw ((v * nwords) + w) (Bitvec.get_word adj.(v) w)
+          Buf.i64_set aw ((v * nwords) + w) (Bitvec.unsafe_get_word adj.(v) w)
         done
       done;
       (* Words outside a depth's support may hold stale garbage from
          earlier siblings; they are never read. *)
-      let pw = Array.make ((n + 1) * nwords) 0L in
-      let xw = Array.make ((n + 1) * nwords) 0L in
-      let cw = Array.make ((n + 1) * nwords) 0L in
+      let pw = Buf.i64_create ((n + 1) * nwords) in
+      let xw = Buf.i64_create ((n + 1) * nwords) in
+      let cw = Buf.i64_create ((n + 1) * nwords) in
       let sup = Array.make ((n + 1) * nwords) 0 in
       let nsup = Array.make (n + 1) 0 in
       (* P-only support (pivot scores and candidates involve P alone). *)
@@ -283,14 +508,14 @@ module Graph = struct
         let psize = ref 0 in
         for si = 0 to ns - 1 do
           let w = Array.unsafe_get sup (base + si) in
-          let pv = Array.unsafe_get pw (base + w) in
+          let pv = Buf.i64_get pw (base + w) in
           if pv <> 0L then begin
             Array.unsafe_set psup (base + !np) w;
             incr np;
             psize := !psize + Bitvec.popcount_word pv;
             nonempty := true
           end
-          else if Array.unsafe_get xw (base + w) <> 0L then nonempty := true
+          else if Buf.i64_get xw (base + w) <> 0L then nonempty := true
         done;
         if not !nonempty then begin
           if r_size > !best_size then begin
@@ -324,8 +549,8 @@ module Graph = struct
                   !score
                   + Bitvec.popcount_word
                       (Int64.logand
-                         (Array.unsafe_get pw (base + w))
-                         (Array.unsafe_get aw (row + w)))
+                         (Buf.i64_get pw (base + w))
+                         (Buf.i64_get aw (row + w)))
               done;
               if !score > !pivot_score then begin
                 pivot := u;
@@ -334,10 +559,10 @@ module Graph = struct
               end
             end
           in
-          let iter_bits nw supb buf f =
+          let iter_bits nw supb (buf : Buf.i64) f =
             for si = 0 to nw - 1 do
               let w = Array.unsafe_get supb (base + si) in
-              let bits = ref (Array.unsafe_get buf (base + w)) in
+              let bits = ref (Buf.i64_get buf (base + w)) in
               while !bits <> 0L do
                 let low = Int64.logand !bits (Int64.neg !bits) in
                 f ((w * 64) + Bitvec.popcount_word (Int64.sub low 1L));
@@ -353,10 +578,10 @@ module Graph = struct
           let prow = !pivot * nwords in
           for si = 0 to !np - 1 do
             let w = Array.unsafe_get psup (base + si) in
-            Array.unsafe_set cw (base + w)
+            Buf.i64_set cw (base + w)
               (Int64.logand
-                 (Array.unsafe_get pw (base + w))
-                 (Int64.lognot (Array.unsafe_get aw (prow + w))))
+                 (Buf.i64_get pw (base + w))
+                 (Int64.lognot (Buf.i64_get aw (prow + w))))
           done;
           (* [cw] is a fixed snapshot; P/X mutate underneath it exactly as
              in the allocating version. *)
@@ -366,11 +591,11 @@ module Graph = struct
               let k = ref 0 in
               for si = 0 to ns - 1 do
                 let w = Array.unsafe_get sup (base + si) in
-                let nv = Array.unsafe_get aw (row + w) in
-                let pv = Int64.logand (Array.unsafe_get pw (base + w)) nv in
-                let xv = Int64.logand (Array.unsafe_get xw (base + w)) nv in
-                Array.unsafe_set pw (base' + w) pv;
-                Array.unsafe_set xw (base' + w) xv;
+                let nv = Buf.i64_get aw (row + w) in
+                let pv = Int64.logand (Buf.i64_get pw (base + w)) nv in
+                let xv = Int64.logand (Buf.i64_get xw (base + w)) nv in
+                Buf.i64_set pw (base' + w) pv;
+                Buf.i64_set xw (base' + w) xv;
                 if pv <> 0L || xv <> 0L then begin
                   Array.unsafe_set sup (base' + !k) w;
                   incr k
@@ -380,13 +605,13 @@ module Graph = struct
               expand (v :: r) (r_size + 1) (d + 1);
               let wv = base + (v lsr 6) in
               let bit = Int64.shift_left 1L (v land 63) in
-              Array.unsafe_set pw wv
-                (Int64.logand (Array.unsafe_get pw wv) (Int64.lognot bit));
-              Array.unsafe_set xw wv (Int64.logor (Array.unsafe_get xw wv) bit))
+              Buf.i64_set pw wv
+                (Int64.logand (Buf.i64_get pw wv) (Int64.lognot bit));
+              Buf.i64_set xw wv (Int64.logor (Buf.i64_get xw wv) bit))
         end
       in
       for w = 0 to nwords - 1 do
-        pw.(w) <- Bitvec.get_word vertices w;
+        Buf.i64_set pw w (Bitvec.get_word vertices w);
         sup.(w) <- w
       done;
       nsup.(0) <- nwords;
@@ -575,22 +800,33 @@ module Enum = struct
     end;
     2 * !acc
 
-  (* Batched threshold counting for the Monte-Carlo distinguisher loops:
-     64 trial statistics per word, one comparison bit each, popcounted. *)
-  let count_above stats ~threshold =
+  (* Batched threshold counting for the Monte-Carlo distinguisher loops.
+     Branchless: each comparison becomes a 0/1 add, so the loop carries no
+     data-dependent branches for the predictor to miss on the ~q-quantile
+     hit pattern. *)
+  let count_above (stats : float array) ~(threshold : float) =
+    (* The float annotations matter: without them the body elaborates
+       with polymorphic compare (the mli only constrains the signature,
+       not the compiled code) — a ~15x slowdown on this loop. *)
     let n = Array.length stats in
-    let hits = ref 0 and i = ref 0 in
-    while !i < n do
-      let limit = min 64 (n - !i) in
-      let w = ref 0L in
-      for b = 0 to limit - 1 do
-        if stats.(!i + b) > threshold then
-          w := Int64.logor !w (Int64.shift_left 1L b)
-      done;
-      hits := !hits + Bitvec.popcount_word !w;
-      i := !i + 64
+    let hits = ref 0 in
+    for i = 0 to n - 1 do
+      if Array.unsafe_get stats i > threshold then incr hits
     done;
     !hits
+
+  (* One packed word of threshold bits: bit [t] of the result is set iff
+     [stats.(lo + t) > threshold], for [t < count <= 64] — the slicing
+     primitive behind the 64-trials-per-word distinguisher batches. *)
+  let above_word (stats : float array) ~(threshold : float) ~lo ~count =
+    if count < 0 || count > 64 || lo < 0 || lo + count > Array.length stats
+    then invalid_arg "Bcc_kern.Enum.above_word";
+    let w = ref 0L in
+    for t = 0 to count - 1 do
+      if Array.unsafe_get stats (lo + t) > threshold then
+        w := Int64.logor !w (Int64.shift_left 1L t)
+    done;
+    !w
 
   (* Gray-code walk over the n-cube: [first ()] for input 0, then one
      [next ~flipped ~index] per remaining input — each step flips exactly
@@ -664,41 +900,146 @@ module Wht = struct
       Array.unsafe_set a (j + h) (x - y)
     done
 
-  (* All stages with h < hi - lo, confined to [lo, hi) — monomorphic per
-     element type so the inner loop stays a direct tight loop (a closure
-     parameter here costs ~20% at small sizes). *)
+  let pairs_f64 (a : Buf.f64) ~h ~lo ~hi =
+    for j = lo to hi - 1 do
+      let x = Buf.f64_get a j and y = Buf.f64_get a (j + h) in
+      Buf.f64_set a j (x +. y);
+      Buf.f64_set a (j + h) (x -. y)
+    done
+
+  (* Two fused butterfly stages (h, then 2h) in one memory pass: every j
+     in [lo, hi) is a lower-quarter index, grouped with j+h, j+2h, j+3h.
+     The arithmetic is the exact expressions of the two radix-2 stages —
+     stage h forms s01/d01/s23/d23, stage 2h sums them in the same
+     pairings — so the floats are bit-identical to running the stages
+     separately; only the loads and stores are halved. *)
+  let quads_float a ~h ~lo ~hi =
+    let h2 = 2 * h and h3 = 3 * h in
+    for j = lo to hi - 1 do
+      let x0 = Array.unsafe_get a j
+      and x1 = Array.unsafe_get a (j + h)
+      and x2 = Array.unsafe_get a (j + h2)
+      and x3 = Array.unsafe_get a (j + h3) in
+      let s01 = x0 +. x1 and d01 = x0 -. x1 in
+      let s23 = x2 +. x3 and d23 = x2 -. x3 in
+      Array.unsafe_set a j (s01 +. s23);
+      Array.unsafe_set a (j + h) (d01 +. d23);
+      Array.unsafe_set a (j + h2) (s01 -. s23);
+      Array.unsafe_set a (j + h3) (d01 -. d23)
+    done
+
+  let quads_int a ~h ~lo ~hi =
+    let h2 = 2 * h and h3 = 3 * h in
+    for j = lo to hi - 1 do
+      let x0 = Array.unsafe_get a j
+      and x1 = Array.unsafe_get a (j + h)
+      and x2 = Array.unsafe_get a (j + h2)
+      and x3 = Array.unsafe_get a (j + h3) in
+      let s01 = x0 + x1 and d01 = x0 - x1 in
+      let s23 = x2 + x3 and d23 = x2 - x3 in
+      Array.unsafe_set a j (s01 + s23);
+      Array.unsafe_set a (j + h) (d01 + d23);
+      Array.unsafe_set a (j + h2) (s01 - s23);
+      Array.unsafe_set a (j + h3) (d01 - d23)
+    done
+
+  let quads_f64 (a : Buf.f64) ~h ~lo ~hi =
+    let h2 = 2 * h and h3 = 3 * h in
+    for j = lo to hi - 1 do
+      let x0 = Buf.f64_get a j
+      and x1 = Buf.f64_get a (j + h)
+      and x2 = Buf.f64_get a (j + h2)
+      and x3 = Buf.f64_get a (j + h3) in
+      let s01 = x0 +. x1 and d01 = x0 -. x1 in
+      let s23 = x2 +. x3 and d23 = x2 -. x3 in
+      Buf.f64_set a j (s01 +. s23);
+      Buf.f64_set a (j + h) (d01 +. d23);
+      Buf.f64_set a (j + h2) (s01 -. s23);
+      Buf.f64_set a (j + h3) (d01 -. d23)
+    done
+
+  (* All stages with h < hi - lo, confined to [lo, hi): radix-4 double
+     stages, with one radix-2 stage peeled at h = 1 when the stage count
+     is odd so the rest pair up exactly.  Monomorphic per element type so
+     the inner loop stays a direct tight loop (a closure parameter here
+     costs ~20% at small sizes). *)
   let seq_float a lo hi =
+    let size = hi - lo in
     let h = ref 1 in
-    while !h < hi - lo do
+    if size > 1 && ctz size land 1 = 1 then begin
+      let j = ref lo in
+      while !j < hi do
+        let x = Array.unsafe_get a !j and y = Array.unsafe_get a (!j + 1) in
+        Array.unsafe_set a !j (x +. y);
+        Array.unsafe_set a (!j + 1) (x -. y);
+        j := !j + 2
+      done;
+      h := 2
+    end;
+    while !h < size do
       let hh = !h in
-      let step = 2 * hh in
       let i = ref lo in
       while !i < hi do
-        pairs_float a ~h:hh ~lo:!i ~hi:(!i + hh);
-        i := !i + step
+        quads_float a ~h:hh ~lo:!i ~hi:(!i + hh);
+        i := !i + (4 * hh)
       done;
-      h := step
+      h := 4 * hh
     done
 
   let seq_int a lo hi =
+    let size = hi - lo in
     let h = ref 1 in
-    while !h < hi - lo do
+    if size > 1 && ctz size land 1 = 1 then begin
+      let j = ref lo in
+      while !j < hi do
+        let x = Array.unsafe_get a !j and y = Array.unsafe_get a (!j + 1) in
+        Array.unsafe_set a !j (x + y);
+        Array.unsafe_set a (!j + 1) (x - y);
+        j := !j + 2
+      done;
+      h := 2
+    end;
+    while !h < size do
       let hh = !h in
-      let step = 2 * hh in
       let i = ref lo in
       while !i < hi do
-        pairs_int a ~h:hh ~lo:!i ~hi:(!i + hh);
-        i := !i + step
+        quads_int a ~h:hh ~lo:!i ~hi:(!i + hh);
+        i := !i + (4 * hh)
       done;
-      h := step
+      h := 4 * hh
     done
 
-  (* Shared driver: stage [h] pairs index j with j+h; distinct pairs are
-     elementwise disjoint, so cache-blocking and domain-partitioning only
-     reorder independent updates — results are identical to the plain
-     doubling loop for every BCC_DOMAINS (the pool itself falls back to a
-     sequential loop when nested or traced). *)
-  let blocked ~pairs ~seq ~len:n a =
+  let seq_f64 (a : Buf.f64) lo hi =
+    let size = hi - lo in
+    let h = ref 1 in
+    if size > 1 && ctz size land 1 = 1 then begin
+      let j = ref lo in
+      while !j < hi do
+        let x = Buf.f64_get a !j and y = Buf.f64_get a (!j + 1) in
+        Buf.f64_set a !j (x +. y);
+        Buf.f64_set a (!j + 1) (x -. y);
+        j := !j + 2
+      done;
+      h := 2
+    end;
+    while !h < size do
+      let hh = !h in
+      let i = ref lo in
+      while !i < hi do
+        quads_f64 a ~h:hh ~lo:!i ~hi:(!i + hh);
+        i := !i + (4 * hh)
+      done;
+      h := 4 * hh
+    done
+
+  (* Shared driver: stage [h] pairs index j with j+h; distinct pairs (and
+     distinct radix-4 quads) are elementwise disjoint, so cache-blocking
+     and domain-partitioning only reorder independent updates — results
+     are identical to the plain doubling loop for every BCC_DOMAINS (the
+     pool itself falls back to a sequential loop when nested or traced).
+     Stage fusion changes no values either: the radix-4 quads compute the
+     two stages' exact expressions. *)
+  let blocked ~pairs ~quads ~seq ~len:n a =
     check_pow2 n;
     if n < par_threshold then seq a 0 n
     else begin
@@ -711,31 +1052,51 @@ module Wht = struct
              seq a (b * block) ((b + 1) * block);
              0)
            (Array.init nb (fun b -> b)));
-      (* Phase 2: the outer stages, one at a time; each butterfly's lower
-         half [b*2h, b*2h + h) is cut into h/block block-sized chunks and
-         the chunks fan out across domains. *)
+      (* Phase 2: the outer stages, two at a time as radix-4 double
+         stages; each group's lower quarter [b*4h, b*4h + h) is cut into
+         h/block block-sized chunks and the chunks fan out across
+         domains.  When the outer stage count is odd, one radix-2 stage
+         is peeled at h = block first so the rest pair up exactly. *)
       let h = ref block in
+      if (ctz n - ctz block) land 1 = 1 then begin
+        let hh = !h in
+        let nblocks = n / (2 * hh) in
+        ignore
+          (Par.map_array
+             (fun b ->
+               let lo = b * 2 * hh in
+               pairs a ~h:hh ~lo ~hi:(lo + hh);
+               0)
+             (Array.init nblocks (fun b -> b)));
+        h := 2 * hh
+      end;
       while !h < n do
         let hh = !h in
         let chunks_per_block = hh / block in
-        let nblocks = n / (2 * hh) in
+        let nblocks = n / (4 * hh) in
         ignore
           (Par.map_array
              (fun t ->
                let b = t / chunks_per_block and c = t mod chunks_per_block in
-               let lo = (b * 2 * hh) + (c * block) in
-               pairs a ~h:hh ~lo ~hi:(lo + block);
+               let lo = (b * 4 * hh) + (c * block) in
+               quads a ~h:hh ~lo ~hi:(lo + block);
                0)
              (Array.init (nblocks * chunks_per_block) (fun t -> t)));
-        h := 2 * hh
+        h := 4 * hh
       done
     end
 
   let inplace_float a =
-    blocked ~pairs:pairs_float ~seq:seq_float ~len:(Array.length a) a
+    blocked ~pairs:pairs_float ~quads:quads_float ~seq:seq_float
+      ~len:(Array.length a) a
 
   let inplace_int a =
-    blocked ~pairs:pairs_int ~seq:seq_int ~len:(Array.length a) a
+    blocked ~pairs:pairs_int ~quads:quads_int ~seq:seq_int
+      ~len:(Array.length a) a
+
+  let inplace_f64 a =
+    blocked ~pairs:pairs_f64 ~quads:quads_f64 ~seq:seq_f64
+      ~len:(Buf.f64_length a) a
 
   (* Profiler shims; a length-n transform is n*log2(n) butterflies.  The
      internal Par fan-out (len >= par_threshold) nests under this span
@@ -755,6 +1116,13 @@ module Wht = struct
           Prof.add Prof.Word_ops (butterflies (Array.length a));
           inplace_int a)
     else inplace_int a
+
+  let inplace_f64 a =
+    if Prof.enabled () then
+      Prof.span "kern:wht.inplace_f64" (fun () ->
+          Prof.add Prof.Word_ops (butterflies (Buf.f64_length a));
+          inplace_f64 a)
+    else inplace_f64 a
 end
 
 (* ---------------------------------------------------- reference oracles *)

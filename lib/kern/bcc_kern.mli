@@ -7,29 +7,79 @@
     and the batched distinguisher trials; {!Wht} (cache-blocked, optionally
     domain-parallel butterflies) behind [Fourier].
 
+    Hot storage is {!Buf}: Bigarray-backed buffers whose elements are
+    unboxed, so the kernel inner loops run without minor-heap allocation
+    or GC write barriers (an [int64 array] boxes every store).
+
     {!Ref} keeps the naive implementations as reference oracles: every
     kernel is property-tested against its oracle (test/test_kern.ml) and
     benchmarked against it (`bench kern`, docs/PERFORMANCE.md).
 
     All kernels are deterministic; the only parallel path ({!Wht} on
     tables >= [par_threshold]) partitions elementwise-disjoint butterfly
-    pairs across the [Par] pool, so results are byte-identical for every
+    groups across the [Par] pool, so results are byte-identical for every
     [BCC_DOMAINS]. *)
 
 val ctz : int -> int
 (** Count of trailing zeros; raises [Invalid_argument] on 0. *)
 
-(** GF(2) kernels on flat packed word arrays. *)
+(** GC-invisible flat buffers for the kernel inner loops.
+
+    [i64]/[f64] are C-layout [Bigarray.Array1] values: element access
+    compiles to one unboxed load or store — no boxed [Int64] cells, no
+    write barrier, nothing for the minor GC to scan.  Accessors are
+    {b unchecked}; callers own their indices (the word-boundary property
+    tests in test/test_kern.ml pin the semantics against the
+    [Bitvec]/[float array] oracles, and test_prof.ml pins the no-alloc
+    property).  Creation zero-fills. *)
+module Buf : sig
+  type i64 = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+  type f64 = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  val i64_create : int -> i64
+  val f64_create : int -> f64
+
+  (** Accessors are monomorphic [external] re-declarations of the
+      Bigarray primitives, so call sites compile to direct unboxed
+      loads/stores without flambda. *)
+
+  external i64_length : i64 -> int = "%caml_ba_dim_1"
+  external f64_length : f64 -> int = "%caml_ba_dim_1"
+
+  external i64_get : i64 -> int -> int64 = "%caml_ba_unsafe_ref_1"
+  external i64_set : i64 -> int -> int64 -> unit = "%caml_ba_unsafe_set_1"
+  external f64_get : f64 -> int -> float = "%caml_ba_unsafe_ref_1"
+  external f64_set : f64 -> int -> float -> unit = "%caml_ba_unsafe_set_1"
+  (** Unchecked element access (see module comment). *)
+
+  val i64_fill : i64 -> int64 -> unit
+  val f64_fill : f64 -> float -> unit
+
+  val i64_blit : src:i64 -> dst:i64 -> unit
+  val f64_blit : src:f64 -> dst:f64 -> unit
+  (** Whole-buffer no-alloc copies; lengths must match. *)
+
+  val i64_copy : i64 -> i64
+
+  val i64_of_array : int64 array -> i64
+  val f64_of_array : float array -> f64
+  val i64_to_array : i64 -> int64 array
+  val f64_to_array : f64 -> float array
+  (** Boxed-array conversions, for loading and for tests — not for hot
+      loops. *)
+end
+
+(** GF(2) kernels on flat packed word buffers. *)
 module Gf2 : sig
   type packed = {
     rows : int;
     cols : int;
     stride : int;  (** words per row: [(cols + 63) / 64] *)
-    words : int64 array;  (** row-major, [rows * stride] words *)
+    words : Buf.i64;  (** row-major, [rows * stride] words *)
   }
 
   val pack : cols:int -> Bitvec.t array -> packed
-  (** Copy Bitvec rows (all of length [cols]) into one flat word array. *)
+  (** Copy Bitvec rows (all of length [cols]) into one flat word buffer. *)
 
   val unpack : packed -> Bitvec.t array
 
@@ -48,8 +98,19 @@ module Gf2 : sig
       copy of the words. *)
 
   val mul : packed -> packed -> packed
-  (** Method-of-Four-Russians product (byte-chunked Gray-code tables);
-      requires [cols a = rows b]. *)
+  (** Method-of-Four-Russians product (Gray-code tables); requires
+      [cols a = rows b].  Chunks the inner dimension 8 bits at a time,
+      switching to the 16-bit tables of {!mul_wide} when
+      [rows >= mul_wide_min_rows] — the point where the halved
+      accumulate passes amortize the 256x larger table fill. *)
+
+  val mul_wide : packed -> packed -> packed
+  (** The 16-bit-chunked product, unconditionally — exposed so tests can
+      exercise the wide tables below the {!mul_wide_min_rows} cutover.
+      Same result as {!mul}, bit for bit. *)
+
+  val mul_wide_min_rows : int
+  (** Row-count cutover above which {!mul} uses the 16-bit tables. *)
 end
 
 (** Packed graph kernels for the planted-clique experiments.
@@ -111,8 +172,14 @@ module Enum : sig
   (** [|{x : f(x) <> f(x xor e_i)}|] — the influence numerator. *)
 
   val count_above : float array -> threshold:float -> int
-  (** [|{j : stats.(j) > threshold}|], 64 comparison bits per popcounted
-      word — the batched distinguisher hit count. *)
+  (** [|{j : stats.(j) > threshold}|] — the batched distinguisher hit
+      count, one branchless 0/1 add per entry. *)
+
+  val above_word : float array -> threshold:float -> lo:int -> count:int -> int64
+  (** [above_word stats ~threshold ~lo ~count]: bit [t] of the result is
+      set iff [stats.(lo + t) > threshold], for [t < count <= 64] — the
+      packing primitive of the 64-trials-per-word distinguisher slices
+      ([Distinguishers.advantage]). *)
 
   val iter_gray : int -> first:(unit -> unit) -> next:(flipped:int -> index:int -> unit) -> unit
   (** Gray-code walk over the n-cube: [first ()] for input 0, then one
@@ -129,14 +196,22 @@ module Wht : sig
   (** Minimum table length for the domain-parallel path. *)
 
   val inplace_float : float array -> unit
-  (** Cache-blocked in-place WHT; length must be a power of two.  Tables
-      >= [par_threshold] fan butterfly stages out across the [Par] pool;
-      results are byte-identical for every domain count. *)
+  (** Cache-blocked in-place WHT; length must be a power of two.  Stages
+      run two at a time as fused radix-4 butterflies (identical floating
+      point, half the memory passes); tables >= [par_threshold] fan the
+      stages out across the [Par] pool; results are byte-identical for
+      every domain count.  ([float array] is already unboxed in OCaml, so
+      this path needs no {!Buf}; use {!inplace_f64} when the data
+      already lives on one.) *)
 
   val inplace_int : int array -> unit
   (** Integer-accumulator variant: on 0/1 (or any small-integer) tables
       all intermediates are exact, so scaling the output reproduces the
       float transform bit-for-bit while running on untagged ints. *)
+
+  val inplace_f64 : Buf.f64 -> unit
+  (** {!inplace_float} on a {!Buf.f64} buffer — same blocking, same
+      bit-identical results, zero allocation (test_prof.ml pins this). *)
 end
 
 (** Naive reference oracles (the pre-kernel implementations). *)

@@ -219,3 +219,9 @@ let map_reduce g ~trials ~init ~f ~reduce =
   Array.fold_left reduce init (map_trials g ~trials f)
 
 let map_array f xs = tabulate (Array.length xs) (fun i -> f xs.(i))
+
+(* ------------------------------------------------------- lane scratch *)
+
+let lane_scratch create =
+  let key = Domain.DLS.new_key create in
+  fun () -> Domain.DLS.get key

@@ -66,6 +66,14 @@ val map_array : ('a -> 'b) -> 'a array -> 'b array
     (e.g. independent simulator replicas).  Same caveats as
     {!map_trials}. *)
 
+val lane_scratch : (unit -> 'a) -> unit -> 'a
+(** [lane_scratch create] returns a thunk yielding a per-domain scratch
+    value, created by [create] on each domain's first use and reused on
+    every later call from that domain.  Intended for kernel work buffers
+    whose contents are fully overwritten on each use: reuse can then
+    never leak state between trials, and no synchronisation is needed
+    because no two domains ever see the same value. *)
+
 val shutdown : unit -> unit
 (** Joins and discards the shared pool's worker domains (a no-op when none
     are running).  Called automatically at exit; tests that count domains

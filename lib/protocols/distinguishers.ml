@@ -78,7 +78,35 @@ let common_neighbors ~pairs =
         float_of_int !best);
   }
 
-let advantage d ~n ~k ~calibration ~trials g =
+(* Trial-sliced hit counting: trials [64b, 64b + 64) pack into one word
+   ({!Bcc_kern.Enum.above_word}, bit t iff trial 64b + t exceeded), and
+   the word is popcounted.  The slice width is the word width — a
+   constant 64, never the lane count — and every comparison is the same
+   [stat > threshold] the scalar path makes, so the count (and every
+   artifact derived from it) is integer-identical to {!hits_scalar}. *)
+let hits_sliced (stats : float array) ~(threshold : float) =
+  let trials = Array.length stats in
+  let hits = ref 0 in
+  let b = ref 0 in
+  while !b < trials do
+    let count = min 64 (trials - !b) in
+    let w = Bcc_kern.Enum.above_word stats ~threshold ~lo:!b ~count in
+    hits := !hits + Bitvec.popcount_word w;
+    b := !b + 64
+  done;
+  !hits
+
+(* The per-trial count the slices must reproduce — kept as the in-run
+   equality oracle (test/test_kern.ml compares the two paths on the
+   experiment seeds). *)
+let hits_scalar (stats : float array) ~(threshold : float) =
+  let hits = ref 0 in
+  for t = 0 to Array.length stats - 1 do
+    if Array.unsafe_get stats t > threshold then incr hits
+  done;
+  !hits
+
+let advantage_with ~hit_count d ~n ~k ~calibration ~trials g =
   (* Trials fan out across domains: each trial draws from its own
      [Prng.split] child (sample first, then the statistic's public coins),
      so the result is the same whatever the domain count.  [g] itself is
@@ -95,15 +123,15 @@ let advantage d ~n ~k ~calibration ~trials g =
     let threshold = Stats.quantile calib_stats q in
     let hit_rate phase branch sample_graph =
       (* Collect the raw statistics, then count threshold exceedances in
-         one batched pass (64 trials per word) — same comparisons in the
-         same order as the per-trial test, so artifacts are unchanged. *)
+         one batched pass — same comparisons in the same order as the
+         per-trial test, so artifacts are unchanged. *)
       Prof.span phase (fun () ->
           let stats =
             Par.map_trials branch ~trials (fun ~trial:_ gt ->
                 let graph = sample_graph gt in
                 d.statistic gt graph)
           in
-          let hits = Bcc_kern.Enum.count_above stats ~threshold in
+          let hits = hit_count stats ~threshold in
           float_of_int hits /. float_of_int trials)
     in
     let p_planted =
@@ -114,3 +142,6 @@ let advantage d ~n ~k ~calibration ~trials g =
     p_planted -. p_rand
   in
   if Prof.enabled () then Prof.span ("advantage:" ^ d.name) body else body ()
+
+let advantage d = advantage_with ~hit_count:hits_sliced d
+let advantage_scalar d = advantage_with ~hit_count:hits_scalar d

@@ -65,4 +65,17 @@ val advantage :
 
     Trials run in parallel via [Par] with one [Prng.split] child per
     trial; the result depends only on [g]'s seed, never on the domain
-    count.  [g] is split, not advanced. *)
+    count.  [g] is split, not advanced.
+
+    Hit counting is trial-sliced: 64 trials pack into one word
+    ([Bcc_kern.Enum.above_word]) and the word is popcounted.  The slice
+    width is a constant 64 (never the lane count) and the comparisons
+    are the scalar path's, in the same order, so the result — and every
+    [EXP_*.json] derived from it — is bit-identical to
+    {!advantage_scalar}. *)
+
+val advantage_scalar :
+  t -> n:int -> k:int -> calibration:int -> trials:int -> Prng.t -> float
+(** {!advantage} with per-trial (unsliced) hit counting — the in-run
+    equality oracle for the sliced path; tests pin the two equal on the
+    experiment seeds. *)

@@ -104,6 +104,21 @@ let protocol ~n ~k =
   let cap = active_cap ~n ~k in
   let rounds = round_budget ~n ~k in
   let cache : shared_cache = Hashtbl.create 4 in
+  (* Every processor packs the {e same physical} broadcast array into the
+     same edge column each round; memoize one column per broadcast array
+     (physical-equality key — a fresh array arrives each round, so no
+     round can alias another).  [Atomic] for the same reason as the
+     degree-summary memo: protocol values may be shared across trial
+     domains, and a lost race only recomputes an identical pure value. *)
+  let col_memo : (int array * Bitvec.t) option Atomic.t = Atomic.make None in
+  let column_of messages =
+    match Atomic.get col_memo with
+    | Some (key, col) when key == messages -> col
+    | _ ->
+        let col = Bitvec.of_bool_array (Array.map (fun v -> v = 1) messages) in
+        Atomic.set col_memo (Some (messages, col));
+        col
+  in
   {
     Bcast.name = Printf.sprintf "planted-clique-B1(n=%d,k=%d)" n k;
     msg_bits = 1;
@@ -167,8 +182,7 @@ let protocol ~n ~k =
               else if round <= cap then begin
                 let r = round - 1 in
                 if r < active_count () then
-                  edge_cols := Bitvec.of_bool_array (Array.map (fun v -> v = 1) messages)
-                               :: !edge_cols
+                  edge_cols := column_of messages :: !edge_cols
               end
               else
                 Array.iteri (fun i v -> if v = 1 then claimed := i :: !claimed) messages);

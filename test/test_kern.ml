@@ -281,6 +281,182 @@ let test_fourier_transform_exact () =
       check_bool (Printf.sprintf "n=%d" n) true (Fourier.transform f = old_path))
     [ 0; 1; 4; 8; 12 ]
 
+(* ------------------------------------------------------------------ buf *)
+
+(* Buf accessors and bulk operations against plain-array oracles, at the
+   word-boundary sizes where an off-by-one in flat-buffer math would
+   bite. *)
+let buf_sizes = [ 1; 63; 64; 65; 127; 128 ]
+
+let test_buf_i64_vs_oracle () =
+  let g = Prng.create 71 in
+  List.iter
+    (fun n ->
+      let src = Array.init n (fun _ -> Prng.bits64 g) in
+      let b = Bcc_kern.Buf.i64_of_array src in
+      check_int (Printf.sprintf "length %d" n) n (Bcc_kern.Buf.i64_length b);
+      Array.iteri
+        (fun i v ->
+          check_bool (Printf.sprintf "get %d/%d" i n) true
+            (Int64.equal (Bcc_kern.Buf.i64_get b i) v))
+        src;
+      check_bool "roundtrip" true (Bcc_kern.Buf.i64_to_array b = src);
+      let rev = Array.init n (fun i -> src.(n - 1 - i)) in
+      Array.iteri (fun i v -> Bcc_kern.Buf.i64_set b i v) rev;
+      check_bool "after set" true (Bcc_kern.Buf.i64_to_array b = rev);
+      let c = Bcc_kern.Buf.i64_copy b in
+      Bcc_kern.Buf.i64_fill b 0L;
+      check_bool "copy unaffected by fill" true (Bcc_kern.Buf.i64_to_array c = rev);
+      check_bool "fill zeroed" true
+        (Array.for_all (Int64.equal 0L) (Bcc_kern.Buf.i64_to_array b));
+      Bcc_kern.Buf.i64_blit ~src:c ~dst:b;
+      check_bool "blit restores" true (Bcc_kern.Buf.i64_to_array b = rev);
+      check_bool "create zeroed" true
+        (Array.for_all (Int64.equal 0L)
+           (Bcc_kern.Buf.i64_to_array (Bcc_kern.Buf.i64_create n))))
+    buf_sizes
+
+let test_buf_f64_vs_oracle () =
+  let g = Prng.create 72 in
+  List.iter
+    (fun n ->
+      let src = Array.init n (fun _ -> Prng.float g) in
+      let b = Bcc_kern.Buf.f64_of_array src in
+      check_int (Printf.sprintf "length %d" n) n (Bcc_kern.Buf.f64_length b);
+      Array.iteri
+        (fun i v ->
+          check_bool (Printf.sprintf "get %d/%d" i n) true
+            (Float.equal (Bcc_kern.Buf.f64_get b i) v))
+        src;
+      check_bool "roundtrip" true (Bcc_kern.Buf.f64_to_array b = src);
+      let rev = Array.init n (fun i -> src.(n - 1 - i)) in
+      Array.iteri (fun i v -> Bcc_kern.Buf.f64_set b i v) rev;
+      check_bool "after set" true (Bcc_kern.Buf.f64_to_array b = rev);
+      Bcc_kern.Buf.f64_fill b 0.0;
+      check_bool "fill zeroed" true
+        (Array.for_all (Float.equal 0.0) (Bcc_kern.Buf.f64_to_array b)))
+    buf_sizes
+
+let test_wht_f64_matches_float_and_no_alloc () =
+  let g = Prng.create 73 in
+  let len = 1 lsl 12 in
+  let base = random_table g len in
+  let expect = Array.copy base in
+  Bcc_kern.Wht.inplace_float expect;
+  let buf = Bcc_kern.Buf.f64_of_array base in
+  Bcc_kern.Wht.inplace_f64 buf;
+  check_bool "f64 matches float" true (Bcc_kern.Buf.f64_to_array buf = expect);
+  (* The Bigarray path must not touch the minor heap: unboxed loads and
+     stores only (below par_threshold the butterflies are pure in-place
+     loops).  Gc.minor_words boxes its float result, so allow a small
+     constant slack over the 10 calls. *)
+  let before = Gc.minor_words () in
+  for _ = 1 to 10 do
+    Bcc_kern.Wht.inplace_f64 buf
+  done;
+  let delta = Gc.minor_words () -. before in
+  check_bool
+    (Printf.sprintf "inplace_f64 allocates nothing (delta %.0f words)" delta)
+    true (delta < 256.0)
+
+(* ------------------------------------------------------------ mul_wide *)
+
+let test_mul_wide_vs_ref () =
+  let g = Prng.create 44 in
+  let run name a b =
+    let r = Gf2_matrix.rows a
+    and k = Gf2_matrix.cols a
+    and c = Gf2_matrix.cols b in
+    let ra = Array.init r (Gf2_matrix.row a) in
+    let rb = Array.init k (Gf2_matrix.row b) in
+    let expect = Bcc_kern.Ref.mul_rows ra rb ~cols:c in
+    (* mul_wide unconditionally — all these shapes sit far below the
+       mul_wide_min_rows cutover, which is the point: the 16-bit tables
+       must agree with the oracle everywhere, not just where mul selects
+       them. *)
+    let wide =
+      Bcc_kern.Gf2.unpack
+        (Bcc_kern.Gf2.mul_wide
+           (Bcc_kern.Gf2.pack ~cols:k ra)
+           (Bcc_kern.Gf2.pack ~cols:c rb))
+    in
+    check_bool name true (Array.for_all2 Bitvec.equal expect wide)
+  in
+  List.iter
+    (fun (r, k, c) ->
+      run
+        (Printf.sprintf "wide %dx%d.%dx%d" r k k c)
+        (Gf2_matrix.random g ~rows:r ~cols:k)
+        (Gf2_matrix.random g ~rows:k ~cols:c))
+    [ (1, 1, 1); (3, 5, 7); (64, 64, 64); (70, 130, 65); (130, 70, 128) ];
+  List.iter
+    (fun (n, r) ->
+      run
+        (Printf.sprintf "wide deficient n=%d r=%d" n r)
+        (Gf2_matrix.random_of_rank_at_most g ~n ~r)
+        (Gf2_matrix.random g ~rows:n ~cols:n))
+    [ (20, 3); (64, 10); (100, 64) ]
+
+(* --------------------------------------------------------- trial slices *)
+
+(* The sliced (64-trials-per-word) distinguisher paths must reproduce
+   their scalar oracles bit for bit, at every seed and domain count (the
+   trial count 100/70 is deliberately not a multiple of 64, so the final
+   partial slice is exercised). *)
+
+let test_advantage_sliced_matches_scalar () =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun domains ->
+          with_domains domains (fun () ->
+              let d = Distinguishers.total_edges in
+              let sliced =
+                Distinguishers.advantage d ~n:32 ~k:12 ~calibration:30
+                  ~trials:100 (Prng.create seed)
+              in
+              let scalar =
+                Distinguishers.advantage_scalar d ~n:32 ~k:12 ~calibration:30
+                  ~trials:100 (Prng.create seed)
+              in
+              check_bool
+                (Printf.sprintf "advantage seed=%d domains=%d" seed domains)
+                true
+                (Float.equal sliced scalar)))
+        [ 1; 4 ])
+    [ 1; 2; 42 ]
+
+let test_protocol_gap_sliced_matches_scalar () =
+  let n = 16 in
+  let proto =
+    Distinguisher_protocols.threshold_distinguisher
+      (Distinguisher_protocols.degree_protocol ~n)
+      ~statistic:(fun s ->
+        float_of_int s.Distinguisher_protocols.total_edges)
+      ~threshold:(float_of_int (n * (n - 1)) /. 2.0)
+  in
+  let sample_yes g = Progress.sample_planted_rows ~n ~k:6 g in
+  let sample_no g = Progress.sample_rand_rows ~n g in
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun domains ->
+          with_domains domains (fun () ->
+              let sliced =
+                Advantage.protocol_gap proto ~sample_yes ~sample_no ~trials:70
+                  (Prng.create seed)
+              in
+              let scalar =
+                Advantage.protocol_gap_scalar proto ~sample_yes ~sample_no
+                  ~trials:70 (Prng.create seed)
+              in
+              check_bool
+                (Printf.sprintf "gap seed=%d domains=%d" seed domains)
+                true
+                (Float.equal sliced scalar)))
+        [ 1; 4 ])
+    [ 1; 2; 42 ]
+
 (* ----------------------------------------------------- artifact pinning *)
 
 let artifact_fingerprint f seed =
@@ -316,6 +492,7 @@ let () =
           Alcotest.test_case "rank deficient" `Quick test_rank_deficient;
           Alcotest.test_case "mul vs ref" `Quick test_mul_vs_ref;
           Alcotest.test_case "mul identity" `Quick test_mul_identity;
+          Alcotest.test_case "mul wide vs ref" `Quick test_mul_wide_vs_ref;
           Alcotest.test_case "expand_rows batch" `Quick test_expand_rows_matches_expand;
         ] );
       ( "enum",
@@ -330,6 +507,20 @@ let () =
           Alcotest.test_case "int path exact" `Quick test_wht_int_matches_float;
           Alcotest.test_case "parallel identical" `Quick test_wht_parallel_identical;
           Alcotest.test_case "transform bit-identical" `Quick test_fourier_transform_exact;
+        ] );
+      ( "buf",
+        [
+          Alcotest.test_case "i64 vs oracle" `Quick test_buf_i64_vs_oracle;
+          Alcotest.test_case "f64 vs oracle" `Quick test_buf_f64_vs_oracle;
+          Alcotest.test_case "wht f64 exact and no-alloc" `Quick
+            test_wht_f64_matches_float_and_no_alloc;
+        ] );
+      ( "slices",
+        [
+          Alcotest.test_case "advantage sliced = scalar" `Quick
+            test_advantage_sliced_matches_scalar;
+          Alcotest.test_case "protocol_gap sliced = scalar" `Quick
+            test_protocol_gap_sliced_matches_scalar;
         ] );
       ( "artifacts",
         [
