@@ -938,6 +938,27 @@ let run_compare ~update () =
               fresh_speedup ratio
               (if bad then "REGRESSED" else "ok"))
       base;
+    (* Kernels measured fresh but absent from the committed baseline —
+       typically benches added since the last `compare --update`.  They
+       cannot be gated (no reference), so they pass with a null baseline
+       and status "new"; the row makes them visible in CI diffs instead
+       of silently dropping out of the report. *)
+    List.iter
+      (fun (name, fresh_speedup) ->
+        if not (List.mem_assoc name base) then begin
+          diff_rows :=
+            Artifact.Obj
+              [
+                ("name", Artifact.String name);
+                ("base_speedup", Artifact.Null);
+                ("fresh_speedup", Artifact.Float fresh_speedup);
+                ("status", Artifact.String "new");
+              ]
+            :: !diff_rows;
+          (* bcc-lint: allow det/float-format — human console report; the JSON mirror goes through Artifact *)
+          Format.printf "%-34s %9s %9.1f %7s NEW@." name "-" fresh_speedup "-"
+        end)
+      fresh;
     let ok = agree_ok && !failures = [] in
     (* Per-row diff artifact for CI upload: every gated row with its
        baseline speedup, fresh speedup, erosion ratio, and verdict. *)

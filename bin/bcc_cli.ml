@@ -5,6 +5,7 @@
      bcc_cli metrics [IDS...]    run experiments and dump the metrics registry
      bcc_cli kern                self-check the Bcc_kern kernels vs their oracles
      bcc_cli prof TARGET         run an experiment or protocol under the profiler
+     bcc_cli lint [ARGS...]      run the two-pass linter (delegates to bcc_lint)
 
    `bcc_cli e1 e2` (no subcommand) keeps working: `run` is the default. *)
 
@@ -393,6 +394,35 @@ let prof_cmd =
         (const run_prof $ prof_list_arg $ prof_dir_arg $ prof_top_arg
        $ prof_target_arg $ seed_arg))
 
+(* --------------------------------------------------------------- lint *)
+
+(* `bcc_cli lint ...` delegates to the bcc_lint executable built next to
+   this one, passing every remaining argument through untouched, so
+   cmdliner never has to mirror the linter's flag vocabulary.  bcc_lint
+   stays a separate binary on purpose: linking compiler-libs here would
+   shadow Bcc_obs.Trace with compiler-libs' Trace. *)
+let lint_exec args =
+  let dir = Filename.dirname Sys.executable_name in
+  let candidates =
+    [ Filename.concat dir "bcc_lint.exe"; Filename.concat dir "bcc_lint" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | None ->
+      prerr_endline
+        "bcc_cli lint: bcc_lint executable not found next to bcc_cli";
+      exit 2
+  | Some exe -> (
+      try Unix.execv exe (Array.of_list (exe :: args))
+      with Unix.Unix_error _ ->
+        exit (Sys.command (Filename.quote_command exe args)))
+
+let lint_cmd =
+  let doc =
+    "Run the two-pass determinism & domain-safety linter (delegates to the \
+     bcc_lint executable; see bcc_lint --help for its flags)"
+  in
+  Cmd.v (Cmd.info "lint" ~doc) Term.(const lint_exec $ const [])
+
 (* ---------------------------------------------------------------- main *)
 
 let cmd =
@@ -409,7 +439,7 @@ let cmd =
   in
   let info = Cmd.info "bcc_cli" ~doc ~envs in
   Cmd.group ~default:run_term info
-    [ run_cmd; trace_cmd; metrics_cmd; kern_cmd; prof_cmd ]
+    [ run_cmd; trace_cmd; metrics_cmd; kern_cmd; prof_cmd; lint_cmd ]
 
 (* Keep `bcc_cli e1 e2` working: a leading positional that is not a
    subcommand name is an experiment id for the default `run` command. *)
@@ -417,10 +447,18 @@ let argv =
   let argv = Sys.argv in
   if
     Array.length argv > 1
-    && (not (List.mem argv.(1) [ "run"; "trace"; "metrics"; "kern"; "prof" ]))
+    && (not (List.mem argv.(1) [ "run"; "trace"; "metrics"; "kern"; "prof"; "lint" ]))
     && String.length argv.(1) > 0
     && argv.(1).[0] <> '-'
   then Array.concat [ [| argv.(0); "run" |]; Array.sub argv 1 (Array.length argv - 1) ]
   else argv
+
+(* Hand the linter its raw argument vector before cmdliner parses
+   anything: bcc_lint owns its own flags (--json, --sarif, --cmt-dir,
+   ...) and they should not need re-declaring here. *)
+let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "lint" then
+    lint_exec
+      (Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2)))
 
 let () = exit (Cmd.eval ~argv cmd)

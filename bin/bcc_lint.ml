@@ -1,19 +1,35 @@
 (* Determinism & domain-safety linter driver.
 
-     bcc_lint [--json] [-o PATH] [--rules] PATHS...
+     bcc_lint [--json] [-o PATH] [--sarif[-o PATH]] [--cmt-dir DIR]
+              [--no-typed] [--rules] PATHS...
 
-   Lints every .ml file under PATHS (default: lib bin bench), prints
-   human-readable file:line:col diagnostics, optionally writes the
-   report as an Artifact-enveloped JSON document (default
-   _artifacts/LINT.json), and exits 1 when any unsuppressed finding
+   Two passes over every compilation unit under PATHS (default: lib bin
+   bench):
+
+   - the source pass parses each .ml file and checks the syntactic
+     rules (det/*, par/global-mutable, pragma hygiene);
+   - the typed pass loads .cmt files from --cmt-dir (default _build,
+     skipped if the directory is missing unless --cmt-dir was given
+     explicitly) and checks the typed rules: kern/unsafe-index with the
+     unsafe-site inventory, perf/noalloc, par/dls-escape, par/dls-zero.
+
+   Prints human-readable file:line:col diagnostics, optionally writes
+   the merged report as an Artifact-enveloped JSON document (default
+   _artifacts/LINT.json) and/or a SARIF 2.1.0 document (default
+   _artifacts/LINT.sarif), and exits 1 when any unsuppressed finding
    remains.  docs/STATIC_ANALYSIS.md documents the rule catalogue and
-   the allow-pragma grammar. *)
+   the pragma grammar. *)
 
 let default_paths = [ "lib"; "bin"; "bench" ]
+let typed_rules = Rules_kern.rules @ Rules_par.rules
 
 let () =
   let json = ref false in
   let json_path = ref (Filename.concat Artifact.default_dir "LINT.json") in
+  let sarif = ref false in
+  let sarif_path = ref (Filename.concat Artifact.default_dir "LINT.sarif") in
+  let cmt_dir = ref "" in
+  let no_typed = ref false in
   let list_rules = ref false in
   let quiet = ref false in
   let paths = ref [] in
@@ -26,11 +42,24 @@ let () =
             json := true;
             json_path := p),
         "PATH write the JSON report to PATH (implies --json)" );
+      ("--sarif", Arg.Set sarif, " write a SARIF 2.1.0 report (default _artifacts/LINT.sarif)");
+      ( "--sarif-o",
+        Arg.String
+          (fun p ->
+            sarif := true;
+            sarif_path := p),
+        "PATH write the SARIF report to PATH (implies --sarif)" );
+      ( "--cmt-dir",
+        Arg.Set_string cmt_dir,
+        "DIR load .cmt files for the typed pass from DIR (default _build)" );
+      ("--no-typed", Arg.Set no_typed, " run the source pass only");
       ("--rules", Arg.Set list_rules, " list the rule catalogue and exit");
       ("--quiet", Arg.Set quiet, " suppress per-finding output (exit code only)");
     ]
   in
-  let usage = "bcc_lint [--json] [-o PATH] [--rules] PATHS..." in
+  let usage =
+    "bcc_lint [--json] [-o PATH] [--sarif] [--cmt-dir DIR] [--rules] PATHS..."
+  in
   Arg.parse (Arg.align spec) (fun p -> paths := p :: !paths) usage;
   if !list_rules then begin
     List.iter
@@ -47,10 +76,30 @@ let () =
       Printf.eprintf "bcc_lint: no such file or directory: %s\n" p;
       exit 2
   | None -> ());
-  let report = Lint.lint_paths paths in
+  let source_report = Lint.lint_paths paths in
+  let typed_report =
+    if !no_typed then Lint.empty
+    else begin
+      let explicit = !cmt_dir <> "" in
+      let dir = if explicit then !cmt_dir else "_build" in
+      if Sys.file_exists dir && Sys.is_directory dir then
+        Typed_pass.lint_cmt_dir ~rules:typed_rules ~paths dir
+      else if explicit then begin
+        Printf.eprintf "bcc_lint: no such cmt directory: %s\n" dir;
+        exit 2
+      end
+      else Lint.empty
+    end
+  in
+  let report = Lint.merge source_report typed_report in
+  let report = { report with Lint.findings = Lint.sort_findings report.Lint.findings } in
   if not !quiet then Lint.pp_report Format.std_formatter report;
   if !json then begin
     Artifact.write_file ~path:!json_path (Lint.report_to_json ~paths report);
     if not !quiet then Format.printf "wrote %s@." !json_path
+  end;
+  if !sarif then begin
+    Sarif.write ~path:!sarif_path report;
+    if not !quiet then Format.printf "wrote %s@." !sarif_path
   end;
   exit (Lint.exit_code report)

@@ -23,6 +23,7 @@ let set v i b =
   if b then v.words.(w) <- Int64.logor v.words.(w) (Int64.shift_left 1L s)
   else v.words.(w) <- Int64.logand v.words.(w) (Int64.lognot (Int64.shift_left 1L s))
 
+(* bcc-lint: allow kern/unsafe-index — exported unsafe primitive: the .mli contract makes the caller guarantee 0 <= i < len (Digraph.unsafe_add_edge's inner loop) *)
 let unsafe_set_bit v i =
   let w = i lsr 6 and s = i land 63 in
   Array.unsafe_set v.words w
@@ -148,6 +149,7 @@ let popcount_int x =
   + Char.code (String.unsafe_get popcount16 ((x lsr 32) land 0xffff))
   + Char.code (String.unsafe_get popcount16 (x lsr 48))
 
+(* bcc-lint: allow kern/unsafe-index — every index is masked (land 0xffff) or shifted (lsr 16) below 65536, the popcount16 table length *)
 let popcount_word w =
   (* Four table lookups; the two halves are extracted separately because
      [Int64.to_int] would drop bit 63. *)
@@ -236,6 +238,7 @@ let word_length v = Array.length v.words
 
 let get_word v i = v.words.(i)
 
+(* bcc-lint: allow kern/unsafe-index — exported unsafe primitive: callers (Bcc_kern pack loops) bound i by word_length *)
 let unsafe_get_word v i = Array.unsafe_get v.words i
 
 let set_word v i w =

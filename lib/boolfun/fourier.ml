@@ -34,6 +34,7 @@ let transform f =
   done;
   Bcc_kern.Wht.inplace_float a;
   let scale = 1.0 /. float_of_int size in
+  (* bcc-lint: allow kern/unsafe-index — s < size = Array.length a: a was built with Array.make size just above *)
   for s = 0 to size - 1 do
     Array.unsafe_set a s (Array.unsafe_get a s *. scale)
   done;

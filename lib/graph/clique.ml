@@ -1,5 +1,6 @@
 (* One packed transpose + word-AND (Bcc_kern.Graph) instead of an O(n^2)
    per-bit has_edge closure. *)
+(* bcc-lint: allow kern/unsafe-index — unsafe_rows exposes the backing row array without copying; it takes no index argument *)
 let bidirectional_core g = Bcc_kern.Graph.bidirectional_core (Digraph.unsafe_rows g)
 
 let is_clique g vs = Digraph.is_bidirectional_clique g vs

@@ -19,6 +19,7 @@ let add_edge g i j =
   check_vertex g j;
   if i <> j then Bitvec.set g.adj.(i) j true
 
+(* bcc-lint: allow kern/unsafe-index — exported unsafe primitive: the .mli contract makes the caller guarantee i, j < n (Gnp's sampler loops run over 0..n-1) *)
 let unsafe_add_edge g i j = Bitvec.unsafe_set_bit g.adj.(i) j
 
 let remove_edge g i j =

@@ -64,11 +64,17 @@ module Buf = struct
   external i64_set : i64 -> int -> int64 -> unit = "%caml_ba_unsafe_set_1"
   external f64_get : f64 -> int -> float = "%caml_ba_unsafe_ref_1"
   external f64_set : f64 -> int -> float -> unit = "%caml_ba_unsafe_set_1"
+  (* bcc-lint: noalloc *)
   let i64_fill (b : i64) v = Bigarray.Array1.fill b v
+
+  (* bcc-lint: noalloc *)
   let f64_fill (b : f64) v = Bigarray.Array1.fill b v
 
   (* Whole-buffer no-alloc blits (Bigarray memcpy; lengths must match). *)
+  (* bcc-lint: noalloc *)
   let i64_blit ~(src : i64) ~(dst : i64) = Bigarray.Array1.blit src dst
+
+  (* bcc-lint: noalloc *)
   let f64_blit ~(src : f64) ~(dst : f64) = Bigarray.Array1.blit src dst
 
   let i64_copy (b : i64) =
@@ -109,6 +115,7 @@ module Gf2 = struct
     done;
     { rows; cols; stride; words }
 
+  (* bcc-lint: allow kern/unsafe-index — i < rows and j < stride, and pack sized words as rows * stride *)
   let unpack p =
     Array.init p.rows (fun i ->
         let v = Bitvec.create p.cols in
@@ -157,6 +164,7 @@ module Gf2 = struct
   (* [transpose64] on a 64-word [Buf.i64] block — same swaps, but the
      scratch loads and stores are unboxed so the per-block transpose
      allocates nothing. *)
+  (* bcc-lint: allow kern/unsafe-index — caller passes a 64-word block (transpose's blk); the stride walk keeps k and k + j below 64 *)
   let transpose64_buf (a : Buf.i64) =
     let j = ref 32 and m = ref 0xFFFFFFFFL in
     while !j <> 0 do
@@ -174,6 +182,7 @@ module Gf2 = struct
       if !j <> 0 then m := Int64.logxor !m (Int64.shift_left !m !j)
     done
 
+  (* bcc-lint: allow kern/unsafe-index — blk is 64 words with t, u <= 63; source and output offsets are guarded by row < p.rows / orow < p.cols against the cols * stride allocations *)
   let transpose p =
     let stride = (p.rows + 63) / 64 in
     let words = Buf.i64_create (max 1 (p.cols * stride)) in
@@ -201,6 +210,7 @@ module Gf2 = struct
      below the pivot are already zero in every column left of [col]
      (pivot columns by elimination, pivotless columns because no
      candidate row had a 1), so swaps and xors start at the pivot word. *)
+  (* bcc-lint: allow kern/unsafe-index — w copies the rows * stride packed words; every offset is r * stride + j with r < rows (rank, pivot <= i < rows) and j < stride *)
   let rank pk =
     let { rows; cols; stride; words } = pk in
     let w = Buf.i64_copy words in
@@ -271,6 +281,8 @@ module Gf2 = struct
      the per-domain keying means no two domains ever share a table. *)
   let table_scratch = Par.lane_scratch (fun () -> ref (Buf.i64_create 0))
 
+  (* bcc-lint: noalloc *)
+  (* bcc-lint: allow perf/noalloc — the out buffer, result record, and per-chunk Gray-walk refs are the product being built (O(nchunks), not O(words)); the pin budget guards the per-word fill and accumulate loops, which stay unboxed *)
   let mul_chunked ~bits a b =
     if a.cols <> b.rows then invalid_arg "Bcc_kern.Gf2.mul: dimension mismatch";
     let stride = (b.cols + 63) / 64 in
@@ -886,6 +898,7 @@ module Wht = struct
      lower-half index (the caller guarantees [lo, hi) stays inside one
      half), paired with j + h.  Unsafe accesses: the drivers below only
      pass ranges with hi - 1 + h < length a. *)
+  (* bcc-lint: allow kern/unsafe-index — driver contract: [lo, hi) is a lower-half range with hi - 1 + h < length a *)
   let pairs_float a ~h ~lo ~hi =
     for j = lo to hi - 1 do
       let x = Array.unsafe_get a j and y = Array.unsafe_get a (j + h) in
@@ -893,6 +906,7 @@ module Wht = struct
       Array.unsafe_set a (j + h) (x -. y)
     done
 
+  (* bcc-lint: allow kern/unsafe-index — driver contract: [lo, hi) is a lower-half range with hi - 1 + h < length a *)
   let pairs_int a ~h ~lo ~hi =
     for j = lo to hi - 1 do
       let x = Array.unsafe_get a j and y = Array.unsafe_get a (j + h) in
@@ -900,6 +914,8 @@ module Wht = struct
       Array.unsafe_set a (j + h) (x - y)
     done
 
+  (* bcc-lint: allow kern/unsafe-index — driver contract: [lo, hi) is a lower-half range with hi - 1 + h < length a *)
+  (* bcc-lint: noalloc *)
   let pairs_f64 (a : Buf.f64) ~h ~lo ~hi =
     for j = lo to hi - 1 do
       let x = Buf.f64_get a j and y = Buf.f64_get a (j + h) in
@@ -913,6 +929,7 @@ module Wht = struct
      stage h forms s01/d01/s23/d23, stage 2h sums them in the same
      pairings — so the floats are bit-identical to running the stages
      separately; only the loads and stores are halved. *)
+  (* bcc-lint: allow kern/unsafe-index — driver contract: [lo, hi) is a lower-quarter range with hi - 1 + 3h < length a *)
   let quads_float a ~h ~lo ~hi =
     let h2 = 2 * h and h3 = 3 * h in
     for j = lo to hi - 1 do
@@ -928,6 +945,7 @@ module Wht = struct
       Array.unsafe_set a (j + h3) (d01 -. d23)
     done
 
+  (* bcc-lint: allow kern/unsafe-index — driver contract: [lo, hi) is a lower-quarter range with hi - 1 + 3h < length a *)
   let quads_int a ~h ~lo ~hi =
     let h2 = 2 * h and h3 = 3 * h in
     for j = lo to hi - 1 do
@@ -943,6 +961,8 @@ module Wht = struct
       Array.unsafe_set a (j + h3) (d01 - d23)
     done
 
+  (* bcc-lint: allow kern/unsafe-index — driver contract: [lo, hi) is a lower-quarter range with hi - 1 + 3h < length a *)
+  (* bcc-lint: noalloc *)
   let quads_f64 (a : Buf.f64) ~h ~lo ~hi =
     let h2 = 2 * h and h3 = 3 * h in
     for j = lo to hi - 1 do
@@ -963,6 +983,7 @@ module Wht = struct
      is odd so the rest pair up exactly.  Monomorphic per element type so
      the inner loop stays a direct tight loop (a closure parameter here
      costs ~20% at small sizes). *)
+  (* bcc-lint: allow kern/unsafe-index — caller contract: [lo, hi) is a power-of-two block inside a; every stage keeps j + offset < hi <= length a *)
   let seq_float a lo hi =
     let size = hi - lo in
     let h = ref 1 in
@@ -986,6 +1007,7 @@ module Wht = struct
       h := 4 * hh
     done
 
+  (* bcc-lint: allow kern/unsafe-index — caller contract: [lo, hi) is a power-of-two block inside a; every stage keeps j + offset < hi <= length a *)
   let seq_int a lo hi =
     let size = hi - lo in
     let h = ref 1 in
@@ -1009,6 +1031,7 @@ module Wht = struct
       h := 4 * hh
     done
 
+  (* bcc-lint: allow kern/unsafe-index — caller contract: [lo, hi) is a power-of-two block inside a; every stage keeps j + offset < hi <= length a *)
   let seq_f64 (a : Buf.f64) lo hi =
     let size = hi - lo in
     let h = ref 1 in
@@ -1094,6 +1117,7 @@ module Wht = struct
     blocked ~pairs:pairs_int ~quads:quads_int ~seq:seq_int
       ~len:(Array.length a) a
 
+  (* bcc-lint: noalloc *)
   let inplace_f64 a =
     blocked ~pairs:pairs_f64 ~quads:quads_f64 ~seq:seq_f64
       ~len:(Buf.f64_length a) a

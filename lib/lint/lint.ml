@@ -1,4 +1,7 @@
-(* AST-level determinism & domain-safety linter.
+(* Stage 1 of the two-stage determinism & domain-safety linter: the
+   source pass, plus the shared machinery (rule catalogue, findings,
+   pragmas, suppression windows, reports) that the typed pass
+   (typed_pass.ml, rules_kern.ml, rules_par.ml) builds on.
 
    Each .ml file is parsed with compiler-libs (Pparse / Parse) and walked
    with an Ast_iterator; rule checks are purely syntactic (no typing), so
@@ -9,7 +12,10 @@
 
    Pragmas are extracted by a small comment scanner over the raw source
    (comments never reach the parsetree); a pragma suppresses findings of
-   the named rules on the line it ends on and on the following line. *)
+   the named rules on the line it ends on, on the following line, and —
+   when an expression or value binding starts on one of those two lines —
+   on every line of that expression, so one pragma above a multi-line
+   function covers the whole function body. *)
 
 type severity = Error | Warning
 
@@ -60,6 +66,44 @@ let catalogue =
          Bcc_par.map_trials without a pragma naming the guard";
     };
     {
+      id = "kern/unsafe-index";
+      severity = Error;
+      summary =
+        "unsafe_get/unsafe_set/Bigarray-unsafe call site with no \
+         recognizable bounds evidence (length-bounded loop, dominating \
+         check, validator call) in the enclosing function";
+    };
+    {
+      id = "perf/noalloc";
+      severity = Error;
+      summary =
+        "boxing allocation (tuple/record/closure/partial application/\
+         polymorphic comparison) inside a function marked with a \
+         '(* bcc-lint: noalloc *)' annotation";
+    };
+    {
+      id = "par/dls-escape";
+      severity = Error;
+      summary =
+        "Par.lane_scratch / Domain.DLS value escapes its lane: bound at \
+         module scope, stored into a ref/array/table, or captured by a \
+         closure that outlives the call";
+    };
+    {
+      id = "par/dls-zero";
+      severity = Warning;
+      summary =
+        "lane-scratch buffer is read without a zeroing write in the \
+         same function to re-establish its cross-call invariant";
+    };
+    {
+      id = "lint/type-error";
+      severity = Error;
+      summary =
+        "compilation unit failed to typecheck or its .cmt could not be \
+         read; typed rules did not run on it";
+    };
+    {
       id = "lint/unknown-rule";
       severity = Error;
       summary = "allow-pragma names a rule that is not in the catalogue";
@@ -95,9 +139,28 @@ type suppression = {
   sup_reason : string;
 }
 
+(* Why an unsafe indexing site is believed in-bounds.  Emitted into the
+   LINT.json inventory by the typed pass (rules_kern.ml). *)
+type evidence =
+  | Loop_bound of string  (** enclosing for-loop bounded by a length *)
+  | Guard of string  (** dominated by a validator call / precondition raise *)
+  | Branch of string  (** enclosing branch condition mentions a length *)
+  | Pragma of string  (** allow-pragma; the string is its reason *)
+  | No_evidence
+
+type site = {
+  site_file : string;
+  site_line : int;
+  site_col : int;
+  site_prim : string;  (** primitive or value name, e.g. "%array_unsafe_get" *)
+  site_fn : string;  (** nearest enclosing binding name, "<toplevel>" if none *)
+  site_evidence : evidence;
+}
+
 type report = {
   findings : finding list;
   suppressions : suppression list;
+  sites : site list;
   files_scanned : int;
 }
 
@@ -134,6 +197,11 @@ type pragma = {
   p_rules : string list;
   p_reason : string;
 }
+
+(* A '(* bcc-lint: noalloc *)' annotation: the binding starting on the
+   line the comment ends on (or the next line) is checked by the typed
+   pass for boxing allocations (rules_kern.ml). *)
+type noalloc_mark = { na_line : int }
 
 (* Extract (start_line, end_line, body) for every comment.  The scanner
    tracks strings and char literals in code, and nested comments (with
@@ -242,12 +310,19 @@ let split_reason s =
   in
   go 0
 
+type parsed_pragma = Allow of pragma | Noalloc of noalloc_mark
+
 (* Parse the pragma body after "bcc-lint:".  On success, a pragma; on
    failure, a finding-producing diagnosis. *)
 let parse_pragma ~end_line body =
   let body = strip body in
-  match String.index_opt body ' ' with
-  | Some sp when String.sub body 0 sp = "allow" ->
+  if body = "noalloc" then Result.Ok (Noalloc { na_line = end_line })
+  else
+    match String.index_opt body ' ' with
+    | Some sp when String.sub body 0 sp = "noalloc" ->
+        (* "noalloc — reason" is tolerated; the reason is commentary. *)
+        Result.Ok (Noalloc { na_line = end_line })
+    | Some sp when String.sub body 0 sp = "allow" ->
       let rest = strip (String.sub body sp (String.length body - sp)) in
       (match split_reason rest with
       | None -> Result.Error "missing '— <reason>' after the rule list"
@@ -261,13 +336,18 @@ let parse_pragma ~end_line body =
           in
           if rules = [] then Result.Error "empty rule list"
           else if reason = "" then Result.Error "empty reason"
-          else Result.Ok { p_end_line = end_line; p_rules = rules; p_reason = reason })
-  | _ -> Result.Error "expected 'allow <rule>[, <rule>]* — <reason>'"
+          else
+            Result.Ok
+              (Allow { p_end_line = end_line; p_rules = rules; p_reason = reason }))
+    | _ ->
+        Result.Error
+          "expected 'allow <rule>[, <rule>]* — <reason>' or 'noalloc'"
 
 let pragma_prefix = "bcc-lint:"
 
 let extract_pragmas ~path src =
   let pragmas = ref [] in
+  let noallocs = ref [] in
   let meta_findings = ref [] in
   List.iter
     (fun (start_line, end_line, body) ->
@@ -280,7 +360,8 @@ let extract_pragmas ~path src =
             (String.length body - String.length pragma_prefix)
         in
         match parse_pragma ~end_line rest with
-        | Result.Ok p ->
+        | Result.Ok (Noalloc m) -> noallocs := m :: !noallocs
+        | Result.Ok (Allow p) ->
             List.iter
               (fun r ->
                 if find_rule r = None then
@@ -314,7 +395,7 @@ let extract_pragmas ~path src =
               :: !meta_findings
       end)
     (scan_comments src);
-  (List.rev !pragmas, List.rev !meta_findings)
+  (List.rev !pragmas, List.rev !noallocs, List.rev !meta_findings)
 
 (* ----------------------------------------------------------- AST walk *)
 
@@ -535,14 +616,69 @@ let make_iterator ctx =
         Ast_iterator.default_iterator.structure_item self item);
   }
 
+(* ------------------------------------------- suppression windows *)
+
+(* Map each start line to the furthest end line of any expression or
+   value binding starting on it.  A pragma anchored at line L covers
+   [L, window_end L]: at least L and L+1 (the historical window), and
+   when an expression or binding starts on L or L+1, every line of that
+   expression — so one pragma above a multi-line function definition
+   suppresses the named rules through the whole function. *)
+let note_window tbl (loc : Location.t) =
+  if not loc.Location.loc_ghost then begin
+    let s = loc.Location.loc_start.Lexing.pos_lnum in
+    let e = loc.Location.loc_end.Lexing.pos_lnum in
+    if e > s then
+      match Hashtbl.find_opt tbl s with
+      | Some e' when e' >= e -> ()
+      | _ -> Hashtbl.replace tbl s e
+  end
+
+let expr_windows structure =
+  let tbl = Hashtbl.create 64 in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          note_window tbl e.Parsetree.pexp_loc;
+          Ast_iterator.default_iterator.expr self e);
+      value_binding =
+        (fun self vb ->
+          note_window tbl vb.Parsetree.pvb_loc;
+          Ast_iterator.default_iterator.value_binding self vb);
+    }
+  in
+  it.Ast_iterator.structure it structure;
+  tbl
+
+let window_end tbl anchor =
+  let span l = match Hashtbl.find_opt tbl l with Some e -> e | None -> l in
+  max (anchor + 1) (max (span anchor) (span (anchor + 1)))
+
+(* Stacked annotations chain: when the line directly below an annotation
+   is another bcc-lint comment (a second pragma, or a noalloc mark), the
+   effective anchor advances past it, so
+
+     (* bcc-lint: allow kern/unsafe-index — ... *)
+     (* bcc-lint: noalloc *)
+     let f x = ...
+
+   still lets the allow pragma cover f's whole body and the noalloc mark
+   still attach to f. *)
+let chain_anchor ~annot_lines anchor =
+  let rec adv l = if List.mem (l + 1) annot_lines then adv (l + 1) else l in
+  adv anchor
+
 (* ------------------------------------------------------------ driving *)
 
-let apply_pragmas ~path pragmas findings =
+let apply_pragmas ~path ~window_end pragmas findings =
   let matching f =
     List.find_opt
       (fun p ->
         List.mem f.rule_id p.p_rules
-        && (p.p_end_line = f.line || p.p_end_line = f.line - 1))
+        && f.line >= p.p_end_line
+        && f.line <= window_end p.p_end_line)
       pragmas
   in
   List.fold_left
@@ -561,6 +697,16 @@ let apply_pragmas ~path pragmas findings =
     ([], []) findings
   |> fun (active, sup) -> (List.rev active, List.rev sup)
 
+let sort_sites ss =
+  List.sort
+    (fun a b ->
+      let c = String.compare a.site_file b.site_file in
+      if c <> 0 then c
+      else
+        let c = Int.compare a.site_line b.site_line in
+        if c <> 0 then c else Int.compare a.site_col b.site_col)
+    ss
+
 let sort_findings fs =
   List.sort
     (fun a b ->
@@ -575,7 +721,7 @@ let sort_findings fs =
     fs
 
 let lint_structure ~path ~src structure =
-  let pragmas, meta = extract_pragmas ~path src in
+  let pragmas, noallocs, meta = extract_pragmas ~path src in
   let ctx =
     {
       c_path = path;
@@ -586,8 +732,17 @@ let lint_structure ~path ~src structure =
   let it = make_iterator ctx in
   it.Ast_iterator.structure it structure;
   let findings = sort_findings (meta @ ctx.c_found) in
-  let active, sup = apply_pragmas ~path pragmas findings in
-  { findings = active; suppressions = sup; files_scanned = 1 }
+  let windows = expr_windows structure in
+  let annot_lines =
+    List.map (fun p -> p.p_end_line) pragmas
+    @ List.map (fun (m : noalloc_mark) -> m.na_line) noallocs
+  in
+  let active, sup =
+    apply_pragmas ~path
+      ~window_end:(fun a -> window_end windows (chain_anchor ~annot_lines a))
+      pragmas findings
+  in
+  { findings = active; suppressions = sup; sites = []; files_scanned = 1 }
 
 let parse_error_report ~path msg =
   {
@@ -603,6 +758,7 @@ let parse_error_report ~path msg =
         };
       ];
     suppressions = [];
+    sites = [];
     files_scanned = 1;
   }
 
@@ -651,10 +807,11 @@ let merge a b =
   {
     findings = a.findings @ b.findings;
     suppressions = a.suppressions @ b.suppressions;
+    sites = a.sites @ b.sites;
     files_scanned = a.files_scanned + b.files_scanned;
   }
 
-let empty = { findings = []; suppressions = []; files_scanned = 0 }
+let empty = { findings = []; suppressions = []; sites = []; files_scanned = 0 }
 
 let lint_paths paths =
   let files =
@@ -692,6 +849,34 @@ let suppression_to_json s =
 let count sev fs =
   List.length (List.filter (fun (f : finding) -> f.severity = sev) fs)
 
+let evidence_to_json = function
+  | Loop_bound d ->
+      Artifact.Obj
+        [ ("kind", Artifact.String "loop-bound"); ("detail", Artifact.String d) ]
+  | Guard d ->
+      Artifact.Obj
+        [ ("kind", Artifact.String "guard"); ("detail", Artifact.String d) ]
+  | Branch d ->
+      Artifact.Obj
+        [ ("kind", Artifact.String "branch"); ("detail", Artifact.String d) ]
+  | Pragma reason ->
+      Artifact.Obj
+        [
+          ("kind", Artifact.String "pragma"); ("detail", Artifact.String reason);
+        ]
+  | No_evidence -> Artifact.Obj [ ("kind", Artifact.String "none") ]
+
+let site_to_json s =
+  Artifact.Obj
+    [
+      ("file", Artifact.String s.site_file);
+      ("line", Artifact.Int s.site_line);
+      ("col", Artifact.Int s.site_col);
+      ("primitive", Artifact.String s.site_prim);
+      ("function", Artifact.String s.site_fn);
+      ("evidence", evidence_to_json s.site_evidence);
+    ]
+
 let report_to_json ~paths r =
   Artifact.make ~kind:"lint" ~id:"bcc_lint"
     ~params:
@@ -705,10 +890,13 @@ let report_to_json ~paths r =
                ("errors", Artifact.Int (count Error r.findings));
                ("warnings", Artifact.Int (count Warning r.findings));
                ("suppressed", Artifact.Int (List.length r.suppressions));
+               ("unsafe_sites", Artifact.Int (List.length r.sites));
              ] );
          ("findings", Artifact.List (List.map finding_to_json r.findings));
          ( "suppressions",
            Artifact.List (List.map suppression_to_json r.suppressions) );
+         ( "unsafe_sites",
+           Artifact.List (List.map site_to_json (sort_sites r.sites)) );
        ])
 
 let pp_report fmt r =
@@ -719,9 +907,11 @@ let pp_report fmt r =
         f.rule_id f.message)
     r.findings;
   Format.fprintf fmt "bcc_lint: %d file(s), %d finding(s) (%d error(s), %d \
-                      warning(s)), %d suppressed@."
+                      warning(s)), %d suppressed, %d unsafe site(s) \
+                      inventoried@."
     r.files_scanned
     (List.length r.findings)
     (count Error r.findings)
     (count Warning r.findings)
     (List.length r.suppressions)
+    (List.length r.sites)

@@ -1,0 +1,290 @@
+(* Typed rules for Domain.DLS lane scratch.
+
+   par/dls-escape: a value obtained from [Par.lane_scratch] / [Domain.DLS]
+   belongs to one lane.  It must not be (a) fetched at module scope —
+   module init runs once on the main domain, so every lane would share
+   one state; (b) stored into a mutable location that is not itself lane
+   scratch (a global ref, array, or table outlives the call and crosses
+   lanes); or (c) captured by a closure nested deeper than the value's
+   definition (the closure can be handed to [Par] and run on another
+   domain).  Storing INTO scratch and passing scratch as an argument are
+   allowed: both stay within the call.
+
+   par/dls-zero: the PR 7 scratch-table bug — a lane-local table kept
+   across calls via DLS must be re-zeroed before reuse.  Structurally: a
+   function that reads a scratch-derived buffer must also contain a
+   zeroing write (constant-zero store or a fill) to a scratch-derived
+   buffer.  Heuristic by design; a deliberate full-overwrite pattern
+   earns a pragma. *)
+
+type pstate = {
+  vars : (string, int) Hashtbl.t; (* scratch var -> lambda depth at def *)
+  buf_vars : (string, unit) Hashtbl.t; (* scratch vars of buffer type *)
+  mutable depth : int; (* current lambda nesting depth *)
+  mutable reads : Location.t list; (* element reads from scratch buffers *)
+  mutable zeroed : bool; (* saw a zeroing write to a scratch buffer *)
+}
+
+let is_scratch_app index e =
+  match Typed_pass.app_parts e with
+  | Some (f, _) -> (
+      match Typed_pass.ident_of f with
+      | Some (p, _) ->
+          (Typed_pass.dls_get_path p
+          || Hashtbl.mem index.Typed_pass.ix_accessors (Path.last p))
+          && not (Typed_pass.is_immediate_type e.Typedtree.exp_type)
+      | None -> false)
+  | None -> false
+
+let is_deref f =
+  match Typed_pass.ident_of f with
+  (* bcc-lint: allow det/float-format — "%field0" is the (!) primitive's name, not a format string *)
+  | Some (_, vd) -> Typed_pass.prim_name vd = Some "%field0"
+  | None -> false
+
+let ident_name e =
+  match e.Typedtree.exp_desc with
+  | Typedtree.Texp_ident (Path.Pident id, _, _) -> Some (Ident.name id)
+  | _ -> None
+
+(* Is [e]'s value the scratch aggregate itself (or a piece of it that
+   still aliases lane state)?  Function results other than accessor
+   calls are treated as fresh values; immediate-typed data read out of
+   scratch carries no aliasing and is exempt. *)
+let rec value_is_scratch index st extra e =
+  if Typed_pass.is_immediate_type e.Typedtree.exp_type then false
+  else
+    match e.Typedtree.exp_desc with
+    | Typedtree.Texp_ident (Path.Pident id, _, _) ->
+        let n = Ident.name id in
+        Hashtbl.mem st.vars n || List.mem n extra
+    | Typedtree.Texp_apply (f, [ (_, Some x) ]) when is_deref f ->
+        value_is_scratch index st extra x
+    | Typedtree.Texp_apply _ -> is_scratch_app index e
+    | Typedtree.Texp_field (x, _, _) -> value_is_scratch index st extra x
+    | Typedtree.Texp_construct (_, _, args) | Typedtree.Texp_tuple args ->
+        List.exists (value_is_scratch index st extra) args
+    | Typedtree.Texp_array args ->
+        List.exists (value_is_scratch index st extra) args
+    | Typedtree.Texp_record { fields; extended_expression; _ } ->
+        Array.exists
+          (fun (_, def) ->
+            match def with
+            | Typedtree.Overridden (_, e) -> value_is_scratch index st extra e
+            | Typedtree.Kept _ -> false)
+          fields
+        || (match extended_expression with
+           | Some e -> value_is_scratch index st extra e
+           | None -> false)
+    | Typedtree.Texp_let (_, vbs, body) ->
+        let extra =
+          List.fold_left
+            (fun acc vb ->
+              match Typed_pass.binding_name vb with
+              | Some n
+                when value_is_scratch index st acc vb.Typedtree.vb_expr ->
+                  n :: acc
+              | _ -> acc)
+            extra vbs
+        in
+        value_is_scratch index st extra body
+    | Typedtree.Texp_sequence (_, b) -> value_is_scratch index st extra b
+    | Typedtree.Texp_ifthenelse (_, t, e') -> (
+        value_is_scratch index st extra t
+        || match e' with Some x -> value_is_scratch index st extra x | None -> false)
+    | Typedtree.Texp_match (_, cases, _) ->
+        List.exists
+          (fun c -> value_is_scratch index st extra c.Typedtree.c_rhs)
+          cases
+    | _ -> false
+
+let buffer_type ty =
+  match Typed_pass.type_path ty with
+  | Some p ->
+      let name = Path.name p in
+      Typed_pass.has_sub ~sub:"Bigarray" name
+      || Typed_pass.has_sub ~sub:"Buf." name
+      || Path.same p Predef.path_bytes
+      || Path.same p Predef.path_array
+      || Path.same p Predef.path_floatarray
+  | None -> false
+
+let store_prims =
+  [
+    "%setfield0"; "%array_safe_set"; "%array_unsafe_set"; "%bytes_safe_set";
+    "%bytes_unsafe_set"; "%caml_ba_set_1"; "%caml_ba_unsafe_set_1";
+  ]
+
+let store_fns = [ "add"; "replace"; "push" ]
+
+let read_prims =
+  [
+    "%array_safe_get"; "%array_unsafe_get"; "%bytes_safe_get";
+    "%bytes_unsafe_get"; "%string_safe_get"; "%string_unsafe_get";
+    "%caml_ba_ref_1"; "%caml_ba_unsafe_ref_1";
+  ]
+
+let is_zero_const e =
+  match e.Typedtree.exp_desc with
+  | Typedtree.Texp_constant c -> (
+      match c with
+      | Asttypes.Const_int 0 -> true
+      | Asttypes.Const_int32 0l -> true
+      | Asttypes.Const_int64 0L -> true
+      | Asttypes.Const_nativeint 0n -> true
+      | Asttypes.Const_char '\000' -> true
+      | Asttypes.Const_float f -> float_of_string f = 0.0
+      | _ -> false)
+  | _ -> false
+
+let check_dls index u ~noalloc:_ col =
+  let st =
+    {
+      vars = Hashtbl.create 8;
+      buf_vars = Hashtbl.create 8;
+      depth = 0;
+      reads = [];
+      zeroed = false;
+    }
+  in
+  let mark_var ~name ~ty =
+    Hashtbl.replace st.vars name st.depth;
+    if buffer_type ty then Hashtbl.replace st.buf_vars name ()
+  in
+  let scratch_value = value_is_scratch index st [] in
+  let store_head f args =
+    match Typed_pass.ident_of f with
+    | Some (p, vd) -> (
+        match Typed_pass.prim_name vd with
+        | Some prim -> if List.mem prim store_prims then Some (Path.name p) else None
+        | None ->
+            if List.mem (Path.last p) store_fns && List.length args >= 2 then
+              Some (Path.name p)
+            else None)
+    | None -> None
+  in
+  let expr self e =
+    (match e.Typedtree.exp_desc with
+    (* module-init fetch: every lane would share the one value *)
+    | Typedtree.Texp_apply _ when st.depth = 0 && is_scratch_app index e ->
+        Typed_pass.emit col ~loc:e.Typedtree.exp_loc "par/dls-escape"
+          "Domain.DLS / lane-scratch value fetched at module scope: module \
+           init runs once on the main domain, so all lanes would share one \
+           mutable state"
+    | Typedtree.Texp_let (_, vbs, _) ->
+        List.iter
+          (fun vb ->
+            match Typed_pass.binding_name vb with
+            | Some name
+              when (match vb.Typedtree.vb_expr.Typedtree.exp_desc with
+                   | Typedtree.Texp_function _ -> false
+                   | _ -> true)
+                   && scratch_value vb.Typedtree.vb_expr ->
+                mark_var ~name ~ty:vb.Typedtree.vb_pat.Typedtree.pat_type
+            | _ -> ())
+          vbs
+    | Typedtree.Texp_match (scrut, cases, _) when scratch_value scrut ->
+        List.iter
+          (fun c ->
+            List.iter
+              (fun id -> Hashtbl.replace st.vars (Ident.name id) st.depth)
+              (Typedtree.pat_bound_idents c.Typedtree.c_lhs))
+          cases
+    | Typedtree.Texp_ident (Path.Pident id, _, _) -> (
+        match Hashtbl.find_opt st.vars (Ident.name id) with
+        | Some def_depth when st.depth > def_depth ->
+            Typed_pass.emit col ~loc:e.Typedtree.exp_loc "par/dls-escape"
+              (Printf.sprintf
+                 "lane-scratch value %S captured by a closure nested inside \
+                  its defining function; the closure can outlive the call \
+                  or run on another domain"
+                 (Ident.name id))
+        | _ -> ())
+    | Typedtree.Texp_setfield (target, _, _, v) ->
+        if scratch_value v && not (scratch_value target) then
+          Typed_pass.emit col ~loc:e.Typedtree.exp_loc "par/dls-escape"
+            "lane-scratch value stored into a mutable field that outlives \
+             the call"
+    | Typedtree.Texp_apply (f, args) ->
+        (match store_head f args with
+        | Some head -> (
+            let value_arg =
+              match List.rev args with
+              | (_, Some v) :: _ -> Some v
+              | _ -> None
+            in
+            let target_arg =
+              match args with (_, Some t) :: _ -> Some t | _ -> None
+            in
+            match (value_arg, target_arg) with
+            | Some v, t ->
+                if
+                  scratch_value v
+                  && not
+                       (match t with
+                       | Some t -> scratch_value t
+                       | None -> false)
+                then
+                  Typed_pass.emit col ~loc:e.Typedtree.exp_loc
+                    "par/dls-escape"
+                    (Printf.sprintf
+                       "lane-scratch value stored via %s into a location \
+                        that outlives the call"
+                       head)
+            | _ -> ())
+        | None -> ());
+        (* dls-zero bookkeeping: element reads / zeroing writes with a
+           scratch buffer variable as the direct target *)
+        (match Typed_pass.ident_of f with
+        | Some (p, vd) -> (
+            let first_is_buf =
+              match args with
+              | (_, Some t) :: _ -> (
+                  match ident_name t with
+                  | Some n -> Hashtbl.mem st.buf_vars n
+                  | None -> false)
+              | _ -> false
+            in
+            match Typed_pass.prim_name vd with
+            | Some prim when List.mem prim read_prims && first_is_buf ->
+                st.reads <- e.Typedtree.exp_loc :: st.reads
+            | Some prim when List.mem prim store_prims && first_is_buf -> (
+                match List.rev args with
+                | (_, Some v) :: _ when is_zero_const v -> st.zeroed <- true
+                | _ -> ())
+            | None
+              when first_is_buf && Typed_pass.has_sub ~sub:"fill" (Path.last p)
+              ->
+                st.zeroed <- true
+            | _ -> ())
+        | None -> ())
+    | _ -> ());
+    let pushed =
+      match e.Typedtree.exp_desc with
+      | Typedtree.Texp_function _ ->
+          st.depth <- st.depth + 1;
+          true
+      | _ -> false
+    in
+    Tast_iterator.default_iterator.expr self e;
+    if pushed then st.depth <- st.depth - 1
+  in
+  let structure_item self item =
+    Hashtbl.reset st.vars;
+    Hashtbl.reset st.buf_vars;
+    st.depth <- 0;
+    st.reads <- [];
+    st.zeroed <- false;
+    Tast_iterator.default_iterator.structure_item self item;
+    if st.reads <> [] && not st.zeroed then
+      let loc = List.nth st.reads (List.length st.reads - 1) in
+      Typed_pass.emit col ~loc "par/dls-zero"
+        "lane-scratch buffer read without a zeroing write (constant-zero \
+         store or fill) in the same top-level definition; stale entries \
+         from a previous call on this lane can leak through (PR 7 \
+         stride-zeroing invariant)"
+  in
+  let it = { Tast_iterator.default_iterator with expr; structure_item } in
+  it.Tast_iterator.structure it u.Typed_pass.tu_str
+
+let rules : Typed_pass.rule_fn list = [ check_dls ]

@@ -1,0 +1,79 @@
+(* SARIF 2.1.0 export: one run, one driver, the full rule catalogue, and
+   a result per finding — the minimal shape GitHub's code-scanning UI
+   (codeql-action/upload-sarif) needs to annotate PR diffs. *)
+
+let j_str s = Artifact.String s
+let j_int i = Artifact.Int i
+
+let level (s : Lint.severity) =
+  match s with Lint.Error -> "error" | Lint.Warning -> "warning"
+
+let rule_to_json (r : Lint.rule) =
+  Artifact.Obj
+    [
+      ("id", j_str r.Lint.id);
+      ("shortDescription", Artifact.Obj [ ("text", j_str r.Lint.summary) ]);
+      ( "defaultConfiguration",
+        Artifact.Obj [ ("level", j_str (level r.Lint.severity)) ] );
+    ]
+
+let finding_to_result (f : Lint.finding) =
+  Artifact.Obj
+    [
+      ("ruleId", j_str f.Lint.rule_id);
+      ("level", j_str (level f.Lint.severity));
+      ("message", Artifact.Obj [ ("text", j_str f.Lint.message) ]);
+      ( "locations",
+        Artifact.List
+          [
+            Artifact.Obj
+              [
+                ( "physicalLocation",
+                  Artifact.Obj
+                    [
+                      ( "artifactLocation",
+                        Artifact.Obj [ ("uri", j_str f.Lint.file) ] );
+                      ( "region",
+                        Artifact.Obj
+                          [
+                            ("startLine", j_int (max 1 f.Lint.line));
+                            (* SARIF columns are 1-based; findings are 0-based *)
+                            ("startColumn", j_int (f.Lint.col + 1));
+                          ] );
+                    ] );
+              ];
+          ] );
+    ]
+
+let of_report (r : Lint.report) =
+  Artifact.Obj
+    [
+      ("$schema", j_str "https://json.schemastore.org/sarif-2.1.0.json");
+      ("version", j_str "2.1.0");
+      ( "runs",
+        Artifact.List
+          [
+            Artifact.Obj
+              [
+                ( "tool",
+                  Artifact.Obj
+                    [
+                      ( "driver",
+                        Artifact.Obj
+                          [
+                            ("name", j_str "bcc_lint");
+                            ("informationUri", j_str "docs/STATIC_ANALYSIS.md");
+                            ( "rules",
+                              Artifact.List
+                                (List.map rule_to_json Lint.catalogue) );
+                          ] );
+                    ] );
+                ( "results",
+                  Artifact.List
+                    (List.map finding_to_result
+                       (Lint.sort_findings r.Lint.findings)) );
+              ];
+          ] );
+    ]
+
+let write ~path r = Artifact.write_file ~path (of_report r)

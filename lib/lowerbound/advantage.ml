@@ -17,13 +17,16 @@ let protocol_gap proto ~sample_yes ~sample_no ~trials g =
      is popcounted.  The slice width is a constant 64, never the lane
      count, and the count of set bits is the count of accepting trials,
      so the gap is bit-identical to {!protocol_gap_scalar}. *)
+  (* bcc-lint: noalloc *)
   let rate branch sample =
     let outcomes = trial_outcomes proto ~sample branch ~trials in
     let hits = ref 0 in
     let b = ref 0 in
+    let w = ref 0L in
     while !b < trials do
       let count = min 64 (trials - !b) in
-      let w = ref 0L in
+      w := 0L;
+      (* bcc-lint: allow kern/unsafe-index — !b + t < !b + count <= trials = Array.length outcomes (count = min 64 (trials - !b)) *)
       for t = 0 to count - 1 do
         if Array.unsafe_get outcomes (!b + t) then
           w := Int64.logor !w (Int64.shift_left 1L t)

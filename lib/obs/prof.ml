@@ -155,6 +155,7 @@ let dstate () =
   | _ ->
       let st = fresh_dstate () in
       Mutex.lock states_guard;
+      (* bcc-lint: allow par/dls-escape — deliberate registry: drain/reset walk every lane's state under states_guard; only the owning lane mutates st *)
       states := st :: !states;
       Mutex.unlock states_guard;
       slot := Some st;
@@ -290,6 +291,7 @@ let enter_how ~ctx name =
   st.d_depth <- st.d_depth + 1;
   record_event st 'B' name t
 
+(* bcc-lint: noalloc *)
 let enter name = if !enabled_flag then enter_how ~ctx:false name
 
 let exit () =
@@ -318,6 +320,7 @@ let span name f =
   end
   else f ()
 
+(* bcc-lint: noalloc *)
 let add c by =
   if !enabled_flag then begin
     let st = dstate () in
@@ -332,6 +335,7 @@ let current_path () =
   if not !enabled_flag then []
   else begin
     let st = dstate () in
+    (* bcc-lint: allow par/dls-escape — List.init runs its closure synchronously before returning; st never leaves this call *)
     List.init st.d_depth (fun i -> st.d_nodes.(i).t_name)
   end
 

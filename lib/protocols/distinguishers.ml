@@ -84,6 +84,7 @@ let common_neighbors ~pairs =
    constant 64, never the lane count — and every comparison is the same
    [stat > threshold] the scalar path makes, so the count (and every
    artifact derived from it) is integer-identical to {!hits_scalar}. *)
+(* bcc-lint: noalloc *)
 let hits_sliced (stats : float array) ~(threshold : float) =
   let trials = Array.length stats in
   let hits = ref 0 in

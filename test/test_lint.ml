@@ -158,10 +158,290 @@ let test_pragma_placement () =
   check_bool "two lines below is out of pragma range" true
     (List.mem "par/global-mutable" (rule_ids r))
 
+let test_pragma_whole_expression_window () =
+  (* One pragma above a multi-line definition suppresses through the
+     whole definition, not just the next line. *)
+  check_suppressed "det/float-format"
+    "(* bcc-lint: allow det/float-format — fixture *)\n\
+     let s x =\n\
+    \  let y = x +. 1.0 in\n\
+    \  Printf.sprintf \"%.3f\" y\n";
+  (* ... but a finding in the NEXT definition stays active. *)
+  let r =
+    lint
+      "(* bcc-lint: allow det/float-format — fixture *)\n\
+       let a = 1\n\n\
+       let s x = Printf.sprintf \"%.3f\" x\n"
+  in
+  check_bool "next binding is outside the window" true
+    (List.mem "det/float-format" (rule_ids r))
+
 let test_parse_error () =
   let r = lint "let let = in\n" in
   check_bool "parse error reported" true
     (List.mem "lint/parse-error" (rule_ids r))
+
+(* --------------------------------------------------------- typed pass *)
+
+let typed_rules = Rules_kern.rules @ Rules_par.rules
+
+(* Typecheck a fixture snippet in process and run the typed rule
+   families over it. *)
+let tlint ?(path = "lib/fixture/fixture.ml") src =
+  match Typed_pass.typecheck_string ~path src with
+  | Result.Error msg -> Alcotest.failf "fixture does not typecheck: %s" msg
+  | Result.Ok u -> Typed_pass.run_units ~rules:typed_rules [ u ]
+
+let evidence_kinds (r : Lint.report) =
+  List.map
+    (fun (s : Lint.site) ->
+      match s.Lint.site_evidence with
+      | Lint.Loop_bound _ -> "loop-bound"
+      | Lint.Guard _ -> "guard"
+      | Lint.Branch _ -> "branch"
+      | Lint.Pragma _ -> "pragma"
+      | Lint.No_evidence -> "none")
+    r.Lint.sites
+
+let test_typed_unsafe_index () =
+  (* Positive: an unguarded unsafe call is an error AND an inventoried
+     site with no evidence. *)
+  let r = tlint "let f (a : int array) i = Array.unsafe_get a i\n" in
+  check_bool "unguarded unsafe_get flagged" true
+    (List.mem "kern/unsafe-index" (rule_ids r));
+  check_bool "site inventoried without evidence" true
+    (evidence_kinds r = [ "none" ]);
+  (* Negative: a loop bounded by Array.length dominates the index. *)
+  let r =
+    tlint
+      "let sum (a : int array) =\n\
+      \  let s = ref 0 in\n\
+      \  for i = 0 to Array.length a - 1 do\n\
+      \    s := !s + Array.unsafe_get a i\n\
+      \  done;\n\
+      \  !s\n"
+  in
+  check_int "loop-bounded site is clean" 0 (List.length r.Lint.findings);
+  check_bool "loop-bound evidence recorded" true
+    (evidence_kinds r = [ "loop-bound" ]);
+  (* Negative: the loop bound resolves through a local length variable. *)
+  let r =
+    tlint
+      "let sum (a : int array) =\n\
+      \  let n = Array.length a in\n\
+      \  let s = ref 0 in\n\
+      \  for i = 0 to n - 1 do\n\
+      \    s := !s + Array.unsafe_get a i\n\
+      \  done;\n\
+      \  !s\n"
+  in
+  check_int "lenvar-bounded site is clean" 0 (List.length r.Lint.findings);
+  (* Negative: a dominating precondition raise. *)
+  let r =
+    tlint
+      "let get (a : int array) i =\n\
+      \  if i < 0 || i >= Array.length a then invalid_arg \"get\";\n\
+      \  Array.unsafe_get a i\n"
+  in
+  check_int "guard-dominated site is clean" 0 (List.length r.Lint.findings);
+  check_bool "guard evidence recorded" true (evidence_kinds r = [ "guard" ]);
+  (* Pragma-suppressed: the finding is suppressed and the site stays in
+     the inventory carrying the pragma's justification. *)
+  let r =
+    tlint
+      "(* bcc-lint: allow kern/unsafe-index — fixture caller contract *)\n\
+       let f (a : int array) i = Array.unsafe_get a i\n"
+  in
+  check_int "pragma suppresses the finding" 0 (List.length r.Lint.findings);
+  check_bool "suppression recorded" true
+    (List.mem "kern/unsafe-index" (suppressed_ids r));
+  check_bool "site keeps pragma evidence" true (evidence_kinds r = [ "pragma" ])
+
+let test_typed_noalloc () =
+  (* Positive: a marked function that builds a tuple. *)
+  let r = tlint "(* bcc-lint: noalloc *)\nlet pair x = (x, x)\n" in
+  check_bool "tuple allocation flagged" true
+    (List.mem "perf/noalloc" (rule_ids r));
+  (* Positive: a capturing closure materialized inside a marked function
+     (the outer curried chain itself is not an allocation). *)
+  let r =
+    tlint
+      "(* bcc-lint: noalloc *)\n\
+       let apply g x = let h y = g (x + y) in h 0\n"
+  in
+  check_bool "closure allocation flagged" true
+    (List.mem "perf/noalloc" (rule_ids r));
+  (* Negative: a ref at function entry is constant-count bookkeeping the
+     Gc pin slack budgets for. *)
+  let r =
+    tlint
+      "(* bcc-lint: noalloc *)\n\
+       let count n =\n\
+      \  let c = ref 0 in\n\
+      \  for i = 1 to n do c := !c + i done;\n\
+      \  !c\n"
+  in
+  check_int "entry ref is clean" 0 (List.length r.Lint.findings);
+  (* Positive: the same ref inside the loop allocates per iteration. *)
+  let r =
+    tlint
+      "(* bcc-lint: noalloc *)\n\
+       let count n =\n\
+      \  let t = ref 0 in\n\
+      \  for i = 1 to n do\n\
+      \    let c = ref i in\n\
+      \    t := !t + !c\n\
+      \  done;\n\
+      \  !t\n"
+  in
+  check_bool "in-loop ref flagged" true (List.mem "perf/noalloc" (rule_ids r));
+  (* Drift: a mark that covers no binding is itself an error. *)
+  let r = tlint "(* bcc-lint: noalloc *)\n\nlet far_away = 1\n" in
+  check_bool "dangling mark reported" true
+    (List.mem "perf/noalloc" (rule_ids r));
+  (* Stacked annotations chain: the allow pragma above the mark still
+     reaches the binding below both. *)
+  let r =
+    tlint
+      "(* bcc-lint: allow perf/noalloc — fixture builds its result *)\n\
+       (* bcc-lint: noalloc *)\n\
+       let pair x = (x, x)\n"
+  in
+  check_int "stacked pragma suppresses" 0 (List.length r.Lint.findings);
+  check_bool "suppression recorded" true
+    (List.mem "perf/noalloc" (suppressed_ids r))
+
+let dls_prelude =
+  "let key : bytes Domain.DLS.key =\n\
+  \  Domain.DLS.new_key (fun () -> Bytes.create 8)\n"
+
+let test_typed_dls_escape () =
+  (* Positive: fetching lane state at module scope shares one value
+     across every lane. *)
+  let r = tlint (dls_prelude ^ "let shared = Domain.DLS.get key\n") in
+  check_bool "module-scope fetch flagged" true
+    (List.mem "par/dls-escape" (rule_ids r));
+  (* Positive: storing the scratch value into a global ref. *)
+  let r =
+    tlint
+      (dls_prelude
+     ^ "let leak : bytes ref = ref Bytes.empty\n\
+        let f () = let b = Domain.DLS.get key in leak := b\n")
+  in
+  check_bool "store into global flagged" true
+    (List.mem "par/dls-escape" (rule_ids r));
+  (* Positive: a closure capturing the scratch value outlives the call. *)
+  let r =
+    tlint
+      (dls_prelude
+     ^ "let f () = let b = Domain.DLS.get key in fun () -> Bytes.length b\n")
+  in
+  check_bool "closure capture flagged" true
+    (List.mem "par/dls-escape" (rule_ids r));
+  (* Negative: mutating the scratch value inside the call is the whole
+     point of lane scratch. *)
+  let r =
+    tlint
+      (dls_prelude
+     ^ "let f () = let b = Domain.DLS.get key in Bytes.set b 0 'x'\n")
+  in
+  check_int "lane-local use is clean" 0 (List.length r.Lint.findings);
+  (* Pragma-suppressed deliberate registry. *)
+  let r =
+    tlint
+      (dls_prelude
+     ^ "(* bcc-lint: allow par/dls-escape — fixture registry under mutex *)\n\
+        let shared = Domain.DLS.get key\n")
+  in
+  check_int "pragma suppresses escape" 0 (List.length r.Lint.findings);
+  check_bool "suppression recorded" true
+    (List.mem "par/dls-escape" (suppressed_ids r))
+
+let dls_buf_prelude =
+  "let key : int array Domain.DLS.key =\n\
+  \  Domain.DLS.new_key (fun () -> Array.make 8 0)\n"
+
+let test_typed_dls_zero () =
+  (* Positive: reading a kept-across-calls scratch buffer without
+     re-zeroing it (the PR 7 stride bug shape). *)
+  let r =
+    tlint
+      (dls_buf_prelude
+     ^ "let peek () = let buf = Domain.DLS.get key in buf.(0)\n")
+  in
+  check_bool "read without zeroing flagged" true
+    (List.mem "par/dls-zero" (rule_ids r));
+  (* Negative: a fill re-establishes the invariant before the read. *)
+  let r =
+    tlint
+      (dls_buf_prelude
+     ^ "let peek () =\n\
+        \  let buf = Domain.DLS.get key in\n\
+        \  Array.fill buf 0 8 0;\n\
+        \  buf.(0)\n")
+  in
+  check_int "fill before read is clean" 0 (List.length r.Lint.findings);
+  (* Negative: a constant-zero store also counts. *)
+  let r =
+    tlint
+      (dls_buf_prelude
+     ^ "let peek () =\n\
+        \  let buf = Domain.DLS.get key in\n\
+        \  buf.(0) <- 0;\n\
+        \  buf.(1)\n")
+  in
+  check_int "zero store before read is clean" 0 (List.length r.Lint.findings)
+
+(* Cross-unit: rules_kern's validator index spans compilation units, so a
+   bounds check living in another module still counts as evidence.  The
+   fixture pair is compiled to real .cmt files with ocamlc and loaded
+   back through the same Typed_pass.load_dir the CLI uses. *)
+let test_cross_unit_cmt () =
+  let dir = Filename.temp_file "bcc_lint_cmt" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let cleanup () =
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      let write name src =
+        let oc = open_out (Filename.concat dir name) in
+        output_string oc src;
+        close_out oc
+      in
+      (* No "check_" prefix: the evidence must come from the cross-unit
+         validator index, not the name heuristic. *)
+      write "fixture_dep.ml"
+        "let ensure_index (a : int array) i =\n\
+        \  if i < 0 || i >= Array.length a then invalid_arg \"index\"\n";
+      write "fixture_use.ml"
+        "let get (a : int array) i =\n\
+        \  Fixture_dep.ensure_index a i;\n\
+        \  Array.unsafe_get a i\n";
+      let rc =
+        Sys.command
+          (Printf.sprintf
+             "cd %s && ocamlc -c -bin-annot fixture_dep.ml fixture_use.ml \
+              2>/dev/null"
+             (Filename.quote dir))
+      in
+      check_int "fixtures compile" 0 rc;
+      let units, problems = Typed_pass.load_dir dir in
+      check_int "no cmt problems" 0 (List.length problems);
+      check_int "two units loaded" 2 (List.length units);
+      let r = Typed_pass.run_units ~rules:typed_rules units in
+      check_int "cross-unit validator call is evidence" 0
+        (List.length r.Lint.findings);
+      check_bool "site carries guard evidence" true
+        (List.exists
+           (fun (s : Lint.site) ->
+             match s.Lint.site_evidence with
+             | Lint.Guard _ -> true
+             | _ -> false)
+           r.Lint.sites))
 
 (* ------------------------------------------------------------- report *)
 
@@ -196,8 +476,38 @@ let test_catalogue_ids_stable () =
     [
       "det/ambient-rng"; "det/wall-clock"; "det/poly-compare";
       "det/float-format"; "det/hashtbl-order"; "par/global-mutable";
-      "lint/unknown-rule"; "lint/malformed-pragma"; "lint/parse-error";
+      "kern/unsafe-index"; "perf/noalloc"; "par/dls-escape"; "par/dls-zero";
+      "lint/type-error"; "lint/unknown-rule"; "lint/malformed-pragma";
+      "lint/parse-error";
     ]
+
+let test_sarif_shape () =
+  let r = lint "let c = ref 0\n" in
+  let doc = Artifact.of_string (Artifact.to_string (Sarif.of_report r)) in
+  let str key j = Option.bind (Artifact.member key j) Artifact.to_string_opt in
+  check_string "sarif version" "2.1.0"
+    (Option.value ~default:"?" (str "version" doc));
+  let run =
+    match Option.bind (Artifact.member "runs" doc) Artifact.to_list_opt with
+    | Some [ run ] -> run
+    | _ -> Alcotest.fail "expected exactly one run"
+  in
+  let results =
+    Option.get
+      (Option.bind (Artifact.member "results" run) Artifact.to_list_opt)
+  in
+  check_int "one result" 1 (List.length results);
+  check_string "ruleId" "par/global-mutable"
+    (Option.value ~default:"?" (str "ruleId" (List.hd results)));
+  (* Every catalogue rule rides along in the driver block. *)
+  let rules =
+    Option.get
+      (Option.bind (Artifact.member "tool" run) (fun t ->
+           Option.bind (Artifact.member "driver" t) (fun d ->
+               Option.bind (Artifact.member "rules" d) Artifact.to_list_opt)))
+  in
+  check_int "catalogue exported" (List.length Lint.catalogue)
+    (List.length rules)
 
 let () =
   Alcotest.run "lint"
@@ -216,6 +526,16 @@ let () =
           Alcotest.test_case "unknown rule name" `Quick test_unknown_rule_pragma;
           Alcotest.test_case "malformed pragma" `Quick test_malformed_pragma;
           Alcotest.test_case "placement window" `Quick test_pragma_placement;
+          Alcotest.test_case "whole-expression window" `Quick
+            test_pragma_whole_expression_window;
+        ] );
+      ( "typed",
+        [
+          Alcotest.test_case "kern/unsafe-index" `Quick test_typed_unsafe_index;
+          Alcotest.test_case "perf/noalloc" `Quick test_typed_noalloc;
+          Alcotest.test_case "par/dls-escape" `Quick test_typed_dls_escape;
+          Alcotest.test_case "par/dls-zero" `Quick test_typed_dls_zero;
+          Alcotest.test_case "cross-unit cmt" `Quick test_cross_unit_cmt;
         ] );
       ( "driver",
         [
@@ -224,5 +544,6 @@ let () =
             test_exit_code_and_json;
           Alcotest.test_case "catalogue ids stable" `Quick
             test_catalogue_ids_stable;
+          Alcotest.test_case "sarif shape" `Quick test_sarif_shape;
         ] );
     ]
