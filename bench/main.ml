@@ -20,7 +20,12 @@
    Part 5 does the same for the packed graph kernels — A land A^T core,
    triangle/K4 counting, scratch-stack Bron-Kerbosch (BENCH_graph.json).
 
-   Part 6 ("compare") is the regression gate: it re-measures parts 4-5 in
+   Part 6 sweeps the CSR sparse kernels (Bcc_kern.Spgraph / Sparse)
+   against the dense pipeline on the same sampled graph — the
+   cross-representation oracle (BENCH_sparse.json): sampler, core,
+   triangle/K4 counts, degree sums, with in-run agreement required.
+
+   Part 7 ("compare") is the regression gate: it re-measures parts 4-6 in
    quick mode and diffs the kernel-vs-oracle speedup ratios against the
    committed BENCH_baseline.json, failing on any kernel whose edge over
    its own oracle shrank by more than 1.5x.
@@ -36,6 +41,7 @@
      dune exec bench/main.exe -- kern             # only the kernel-vs-oracle sweep
      dune exec bench/main.exe -- kern --quick     # smaller sizes (CI smoke)
      dune exec bench/main.exe -- graph            # only the graph-kernel sweep
+     dune exec bench/main.exe -- sparse           # only the sparse-vs-dense sweep
      dune exec bench/main.exe -- compare          # regression gate vs baseline
      dune exec bench/main.exe -- compare --update # regenerate the baseline
 *)
@@ -789,6 +795,117 @@ let run_graph ~quick () =
   Format.printf "@.";
   (json, all_agree)
 
+(* ------------------------------------------------- sparse kernels *)
+
+(* CSR structural equality, for the cross-representation oracles. *)
+let spgraph_equal (a : Bcc_kern.Spgraph.t) (b : Bcc_kern.Spgraph.t) =
+  a.Bcc_kern.Spgraph.n = b.Bcc_kern.Spgraph.n
+  && a.Bcc_kern.Spgraph.row_ptr = b.Bcc_kern.Spgraph.row_ptr
+  && Bcc_kern.Buf.int_to_array a.Bcc_kern.Spgraph.cols
+     = Bcc_kern.Buf.int_to_array b.Bcc_kern.Spgraph.cols
+
+(* Does the CSR hold exactly the edges of the packed rows? *)
+let spgraph_matches_rows rows (t : Bcc_kern.Spgraph.t) =
+  let n = Array.length rows in
+  Bcc_kern.Spgraph.vertex_count t = n
+  && begin
+       let ok = ref true in
+       for i = 0 to n - 1 do
+         if Bcc_kern.Spgraph.degree t i <> Bitvec.popcount rows.(i) then
+           ok := false
+         else
+           Bcc_kern.Spgraph.iter_row t i (fun j ->
+               if not (Bitvec.get rows.(i) j) then ok := false)
+       done;
+       !ok
+     end
+
+(* Sparse CSR kernels vs the dense pipeline on the same graph — the
+   cross-representation oracle: every row pairs a dense measurement with
+   its sparse twin and checks the results coincide (structurally for the
+   sampler/core rows, exactly for the counts).  The n = 4096, p = 0.01
+   triangle row is the regime the gate pins: CSR merge work scales with
+   the live degrees (~ pn per row) while the dense kernels scan n/64
+   words per edge whatever the density. *)
+let run_sparse ~quick () =
+  Format.printf "=====================================================@.";
+  Format.printf " Sparse kernel sweep (CSR vs dense pipeline oracles)@.";
+  Format.printf "=====================================================@.";
+  let reps = if quick then 3 else 5 in
+  let rows = ref [] in
+  let add r = rows := r :: !rows in
+  Format.printf "%-16s %-16s %14s %14s %10s@." "group" "case" "dense ns"
+    "sparse ns" "speedup";
+  Format.printf "%s@." (String.make 76 '-');
+  let cases = if quick then [ (4096, 0.01) ] else [ (4096, 0.01); (8192, 0.005) ] in
+  List.iter
+    (fun (n, p) ->
+      (* Case labels are artifact bytes: name the density as an exact
+         reciprocal rather than float-format p. *)
+      let case = Printf.sprintf "n=%d,p=1/%d" n (int_of_float (1.0 /. p)) in
+      let dg = Gnp.sample_fast (Prng.create 31) ~n ~p in
+      let sg = Sparse.sample_gnp (Prng.create 31) ~n ~p in
+      add
+        (kern_case ~reps ~group:"sparse-sample" ~case
+           ~naive:(fun () -> Gnp.sample_fast (Prng.create 31) ~n ~p)
+           ~kern:(fun () -> Sparse.sample_gnp (Prng.create 31) ~n ~p)
+           ~equal:(fun d s -> spgraph_equal (Sparse.of_digraph d) s));
+      let dcore = Bcc_kern.Graph.bidirectional_core (Digraph.unsafe_rows dg) in
+      let score = Bcc_kern.Spgraph.bidirectional_core sg in
+      add
+        (kern_case ~reps ~group:"sparse-core" ~case
+           ~naive:(fun () ->
+             Bcc_kern.Graph.bidirectional_core (Digraph.unsafe_rows dg))
+           ~kern:(fun () -> Bcc_kern.Spgraph.bidirectional_core sg)
+           ~equal:(fun d s -> spgraph_matches_rows d s));
+      add
+        (kern_case ~reps ~group:"sparse-tri" ~case
+           ~naive:(fun () -> Bcc_kern.Graph.count_triangles dcore)
+           ~kern:(fun () -> Bcc_kern.Spgraph.count_triangles score)
+           ~equal:Int.equal);
+      add
+        (kern_case ~reps ~group:"sparse-k4" ~case
+           ~naive:(fun () -> Bcc_kern.Graph.count_k4 dcore)
+           ~kern:(fun () -> Bcc_kern.Spgraph.count_k4 score)
+           ~equal:Int.equal);
+      add
+        (kern_case ~reps ~group:"sparse-degree" ~case
+           ~naive:(fun () -> Graph_backend.Dense.degree_sums dg)
+           ~kern:(fun () -> Sparse.degree_sums sg)
+           ~equal:(fun (a : int array) b -> a = b)))
+    cases;
+  let rows = List.rev !rows in
+  let all_agree = List.for_all (fun r -> r.agree) rows in
+  let json =
+    Artifact.List
+      (List.map
+         (fun r ->
+           Artifact.Obj
+             [
+               ("group", Artifact.String r.group);
+               ("case", Artifact.String r.case);
+               ("naive_ns", Artifact.Float r.naive_ns);
+               ("kern_ns", Artifact.Float r.kern_ns);
+               ("speedup", Artifact.Float (r.naive_ns /. r.kern_ns));
+               ("agree", Artifact.Bool r.agree);
+             ])
+         rows)
+  in
+  Artifact.write_file
+    ~path:(Filename.concat Artifact.default_dir "BENCH_sparse.json")
+    (Artifact.make ~kind:"bench" ~id:"sparse"
+       ~params:
+         [
+           ("repetitions", Artifact.Int reps);
+           ("quick", Artifact.Bool quick);
+         ]
+       json);
+  Format.printf "@.artifact written to %s/BENCH_sparse.json@." Artifact.default_dir;
+  if not all_agree then
+    Format.printf "DENSE/SPARSE MISMATCH — see the rows marked MISMATCH@.";
+  Format.printf "@.";
+  (json, all_agree)
+
 (* --------------------------------------------------- regression gate *)
 
 (* The gate compares kernel-vs-oracle *speedup ratios* against the
@@ -826,9 +943,16 @@ let run_compare ~update () =
   let measure () =
     let kern_json, kern_ok = run_kern ~quick:true () in
     let graph_json, graph_ok = run_graph ~quick:true () in
-    ( speedup_rows kern_json @ speedup_rows graph_json,
-      Artifact.Obj [ ("kern", kern_json); ("graph", graph_json) ],
-      kern_ok && graph_ok )
+    let sparse_json, sparse_ok = run_sparse ~quick:true () in
+    ( speedup_rows kern_json @ speedup_rows graph_json
+      @ speedup_rows sparse_json,
+      Artifact.Obj
+        [
+          ("kern", kern_json);
+          ("graph", graph_json);
+          ("sparse", sparse_json);
+        ],
+      kern_ok && graph_ok && sparse_ok )
   in
   let s1, fresh_payload, ok1 = measure () in
   let s2, _, ok2 = measure () in
@@ -1003,6 +1127,10 @@ let () =
       let payload, agree = run_graph ~quick () in
       add "graph" payload;
       ok := agree
+  | "sparse" ->
+      let payload, agree = run_sparse ~quick () in
+      add "sparse" payload;
+      ok := agree
   | "compare" ->
       let update = Array.exists (String.equal "--update") Sys.argv in
       let payload, pass = run_compare ~update () in
@@ -1017,6 +1145,9 @@ let () =
       ok := agree;
       let payload, agree = run_graph ~quick () in
       add "graph" payload;
+      ok := !ok && agree;
+      let payload, agree = run_sparse ~quick () in
+      add "sparse" payload;
       ok := !ok && agree);
   (* One stable envelope over whatever ran, for cross-commit tracking. *)
   Artifact.write_file

@@ -61,7 +61,7 @@ let artifacts_arg =
     & info [ "artifacts" ] ~docv:"DIR" ~doc)
 
 let ids_arg =
-  let doc = "Experiment ids to run (e1..e29); all when omitted." in
+  let doc = "Experiment ids to run (e1..e30); all when omitted." in
   Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
 
 let seed_arg =
@@ -294,6 +294,44 @@ let run_kern_check seed =
            (Bcc_kern.Graph.max_clique core everyone)
            (Bcc_kern.Ref.max_clique ref_core everyone)))
     [ 63; 64; 96 ];
+  (* Sparse CSR kernels vs the dense pipeline on the same graph — the
+     cross-representation oracle (test/test_sparse.ml has the full
+     battery; this is the smoke slice). *)
+  List.iter
+    (fun (n, p) ->
+      let dg = Gnp.sample_fast (Prng.split g n) ~n ~p in
+      let sg = Sparse.sample_gnp (Prng.split g n) ~n ~p in
+      let sg' = Sparse.of_digraph dg in
+      check
+        (Printf.sprintf "sparse-sample n=%d" n)
+        (sg.Bcc_kern.Spgraph.row_ptr = sg'.Bcc_kern.Spgraph.row_ptr
+        && Bcc_kern.Buf.int_to_array sg.Bcc_kern.Spgraph.cols
+           = Bcc_kern.Buf.int_to_array sg'.Bcc_kern.Spgraph.cols);
+      let dcore = Bcc_kern.Graph.bidirectional_core (Digraph.unsafe_rows dg) in
+      let score = Bcc_kern.Spgraph.bidirectional_core sg in
+      let core_ok = ref true in
+      Array.iteri
+        (fun i row ->
+          if Bitvec.popcount row <> Bcc_kern.Spgraph.degree score i then
+            core_ok := false
+          else
+            Bcc_kern.Spgraph.iter_row score i (fun j ->
+                if not (Bitvec.get row j) then core_ok := false))
+        dcore;
+      check (Printf.sprintf "sparse-core n=%d" n) !core_ok;
+      check
+        (Printf.sprintf "sparse-triangles n=%d" n)
+        (Bcc_kern.Spgraph.count_triangles score
+        = Bcc_kern.Graph.count_triangles dcore);
+      check
+        (Printf.sprintf "sparse-k4 n=%d" n)
+        (Bcc_kern.Spgraph.count_k4 score = Bcc_kern.Graph.count_k4 dcore);
+      check
+        (Printf.sprintf "sparse-degree-sums n=%d" n)
+        (Sparse.degree_sums sg
+        = Array.init n (fun i ->
+              Digraph.out_degree dg i + Digraph.in_degree dg i)))
+    [ (128, 0.1); (256, 0.05); (512, 0.02) ];
   match !failures with
   | [] ->
       Format.printf "all kernels agree with their reference oracles@.";

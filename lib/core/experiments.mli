@@ -77,8 +77,16 @@ val e27_f2_moment : ?seed:int -> unit -> table
 val e28_toy_prg_exact : ?seed:int -> unit -> table
 val e29_progress_growth : ?seed:int -> unit -> table
 
+val e30_sparse_planted : ?seed:int -> unit -> table
+(** The sparse-regime experiment: planted clique at [n = 10^5],
+    [p = n^{-1/2}], sampled and recovered entirely on the CSR backend
+    ([Sparse] / [Bcc_kern.Spgraph] through [Clique.Recover] and
+    [Distinguishers.Generic]), plus distinguisher advantages across the
+    sparse detectability boundary and in-artifact dense-vs-sparse oracle
+    rows. *)
+
 val all : ?seed:int -> unit -> table list
-(** All twenty-nine, in order. *)
+(** All thirty, in order. *)
 
 val by_id : string -> (?seed:int -> unit -> table) option
 (** Look up a driver by its id ("e1" ... "e26"). *)

@@ -38,31 +38,65 @@ let greedy_clique g graph =
     order;
   List.sort Int.compare !chosen
 
-let extend_by_majority g ~core ~threshold =
-  let n = Digraph.vertex_count g in
-  let core_size = List.length core in
-  if core_size = 0 then []
-  else begin
-    let need = int_of_float (Float.ceil (threshold *. float_of_int core_size)) in
-    let result = ref [] in
-    for v = n - 1 downto 0 do
-      let adjacent_count =
-        List.fold_left
-          (fun acc u ->
-            if u = v || (Digraph.has_edge g v u && Digraph.has_edge g u v) then acc + 1
-            else acc)
-          0 core
-      in
-      if adjacent_count >= need then result := v :: !result
-    done;
-    !result
-  end
+(* The degree-based recovery pipeline, over either representation.  The
+   dense instantiation below reproduces the pre-functor implementations
+   exactly: [top_degree_vertices] sorts the same (degree, vertex) array
+   with the same comparator, and [extend_by_majority]'s scan counts —
+   one increment per core occurrence of [v] plus one per bidirectional
+   (core, v) edge pair — equal the per-vertex fold
+   [#{u in core : u = v or (v <-> u)}] it replaces, so the selected
+   vertex sets (and every EXP artifact built on them) are unchanged. *)
+module Recover (B : Graph_backend.S) = struct
+  let extend_by_majority g ~core ~threshold =
+    let n = B.vertex_count g in
+    let core_size = List.length core in
+    if core_size = 0 then []
+    else begin
+      let need = int_of_float (Float.ceil (threshold *. float_of_int core_size)) in
+      let counts = Array.make n 0 in
+      List.iter
+        (fun u ->
+          if u < 0 || u >= n then invalid_arg "Clique: core vertex out of range";
+          (* The [u = v] membership term of the fold. *)
+          counts.(u) <- counts.(u) + 1;
+          (* The bidirectional-adjacency term: u -> v here, v -> u
+             checked per neighbour.  Rows have no diagonal, so the two
+             terms never double-count. *)
+          B.iter_out g u (fun v ->
+              if B.has_edge g v u then counts.(v) <- counts.(v) + 1))
+        core;
+      let result = ref [] in
+      for v = n - 1 downto 0 do
+        if counts.(v) >= need then result := v :: !result
+      done;
+      !result
+    end
 
-let top_degree_vertices g k =
-  let n = Digraph.vertex_count g in
-  let degs = Array.init n (fun i -> (Digraph.out_degree g i + Digraph.in_degree g i, i)) in
-  Array.sort (fun (a, _) (b, _) -> Int.compare b a) degs;
-  List.sort Int.compare (Array.to_list (Array.map snd (Array.sub degs 0 (min k n))))
+  let top_degree_vertices g k =
+    let n = B.vertex_count g in
+    let ds = B.degree_sums g in
+    let degs = Array.init n (fun i -> (ds.(i), i)) in
+    Array.sort (fun (a, _) (b, _) -> Int.compare b a) degs;
+    List.sort Int.compare (Array.to_list (Array.map snd (Array.sub degs 0 (min k n))))
+
+  let degree_recover g ~k =
+    (* The refinement can oscillate on signal-free instances; cap the
+       iteration count — convergence happens in a few steps when the
+       clique is recoverable at all. *)
+    let rec stabilize current budget =
+      if budget = 0 then current
+      else begin
+        let next = extend_by_majority g ~core:current ~threshold:0.75 in
+        if next = current || next = [] then next else stabilize next (budget - 1)
+      end
+    in
+    stabilize (top_degree_vertices g k) 20
+end
+
+module Dense_recover = Recover (Graph_backend.Dense)
+
+let extend_by_majority = Dense_recover.extend_by_majority
+let top_degree_vertices = Dense_recover.top_degree_vertices
 
 let log_clique_size_bound n =
   int_of_float (Float.ceil (2.0 *. Float.log (float_of_int (max 2 n)) /. Float.log 2.0))
@@ -99,15 +133,4 @@ let quasi_poly_find g ~seed_size =
       let candidate = extend_by_majority g ~core:seed ~threshold:0.9 in
       extend_by_majority g ~core:candidate ~threshold:0.9
 
-let degree_recover g ~k =
-  (* The refinement can oscillate on signal-free instances; cap the
-     iteration count — convergence happens in a few steps when the clique
-     is recoverable at all. *)
-  let rec stabilize current budget =
-    if budget = 0 then current
-    else begin
-      let next = extend_by_majority g ~core:current ~threshold:0.75 in
-      if next = current || next = [] then next else stabilize next (budget - 1)
-    end
-  in
-  stabilize (top_degree_vertices g k) 20
+let degree_recover = Dense_recover.degree_recover

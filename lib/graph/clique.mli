@@ -29,6 +29,25 @@ val greedy_clique : Prng.t -> Digraph.t -> int list
 (** Randomized greedy: repeatedly add a random vertex adjacent (both
     directions) to all chosen so far. *)
 
+(** The degree-based recovery pipeline over any {!Graph_backend.S}
+    representation.  [Recover (Graph_backend.Dense)] is the module the
+    dense functions below alias — same vertex sets, bit for bit — and
+    [Recover (Graph_backend.Sparse_backend)] runs the identical algorithm
+    text on the CSR at n = 10^5+ (experiment e30). *)
+module Recover (B : Graph_backend.S) : sig
+  val extend_by_majority : B.t -> core:int list -> threshold:float -> int list
+  (** All vertices bidirectionally adjacent to at least [threshold]
+      fraction of [core] (core members qualify by convention), by one
+      scan over the core rows.  Sorted increasingly. *)
+
+  val top_degree_vertices : B.t -> int -> int list
+  (** The [k] vertices of highest total degree (in + out). *)
+
+  val degree_recover : B.t -> k:int -> int list
+  (** Kucera's baseline: top-[k] degrees, then majority refinement to a
+      fixed point (budget-capped). *)
+end
+
 val extend_by_majority : Digraph.t -> core:int list -> threshold:float -> int list
 (** The final step of Theorem B.1's algorithm: all vertices bidirectionally
     adjacent to at least [threshold] fraction of [core] (core members

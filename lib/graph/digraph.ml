@@ -44,6 +44,10 @@ let out_row g i =
   check_vertex g i;
   Bitvec.copy g.adj.(i)
 
+let iter_out g i f =
+  check_vertex g i;
+  Bitvec.iter_set f g.adj.(i)
+
 let set_out_row g i r =
   check_vertex g i;
   if Bitvec.length r <> g.n then invalid_arg "Digraph.set_out_row: length mismatch";

@@ -30,6 +30,11 @@ val unsafe_add_edge : t -> int -> int -> unit
 val out_row : t -> int -> Bitvec.t
 (** A copy of vertex [i]'s out-adjacency row — processor [i]'s input. *)
 
+val iter_out : t -> int -> (int -> unit) -> unit
+(** Visit vertex [i]'s out-neighbours in ascending order, scanning the
+    live row — no {!out_row} copy.  The callback must not mutate the
+    graph. *)
+
 val set_out_row : t -> int -> Bitvec.t -> unit
 (** Copies the row in; the diagonal bit is cleared. *)
 

@@ -69,13 +69,11 @@ let bfs_distances graph source =
   Queue.add source queue;
   while not (Queue.is_empty queue) do
     let v = Queue.take queue in
-    Bitvec.iter_set
-      (fun u ->
+    Digraph.iter_out graph v (fun u ->
         if dist.(u) < 0 then begin
           dist.(u) <- dist.(v) + 1;
           Queue.add u queue
         end)
-      (Digraph.out_row graph v)
   done;
   dist
 
@@ -127,13 +125,11 @@ let largest_component_size graph =
       while not (Queue.is_empty queue) do
         let u = Queue.take queue in
         incr size;
-        Bitvec.iter_set
-          (fun w ->
+        Digraph.iter_out undirected u (fun w ->
             if not seen.(w) then begin
               seen.(w) <- true;
               Queue.add w queue
             end)
-          (Digraph.out_row undirected u)
       done;
       if !size > !best then best := !size
     end

@@ -1,0 +1,51 @@
+module type S = sig
+  type t
+
+  val vertex_count : t -> int
+  val edge_count : t -> int
+  val has_edge : t -> int -> int -> bool
+  val out_degree : t -> int -> int
+  val iter_out : t -> int -> (int -> unit) -> unit
+  val count_common_out_neighbors : t -> int -> int -> int
+  val degree_sums : t -> int array
+  val count_triangles : t -> int
+  val count_k4 : t -> int
+end
+
+module Dense = struct
+  type t = Digraph.t
+
+  let vertex_count = Digraph.vertex_count
+  let edge_count = Digraph.edge_count
+  let has_edge = Digraph.has_edge
+  let out_degree = Digraph.out_degree
+  let iter_out = Digraph.iter_out
+  let count_common_out_neighbors = Digraph.count_common_out_neighbors
+
+  let degree_sums g =
+    Array.init (Digraph.vertex_count g) (fun i ->
+        Digraph.out_degree g i + Digraph.in_degree g i)
+
+  (* bcc-lint: allow kern/unsafe-index — unsafe_rows exposes the backing row array without copying; it takes no index argument *)
+  let core g = Bcc_kern.Graph.bidirectional_core (Digraph.unsafe_rows g)
+  let count_triangles g = Bcc_kern.Graph.count_triangles (core g)
+  let count_k4 g = Bcc_kern.Graph.count_k4 (core g)
+end
+
+module Sparse_backend = struct
+  type t = Sparse.t
+
+  let vertex_count = Sparse.vertex_count
+  let edge_count = Sparse.edge_count
+  let has_edge = Sparse.has_edge
+  let out_degree = Sparse.out_degree
+  let iter_out = Sparse.iter_out
+  let count_common_out_neighbors = Sparse.count_common_out_neighbors
+  let degree_sums = Sparse.degree_sums
+
+  let count_triangles t =
+    Bcc_kern.Spgraph.count_triangles (Bcc_kern.Spgraph.bidirectional_core t)
+
+  let count_k4 t =
+    Bcc_kern.Spgraph.count_k4 (Bcc_kern.Spgraph.bidirectional_core t)
+end

@@ -1,0 +1,48 @@
+(** The dense/sparse representation seam.
+
+    {!S} is the slice of graph functionality the recovery algorithms and
+    distinguisher statistics actually consume; [Clique.Recover],
+    [Triangles.Of] and [Distinguishers.Generic] are functors over it, so
+    the same algorithm text runs on the O(n^2)-bit {!Digraph} matrix and
+    on the O(n + m) {!Sparse} CSR.  {!Dense} reproduces today's dense
+    call paths {e exactly} (same kernels, same comparison order), which
+    is what keeps the existing EXP artifact pins byte-identical after the
+    parameterization; test/test_sparse.ml pins dense == sparse results on
+    shared-seed graphs at n <= 512. *)
+
+module type S = sig
+  type t
+
+  val vertex_count : t -> int
+
+  val edge_count : t -> int
+  (** Directed edge count ([Digraph.edge_count]'s convention). *)
+
+  val has_edge : t -> int -> int -> bool
+  val out_degree : t -> int -> int
+
+  val iter_out : t -> int -> (int -> unit) -> unit
+  (** Out-neighbours in ascending order; the callback must not mutate
+      the graph. *)
+
+  val count_common_out_neighbors : t -> int -> int -> int
+
+  val degree_sums : t -> int array
+  (** Per-vertex out + in degree — the top-degree recovery statistic. *)
+
+  val count_triangles : t -> int
+  (** Triangle count {e of the bidirectional core} ([Triangles.count]'s
+      semantics). *)
+
+  val count_k4 : t -> int
+  (** K4 count of the bidirectional core. *)
+end
+
+module Dense : S with type t = Digraph.t
+(** The bit-matrix backend: degree sums by row popcount + column scan,
+    core/triangles/K4 via the packed {!Bcc_kern.Graph} kernels — the
+    exact call path [Clique.bidirectional_core]/[Triangles.count] use. *)
+
+module Sparse_backend : S with type t = Sparse.t
+(** The CSR backend: merge/gallop row ops and the sharded
+    {!Bcc_kern.Spgraph} kernels. *)

@@ -61,7 +61,7 @@ let degree_profile_recover graph =
   let labels = Array.make n 1 in
   (* Seed: vertex 0 and its out-neighbourhood form side 0. *)
   labels.(0) <- 0;
-  Bitvec.iter_set (fun u -> labels.(u) <- 0) (Digraph.out_row graph 0);
+  Digraph.iter_out graph 0 (fun u -> labels.(u) <- 0);
   (* Iterate normalized-majority reassignment. *)
   for _ = 1 to 4 do
     let updated = Array.copy labels in

@@ -1,0 +1,272 @@
+module Spgraph = Bcc_kern.Spgraph
+module Buf = Bcc_kern.Buf
+
+type t = Spgraph.t
+
+let vertex_count = Spgraph.vertex_count
+let edge_count = Spgraph.edge_count
+let out_degree = Spgraph.degree
+let iter_out = Spgraph.iter_row
+let has_edge = Spgraph.mem
+let count_common_out_neighbors = Spgraph.common_count
+
+(* bcc-lint: allow kern/unsafe-index — the fill cursor never passes row_ptr.(n) = Buf.int_length cols: row i writes exactly out_degree g i entries and the offsets are their prefix sums *)
+let of_digraph g =
+  let n = Digraph.vertex_count g in
+  let row_ptr = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    row_ptr.(i + 1) <- row_ptr.(i) + Digraph.out_degree g i
+  done;
+  let cols = Buf.int_create row_ptr.(n) in
+  let out = ref 0 in
+  for i = 0 to n - 1 do
+    (* [iter_out] visits ascending, so every row lands sorted. *)
+    Digraph.iter_out g i (fun j ->
+        Buf.int_set cols !out j;
+        incr out)
+  done;
+  Spgraph.make ~n ~row_ptr ~cols
+
+let to_digraph t =
+  let n = Spgraph.vertex_count t in
+  let g = Digraph.create n in
+  for i = 0 to n - 1 do
+    Spgraph.iter_row t i (fun j -> Digraph.add_edge g i j)
+  done;
+  g
+
+let degree_sums t =
+  Spgraph.check_t t;
+  let n = Spgraph.vertex_count t in
+  let sums = Array.make n 0 in
+  for i = 0 to n - 1 do
+    sums.(i) <- sums.(i) + Spgraph.degree t i;
+    Spgraph.iter_row t i (fun j -> sums.(j) <- sums.(j) + 1)
+  done;
+  sums
+
+(* Build a CSR from the sampler's forward-pair stream: [fwd_count.(i)]
+   pairs (i, j) per row with the j's concatenated row-major in [js]
+   (ascending within a row, rows in order — the order the geometric-skip
+   sampler emits).  Counting sort over both endpoints; the arrival order
+   makes every output row come out ascending (row i first receives its
+   smaller neighbours from pairs (u, i) with u increasing, then its
+   larger ones from pairs (i, v) with v increasing), so no per-row sort
+   is ever needed.  The stream lives on a [Buf.ints] and the only plain
+   arrays are O(n) — a 10^7-pair stream adds nothing for the major GC to
+   scan (the earlier [int array] pair buffers made every major slice a
+   multi-hundred-MB walk). *)
+let csr_of_stream ~n ~m fwd_count js =
+  if m < 0 || m > Buf.int_length js then
+    invalid_arg "Sparse: pair stream shorter than m";
+  if Array.length fwd_count <> n then
+    invalid_arg "Sparse: per-row count length mismatch";
+  let deg = Array.make (max 1 n) 0 in
+  let e = ref 0 in
+  for i = 0 to n - 1 do
+    deg.(i) <- deg.(i) + fwd_count.(i);
+    for _ = 1 to fwd_count.(i) do
+      let j = Buf.int_get js !e in
+      deg.(j) <- deg.(j) + 1;
+      incr e
+    done
+  done;
+  if !e <> m then invalid_arg "Sparse: per-row counts do not sum to m";
+  let row_ptr = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    row_ptr.(i + 1) <- row_ptr.(i) + deg.(i)
+  done;
+  (* Uninitialized is safe: the cursor prefix sums partition the buffer
+     and the loop writes exactly [deg.(i)] entries into row i. *)
+  let cols = Buf.int_create_uninit (2 * m) in
+  let cursor = Array.init n (fun i -> row_ptr.(i)) in
+  let e = ref 0 in
+  for i = 0 to n - 1 do
+    for _ = 1 to fwd_count.(i) do
+      let j = Buf.int_get js !e in
+      Buf.int_set cols cursor.(i) j;
+      cursor.(i) <- cursor.(i) + 1;
+      Buf.int_set cols cursor.(j) i;
+      cursor.(j) <- cursor.(j) + 1;
+      incr e
+    done
+  done;
+  Spgraph.make ~n ~row_ptr ~cols
+
+(* CSR twin of [Gnp.sample_fast]: the identical geometric-skip decode —
+   same [Prng.float] draws in the same order, same cap, same row-major
+   pair walk — but the decoded skips are appended to a pair stream
+   instead of written into dense rows, so a G(n, p) graph costs
+   O(n + m) memory end to end.  test/test_sparse.ml pins
+   [sample_gnp] == [of_digraph (Gnp.sample_fast ...)] on shared seeds. *)
+let sample_gnp g ~n ~p =
+  if n < 0 then invalid_arg "Sparse.sample_gnp: n >= 0";
+  if p < 0.0 || p > 1.0 then invalid_arg "Sparse.sample_gnp: p in [0,1]";
+  let total = n * (n - 1) / 2 in
+  (* Start the stream at the binomial mean plus six sigma so doubling is
+     an unlikely-tail event, not the steady state. *)
+  let mean = p *. float_of_int total in
+  let cap =
+    ref
+      (min (max 1 total)
+         (64 + int_of_float (mean +. (6.0 *. Float.sqrt (mean +. 1.0)))))
+  in
+  let js = ref (Buf.int_create_uninit !cap) in
+  let fwd_count = Array.make (max 1 n) 0 in
+  let m = ref 0 in
+  let push i j =
+    if !m = !cap then begin
+      let cap' = min (max 1 total) (2 * !cap) in
+      let js' = Buf.int_create_uninit cap' in
+      Bigarray.Array1.blit !js (Bigarray.Array1.sub js' 0 !m);
+      js := js';
+      cap := cap'
+    end;
+    Buf.int_set !js !m j;
+    fwd_count.(i) <- fwd_count.(i) + 1;
+    incr m
+  in
+  if p >= 1.0 then
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        push i j
+      done
+    done
+  else if p > 0.0 && total > 0 then begin
+    let log1mp = Float.log (1.0 -. p) in
+    let row = ref 0 in
+    let row_start = ref 0 in
+    let idx = ref (-1) in
+    let continue = ref true in
+    while !continue do
+      let u = Prng.float g in
+      let skip = Float.log (1.0 -. u) /. log1mp in
+      (* [skip] is finite and >= 0; cap before truncating so the addition
+         below cannot overflow when p is tiny and u is close to 1. *)
+      let skip = int_of_float (Float.min skip (float_of_int total)) in
+      idx := !idx + 1 + skip;
+      if !idx >= total then continue := false
+      else begin
+        while !idx >= !row_start + (n - 1 - !row) do
+          row_start := !row_start + (n - 1 - !row);
+          incr row
+        done;
+        let i = !row in
+        let j = i + 1 + (!idx - !row_start) in
+        push i j
+      end
+    done
+  end;
+  csr_of_stream ~n ~m:!m fwd_count !js
+
+let sample_rand g ~n ~p = sample_gnp g ~n ~p
+
+(* Union the rows of [t] with the clique on [cs]: one count pass, one
+   sorted-merge fill pass — existing edges inside the clique dedupe
+   against the merge, exactly like [Planted.sample_planted_at]'s
+   idempotent [add_edge] calls on the dense side. *)
+let overlay_clique t cs =
+  Spgraph.check_t t;
+  let n = Spgraph.vertex_count t in
+  let kc = Array.length cs in
+  if kc = 0 then t
+  else begin
+    let in_c = Array.make n false in
+    Array.iter
+      (fun v ->
+        if v < 0 || v >= n then invalid_arg "Sparse: clique vertex out of range";
+        in_c.(v) <- true)
+      cs;
+    let row_ptr = t.Spgraph.row_ptr and cols = t.Spgraph.cols in
+    (* |row i ∪ (cs \ {i})| *)
+    let union_size i =
+      let a = ref row_ptr.(i) and ae = row_ptr.(i + 1) in
+      let b = ref 0 in
+      let count = ref 0 in
+      while !a < ae && !b < kc do
+        let x = Buf.int_get cols !a and y = Array.unsafe_get cs !b in
+        if y = i then incr b
+        else if x < y then begin
+          incr count;
+          incr a
+        end
+        else if y < x then begin
+          incr count;
+          incr b
+        end
+        else begin
+          incr count;
+          incr a;
+          incr b
+        end
+      done;
+      count := !count + (ae - !a);
+      while !b < kc do
+        if Array.unsafe_get cs !b <> i then incr count;
+        incr b
+      done;
+      !count
+    in
+    let row_ptr' = Array.make (n + 1) 0 in
+    for i = 0 to n - 1 do
+      let d =
+        if in_c.(i) then union_size i else row_ptr.(i + 1) - row_ptr.(i)
+      in
+      row_ptr'.(i + 1) <- row_ptr'.(i) + d
+    done;
+    (* Uninitialized is safe: [emit] writes every slot in order — the
+       per-row union sizes sum to exactly [row_ptr'.(n)]. *)
+    let cols' = Buf.int_create_uninit row_ptr'.(n) in
+    let out = ref 0 in
+    let emit j =
+      Buf.int_set cols' !out j;
+      incr out
+    in
+    for i = 0 to n - 1 do
+      if in_c.(i) then begin
+        let a = ref row_ptr.(i) and ae = row_ptr.(i + 1) in
+        let b = ref 0 in
+        while !a < ae && !b < kc do
+          let x = Buf.int_get cols !a and y = Array.unsafe_get cs !b in
+          if y = i then incr b
+          else if x < y then begin
+            emit x;
+            incr a
+          end
+          else if y < x then begin
+            emit y;
+            incr b
+          end
+          else begin
+            emit x;
+            incr a;
+            incr b
+          end
+        done;
+        while !a < ae do
+          emit (Buf.int_get cols !a);
+          incr a
+        done;
+        while !b < kc do
+          let y = Array.unsafe_get cs !b in
+          if y <> i then emit y;
+          incr b
+        done
+      end
+      else
+        for idx = row_ptr.(i) to row_ptr.(i + 1) - 1 do
+          emit (Buf.int_get cols idx)
+        done
+    done;
+    Spgraph.make ~n ~row_ptr:row_ptr' ~cols:cols'
+  end
+
+(* Sparse-regime planted instance: the clique vertex set is drawn first
+   ([Prng.subset]) and the G(n, p) stream second — [Planted.sample_planted]'s
+   draw order, so dense and sparse planted instances on a shared seed use
+   the PRNG identically. *)
+let sample_planted g ~n ~p ~k =
+  let c = Prng.subset g ~n ~k in
+  let base = sample_gnp g ~n ~p in
+  let cs = Array.of_list (List.sort_uniq Int.compare c) in
+  (overlay_clique base cs, c)

@@ -1,0 +1,68 @@
+(** Sparse graphs as compressed sparse rows — the n = 10^5..10^6 regime.
+
+    The dense {!Digraph} bit matrix spends O(n^2) bits whatever the edge
+    density; in the sparse regimes the paper's asymptotics actually need
+    (planted cliques at [p = n^{-1/2}], the sparse-regime protocols) that
+    caps experiments near n = 2^12.  This module stores only the present
+    edges: {!Bcc_kern.Spgraph}'s row-offset + sorted-column layout, built
+    either from an existing [Digraph] or directly from the G(n, p)
+    geometric-skip sampler without ever materializing a dense matrix.
+
+    Sampling is {b stream-identical} to the dense path: {!sample_gnp}
+    makes exactly the draws [Gnp.sample_fast] makes, in the same order,
+    and {!sample_planted} draws the clique subset first like
+    [Planted.sample_planted] — so dense artifact pins are untouched and
+    dense/sparse runs on a shared seed sample the same graph
+    (test/test_sparse.ml pins both).  Layout, oracle discipline and the
+    dense/sparse crossover: docs/PERFORMANCE.md. *)
+
+type t = Bcc_kern.Spgraph.t
+(** The kernel-layer CSR, shared so {!Bcc_kern.Spgraph} kernels apply
+    directly. *)
+
+val of_digraph : Digraph.t -> t
+(** Exact CSR of the dense adjacency (rows come out sorted because
+    [Digraph.iter_out] visits ascending). *)
+
+val to_digraph : t -> Digraph.t
+(** Dense twin — the bridge to the dense oracle kernels at small n. *)
+
+val vertex_count : t -> int
+
+val edge_count : t -> int
+(** Directed entry count, [Digraph.edge_count]'s convention. *)
+
+val has_edge : t -> int -> int -> bool
+(** Galloping row search ({!Bcc_kern.Spgraph.mem}). *)
+
+val out_degree : t -> int -> int
+
+val iter_out : t -> int -> (int -> unit) -> unit
+(** Out-neighbours in ascending order. *)
+
+val count_common_out_neighbors : t -> int -> int -> int
+(** [|N(i) ∩ N(j)|] by sorted-merge intersection — the common-neighbor
+    distinguisher statistic. *)
+
+val degree_sums : t -> int array
+(** Per-vertex out + in degree in one O(n + m) histogram pass (dense
+    [in_degree] is an O(n) column scan per vertex). *)
+
+val sample_gnp : Prng.t -> n:int -> p:float -> t
+(** G(n, p) straight into CSR: [Gnp.sample_fast]'s geometric-skip decode
+    verbatim — the skip lengths {e are} the column gaps — with the pairs
+    appended to an edge buffer and counting-sorted into rows.  Identical
+    PRNG stream, identical graph, O(n + m) memory. *)
+
+val sample_rand : Prng.t -> n:int -> p:float -> t
+(** The sparse-regime null model — alias of {!sample_gnp}.  (The dense
+    [Planted.sample_rand] is the p = 1/2 special case, where a CSR would
+    be larger than the bit matrix; sparse experiments state their p
+    explicitly.) *)
+
+val sample_planted : Prng.t -> n:int -> p:float -> k:int -> (t * int list)
+(** Planted clique over the G(n, p) base: clique subset first
+    ([Prng.subset], matching [Planted.sample_planted]'s draw order), then
+    the {!sample_gnp} stream, then a sorted-merge union of the clique
+    pairs into the affected rows.  Returns the instance and the planted
+    set. *)

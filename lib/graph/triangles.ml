@@ -10,6 +10,13 @@ let count g = Bcc_kern.Graph.count_triangles (Clique.bidirectional_core g)
 
 let count_k4 g = Bcc_kern.Graph.count_k4 (Clique.bidirectional_core g)
 
+(* Backend-parameterized counts; [Of (Graph_backend.Dense)] runs the
+   same kernel pipeline as [count]/[count_k4] above. *)
+module Of (B : Graph_backend.S) = struct
+  let count = B.count_triangles
+  let count_k4 = B.count_k4
+end
+
 (* The bidirectional core of A_rand is G(n, 1/4). *)
 let p_core = 0.25
 

@@ -15,6 +15,15 @@ val count : Digraph.t -> int
 val count_k4 : Digraph.t -> int
 (** Exact number of bidirectional K_4s. *)
 
+(** The same counts over any {!Graph_backend.S}: [Of (Graph_backend.Dense)]
+    is the packed-kernel pipeline of {!count}, [Of
+    (Graph_backend.Sparse_backend)] the sharded sorted-merge kernels on
+    the CSR. *)
+module Of (B : Graph_backend.S) : sig
+  val count : B.t -> int
+  val count_k4 : B.t -> int
+end
+
 val expected_random : int -> float
 (** [E[triangles]] under [A_rand^n]: [C(n,3) * (1/64)] (each of the three
     undirected edges needs both directions, probability 1/4 each). *)

@@ -43,10 +43,29 @@ module Buf = struct
   type i64 = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
   type f64 = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
 
+  (* Native-int buffers (the CSR column arrays): [Bigarray.int] elements
+     are unboxed 63-bit ints, so — unlike int32/int64 kinds — loads need
+     no boxing even without flambda, and the buffer is still invisible to
+     the GC (a plain [int array] of 10^7+ columns would be scanned by
+     every major slice). *)
+  type ints = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
   let i64_create n : i64 =
     let b = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout n in
     Bigarray.Array1.fill b 0L;
     b
+
+  let int_create n : ints =
+    let b = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n in
+    Bigarray.Array1.fill b 0;
+    b
+
+  (* No zero-fill: for buffers whose every slot is written before any
+     read (the CSR fill passes, where the cursor prefix sums partition
+     the buffer exactly) — at 10^7+ elements the wasted fill is a full
+     extra memory pass. *)
+  let int_create_uninit n : ints =
+    Bigarray.Array1.create Bigarray.int Bigarray.c_layout n
 
   let f64_create n : f64 =
     let b = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n in
@@ -60,10 +79,13 @@ module Buf = struct
      access (~8x on the xor kernel). *)
   external i64_length : i64 -> int = "%caml_ba_dim_1"
   external f64_length : f64 -> int = "%caml_ba_dim_1"
+  external int_length : ints -> int = "%caml_ba_dim_1"
   external i64_get : i64 -> int -> int64 = "%caml_ba_unsafe_ref_1"
   external i64_set : i64 -> int -> int64 -> unit = "%caml_ba_unsafe_set_1"
   external f64_get : f64 -> int -> float = "%caml_ba_unsafe_ref_1"
   external f64_set : f64 -> int -> float -> unit = "%caml_ba_unsafe_set_1"
+  external int_get : ints -> int -> int = "%caml_ba_unsafe_ref_1"
+  external int_set : ints -> int -> int -> unit = "%caml_ba_unsafe_set_1"
   (* bcc-lint: noalloc *)
   let i64_fill (b : i64) v = Bigarray.Array1.fill b v
 
@@ -91,8 +113,10 @@ module Buf = struct
   let f64_of_array a =
     Bigarray.Array1.of_array Bigarray.float64 Bigarray.c_layout a
 
+  let int_of_array a = Bigarray.Array1.of_array Bigarray.int Bigarray.c_layout a
   let i64_to_array (b : i64) = Array.init (i64_length b) (Bigarray.Array1.get b)
   let f64_to_array (b : f64) = Array.init (f64_length b) (Bigarray.Array1.get b)
+  let int_to_array (b : ints) = Array.init (int_length b) (Bigarray.Array1.get b)
 end
 
 (* ------------------------------------------------------- GF(2) kernels *)
@@ -706,6 +730,351 @@ module Graph = struct
           Prof.add Prof.Word_ops (n * words_of n);
           count_k4 core)
     else count_k4 core
+end
+
+(* ------------------------------------------------- sparse graph kernels *)
+
+module Spgraph = struct
+  (* Compressed sparse rows for the n = 10^5..10^6 regime, where the
+     dense bit matrix wastes O(n^2) bits on absent edges: [row_ptr] has
+     n + 1 offsets into [cols], row i's columns are
+     [cols.(row_ptr.(i)) .. cols.(row_ptr.(i+1) - 1)], strictly ascending
+     with no diagonal.  The columns live on a [Buf.ints] so a 10^7-entry
+     graph costs the GC nothing.
+
+     Every kernel validates the CSR invariants once at entry ([check_t])
+     and then runs its inner loops on unchecked [Buf] accesses; the
+     invariants make every derived index in-bounds.  The per-vertex loops
+     are sharded over fixed-grain row ranges ([sum_over_rows]): the chunk
+     boundaries depend only on n — never on the pool size — and the
+     integer partials are reduced left to right, so every result is
+     byte-identical for every BCC_DOMAINS (docs/PARALLELISM.md).  The
+     dense [Graph] kernels remain the in-run equality oracle at n <= 512
+     (test/test_sparse.ml, `bench sparse`). *)
+
+  type t = { n : int; row_ptr : int array; cols : Buf.ints }
+
+  let vertex_count t = t.n
+
+  (* Directed edge count — entries, i.e. [Digraph.edge_count]'s
+     convention (a symmetric graph counts each undirected edge twice). *)
+  let edge_count t = t.row_ptr.(t.n)
+
+  let check_vertex t i =
+    if i < 0 || i >= t.n then invalid_arg "Spgraph: vertex out of range"
+
+  (* Full invariant scan, O(n + m): offsets monotone with the right
+     endpoints, every row strictly ascending, in range, diagonal-free.
+     Kernels call this once before entering their unchecked loops. *)
+  let check_t t =
+    if t.n < 0 then invalid_arg "Spgraph: negative vertex count";
+    if Array.length t.row_ptr <> t.n + 1 then
+      invalid_arg "Spgraph: row_ptr must have n + 1 offsets";
+    if t.row_ptr.(0) <> 0 then invalid_arg "Spgraph: row_ptr must start at 0";
+    if t.row_ptr.(t.n) <> Buf.int_length t.cols then
+      invalid_arg "Spgraph: row_ptr must end at the column count";
+    for i = 0 to t.n - 1 do
+      if t.row_ptr.(i) > t.row_ptr.(i + 1) then
+        invalid_arg "Spgraph: row_ptr must be monotone";
+      let prev = ref (-1) in
+      for idx = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+        let j = Buf.int_get t.cols idx in
+        if j <= !prev then invalid_arg "Spgraph: row not strictly ascending";
+        if j < 0 || j >= t.n then invalid_arg "Spgraph: column out of range";
+        if j = i then invalid_arg "Spgraph: diagonal entry";
+        prev := j
+      done
+    done
+
+  let make ~n ~row_ptr ~cols =
+    let t = { n; row_ptr; cols } in
+    check_t t;
+    t
+
+  let degree t i =
+    check_vertex t i;
+    t.row_ptr.(i + 1) - t.row_ptr.(i)
+
+  let iter_row t i f =
+    check_vertex t i;
+    for idx = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      f (Buf.int_get t.cols idx)
+    done
+
+  (* Galloping membership: double the probe offset until it passes [j]
+     (so runs of nearby queries cost O(log distance), not O(log degree)),
+     then binary-search the bracketed window. *)
+  let mem t i j =
+    check_vertex t i;
+    check_vertex t j;
+    let base = t.row_ptr.(i) in
+    let len = t.row_ptr.(i + 1) - base in
+    if len = 0 then false
+    else begin
+      let probe = ref 1 in
+      while !probe < len && Buf.int_get t.cols (base + !probe) < j do
+        probe := !probe lsl 1
+      done;
+      let lo = ref (!probe lsr 1) and hi = ref (min !probe (len - 1)) in
+      let found = ref false in
+      while (not !found) && !lo <= !hi do
+        let mid = (!lo + !hi) lsr 1 in
+        let v = Buf.int_get t.cols (base + mid) in
+        if v = j then found := true
+        else if v < j then lo := mid + 1
+        else hi := mid - 1
+      done;
+      !found
+    end
+
+  (* |N(i) ∩ N(j)| by sorted-merge intersection of the two rows. *)
+  let common_count t i j =
+    check_vertex t i;
+    check_vertex t j;
+    let a = ref t.row_ptr.(i) and b = ref t.row_ptr.(j) in
+    let ae = t.row_ptr.(i + 1) and be = t.row_ptr.(j + 1) in
+    let count = ref 0 in
+    while !a < ae && !b < be do
+      let x = Buf.int_get t.cols !a and y = Buf.int_get t.cols !b in
+      if x < y then incr a
+      else if y < x then incr b
+      else begin
+        incr count;
+        incr a;
+        incr b
+      end
+    done;
+    !count
+
+  (* Fixed-grain row-range sharding.  256 rows per chunk keeps a chunk's
+     work around 10^5..10^6 column touches in the sparse regimes the
+     kernels target — coarse enough to amortize dispatch, fine enough to
+     load-balance — and, critically, the chunking is a function of n
+     alone, so the partials (and their left-to-right integer sum) are the
+     same whatever the domain count. *)
+  let grain = 256
+
+  let sum_over_rows n f =
+    if n <= 0 then 0
+    else begin
+      let chunks = ((n - 1) / grain) + 1 in
+      if chunks = 1 then f 0 n
+      else
+        Array.fold_left ( + ) 0
+          (Par.map_array
+             (fun c -> f (c * grain) (min n ((c + 1) * grain)))
+             (Array.init chunks Fun.id))
+    end
+
+  (* Keep edge (i, j) iff (j, i) is also present — [Digraph]'s A land A^T
+     core.  Build the transpose CSR in one O(n + m) counting-sort pass
+     (the row-major scatter emits source vertices in ascending order, so
+     every transpose row lands sorted), then row i's survivors are the
+     sorted-merge intersection of row i with transpose-row i: O(m) total,
+     no per-entry binary search.  Two sharded merge passes over disjoint
+     row ranges: per-row survivor counts (then a sequential prefix sum
+     for the new offsets), then the fill, each row writing its own output
+     segment. *)
+  let bidirectional_core t =
+    check_t t;
+    let n = t.n in
+    let m = t.row_ptr.(n) in
+    let tr_ptr = Array.make (n + 1) 0 in
+    for idx = 0 to m - 1 do
+      let j = Buf.int_get t.cols idx in
+      tr_ptr.(j + 1) <- tr_ptr.(j + 1) + 1
+    done;
+    for j = 0 to n - 1 do
+      tr_ptr.(j + 1) <- tr_ptr.(j + 1) + tr_ptr.(j)
+    done;
+    (* Uninitialized is safe: the scatter writes exactly in-degree(j)
+       entries into transpose row j, and the cursor prefix sums partition
+       the buffer. *)
+    let tr_cols = Buf.int_create_uninit m in
+    let cursor = Array.init n (fun j -> tr_ptr.(j)) in
+    for i = 0 to n - 1 do
+      for idx = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+        let j = Buf.int_get t.cols idx in
+        Buf.int_set tr_cols cursor.(j) i;
+        cursor.(j) <- cursor.(j) + 1
+      done
+    done;
+    (* Merge row i (out-neighbours) with transpose row i (in-neighbours);
+       [emit] receives each survivor in ascending order. *)
+    let merge_row i emit =
+      let a = ref t.row_ptr.(i) and b = ref tr_ptr.(i) in
+      let ae = t.row_ptr.(i + 1) and be = tr_ptr.(i + 1) in
+      while !a < ae && !b < be do
+        let x = Buf.int_get t.cols !a and y = Buf.int_get tr_cols !b in
+        if x < y then incr a
+        else if y < x then incr b
+        else begin
+          emit x;
+          incr a;
+          incr b
+        end
+      done
+    in
+    let keep = Array.make (max 1 n) 0 in
+    let count_range lo hi =
+      let kept = ref 0 in
+      for i = lo to hi - 1 do
+        let k = ref 0 in
+        merge_row i (fun _ -> incr k);
+        keep.(i) <- !k;
+        kept := !kept + !k
+      done;
+      !kept
+    in
+    let total = sum_over_rows n count_range in
+    let row_ptr = Array.make (n + 1) 0 in
+    for i = 0 to n - 1 do
+      row_ptr.(i + 1) <- row_ptr.(i) + keep.(i)
+    done;
+    (* Uninitialized is safe: the fill pass writes exactly [keep.(i)]
+       entries into row i's segment, and the segments partition the
+       buffer ([row_ptr] is their prefix sum). *)
+    let cols = Buf.int_create_uninit total in
+    let fill_range lo hi =
+      for i = lo to hi - 1 do
+        let out = ref row_ptr.(i) in
+        merge_row i (fun j ->
+            Buf.int_set cols !out j;
+            incr out)
+      done;
+      0
+    in
+    ignore (sum_over_rows n fill_range);
+    { n; row_ptr; cols }
+
+  (* First offset in row i whose column exceeds i — the row's forward
+     (upper-triangle) suffix.  On a symmetric graph the forward lists are
+     exactly the ordered adjacency the triangle/K4 merges need. *)
+  let fwd_starts t =
+    check_t t;
+    Array.init t.n (fun i ->
+        let lo = ref t.row_ptr.(i) and hi = ref t.row_ptr.(i + 1) in
+        while !lo < !hi do
+          let mid = (!lo + !hi) lsr 1 in
+          if Buf.int_get t.cols mid <= i then lo := mid + 1 else hi := mid
+        done;
+        !lo)
+
+  (* Triangles of a symmetric adjacency, each counted once as i < j < l,
+     by mark-and-scan: stamp row i's forward neighbours into a per-chunk
+     byte map, then for each forward neighbour j probe j's own forward
+     list against the map — every hit l is a common forward neighbour
+     with l > j > i, so each triangle lands exactly once.  Same count as
+     [Graph.count_triangles] on the dense rows, reached in
+     sum over forward edges (i, j) of fwd-degree(j) O(1) byte probes —
+     cheaper than both the dense word scans (n/64 words per edge) and a
+     suffix merge per edge (which re-walks row i's tail for every j). *)
+  let count_triangles t =
+    check_t t;
+    let fs = fwd_starts t in
+    let range lo hi =
+      let mark = Bytes.make (max 1 t.n) '\000' in
+      let total = ref 0 in
+      for i = lo to hi - 1 do
+        let rs = fs.(i) and re = t.row_ptr.(i + 1) in
+        for idx = rs to re - 1 do
+          Bytes.unsafe_set mark (Buf.int_get t.cols idx) '\001'
+        done;
+        for idx = rs to re - 1 do
+          let j = Buf.int_get t.cols idx in
+          (* Branchless accumulate: the map holds 0/1 bytes, so the probe
+             is an add, not a rarely-taken conditional. *)
+          for jdx = fs.(j) to t.row_ptr.(j + 1) - 1 do
+            total :=
+              !total + Char.code (Bytes.unsafe_get mark (Buf.int_get t.cols jdx))
+          done
+        done;
+        for idx = rs to re - 1 do
+          Bytes.unsafe_set mark (Buf.int_get t.cols idx) '\000'
+        done
+      done;
+      !total
+    in
+    sum_over_rows t.n range
+
+  (* K4s as i < j < l < m: materialize the forward common neighbours of
+     (i, j) once into a per-chunk scratch row (all > j, ascending), then
+     for each l in it count the later scratch entries adjacent to l by
+     merging with l's forward list — the sparse transcription of
+     [Graph.count_k4]'s reused intersection vector. *)
+  let count_k4 t =
+    check_t t;
+    let fs = fwd_starts t in
+    let maxdeg = ref 0 in
+    for i = 0 to t.n - 1 do
+      let d = t.row_ptr.(i + 1) - t.row_ptr.(i) in
+      if d > !maxdeg then maxdeg := d
+    done;
+    let maxdeg = !maxdeg in
+    let range lo hi =
+      let scratch = Array.make (max 1 maxdeg) 0 in
+      let total = ref 0 in
+      for i = lo to hi - 1 do
+        let re = t.row_ptr.(i + 1) in
+        for idx = fs.(i) to re - 1 do
+          let j = Buf.int_get t.cols idx in
+          let a = ref (idx + 1) and b = ref fs.(j) in
+          let be = t.row_ptr.(j + 1) in
+          let m = ref 0 in
+          while !a < re && !b < be do
+            let x = Buf.int_get t.cols !a and y = Buf.int_get t.cols !b in
+            if x < y then incr a
+            else if y < x then incr b
+            else begin
+              Array.unsafe_set scratch !m x;
+              incr m;
+              incr a;
+              incr b
+            end
+          done;
+          for si = 0 to !m - 1 do
+            let l = Array.unsafe_get scratch si in
+            let a = ref (si + 1) and b = ref fs.(l) in
+            let be = t.row_ptr.(l + 1) in
+            while !a < !m && !b < be do
+              let x = Array.unsafe_get scratch !a
+              and y = Buf.int_get t.cols !b in
+              if x < y then incr a
+              else if y < x then incr b
+              else begin
+                incr total;
+                incr a;
+                incr b
+              end
+            done
+          done
+        done
+      done;
+      !total
+    in
+    sum_over_rows t.n range
+
+  (* Profiler shims; charges are column volumes of the sparse scans. *)
+  let bidirectional_core t =
+    if Prof.enabled () then
+      Prof.span "kern:spgraph.bidirectional_core" (fun () ->
+          Prof.add Prof.Word_ops (2 * edge_count t);
+          bidirectional_core t)
+    else bidirectional_core t
+
+  let count_triangles t =
+    if Prof.enabled () then
+      Prof.span "kern:spgraph.count_triangles" (fun () ->
+          Prof.add Prof.Word_ops (edge_count t);
+          count_triangles t)
+    else count_triangles t
+
+  let count_k4 t =
+    if Prof.enabled () then
+      Prof.span "kern:spgraph.count_k4" (fun () ->
+          Prof.add Prof.Word_ops (edge_count t);
+          count_k4 t)
+    else count_k4 t
 end
 
 (* ------------------------------------------------- enumeration kernels *)

@@ -36,8 +36,21 @@ module Buf : sig
   type i64 = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
   type f64 = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
 
+  type ints = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+  (** Native-int buffer ({!Spgraph}'s column arrays): [Bigarray.int]
+      elements are unboxed 63-bit ints, so — unlike the int32/int64
+      kinds — loads need no boxing even without flambda, and a 10^7-entry
+      buffer is still invisible to the GC. *)
+
   val i64_create : int -> i64
   val f64_create : int -> f64
+  val int_create : int -> ints
+
+  val int_create_uninit : int -> ints
+  (** {!int_create} without the zero-fill — only for buffers whose every
+      slot is written before any read (e.g. a CSR fill pass whose cursor
+      prefix sums partition the buffer exactly); reading an unwritten
+      slot is unspecified garbage. *)
 
   (** Accessors are monomorphic [external] re-declarations of the
       Bigarray primitives, so call sites compile to direct unboxed
@@ -45,11 +58,14 @@ module Buf : sig
 
   external i64_length : i64 -> int = "%caml_ba_dim_1"
   external f64_length : f64 -> int = "%caml_ba_dim_1"
+  external int_length : ints -> int = "%caml_ba_dim_1"
 
   external i64_get : i64 -> int -> int64 = "%caml_ba_unsafe_ref_1"
   external i64_set : i64 -> int -> int64 -> unit = "%caml_ba_unsafe_set_1"
   external f64_get : f64 -> int -> float = "%caml_ba_unsafe_ref_1"
   external f64_set : f64 -> int -> float -> unit = "%caml_ba_unsafe_set_1"
+  external int_get : ints -> int -> int = "%caml_ba_unsafe_ref_1"
+  external int_set : ints -> int -> int -> unit = "%caml_ba_unsafe_set_1"
   (** Unchecked element access (see module comment). *)
 
   val i64_fill : i64 -> int64 -> unit
@@ -63,8 +79,10 @@ module Buf : sig
 
   val i64_of_array : int64 array -> i64
   val f64_of_array : float array -> f64
+  val int_of_array : int array -> ints
   val i64_to_array : i64 -> int64 array
   val f64_to_array : f64 -> float array
+  val int_to_array : ints -> int array
   (** Boxed-array conversions, for loading and for tests — not for hot
       loops. *)
 end
@@ -141,6 +159,70 @@ module Graph : sig
 
   val count_k4 : Bitvec.t array -> int
   (** K4s ([i < j < l < m]); one scratch vector reused across the count. *)
+end
+
+(** Compressed-sparse-row graph kernels for the n = 10^5..10^6 regime.
+
+    [row_ptr] holds n + 1 offsets into [cols]; row [i]'s columns are
+    [cols.(row_ptr.(i)) .. cols.(row_ptr.(i+1) - 1)], strictly ascending,
+    in range, diagonal-free.  The columns live on a {!Buf.ints} so the
+    GC never scans them.  Kernels validate the invariants once at entry
+    and then run unchecked merge/gallop inner loops; the per-vertex loops
+    are sharded over fixed-grain row ranges with a left-to-right fold, so
+    every result is byte-identical for every [BCC_DOMAINS].  The dense
+    {!Graph} kernels are the in-run equality oracle at n <= 512
+    (test/test_sparse.ml, `bench sparse`; layout and crossover analysis:
+    docs/PERFORMANCE.md). *)
+module Spgraph : sig
+  type t = { n : int; row_ptr : int array; cols : Buf.ints }
+
+  val make : n:int -> row_ptr:int array -> cols:Buf.ints -> t
+  (** Validating constructor; raises [Invalid_argument] on any broken
+      CSR invariant (see {!check_t}). *)
+
+  val check_t : t -> unit
+  (** O(n + m) invariant scan: offsets monotone with the right endpoints,
+      rows strictly ascending, in range, diagonal-free. *)
+
+  val check_vertex : t -> int -> unit
+
+  val vertex_count : t -> int
+
+  val edge_count : t -> int
+  (** Directed entry count — a symmetric graph counts each undirected
+      edge twice, matching [Digraph.edge_count]. *)
+
+  val degree : t -> int -> int
+  (** Out-degree: [row_ptr.(i + 1) - row_ptr.(i)]. *)
+
+  val iter_row : t -> int -> (int -> unit) -> unit
+  (** Visit row [i]'s columns in ascending order. *)
+
+  val mem : t -> int -> int -> bool
+  (** [mem t i j] — edge test by galloping search in row [i]:
+      O(log distance) for runs of nearby queries. *)
+
+  val common_count : t -> int -> int -> int
+  (** [|N(i) ∩ N(j)|] by sorted-merge intersection. *)
+
+  val fwd_starts : t -> int array
+  (** Per-row offset of the first column exceeding the row index — the
+      forward (upper-triangle) suffixes the triangle/K4 merges scan. *)
+
+  val bidirectional_core : t -> t
+  (** Keep (i, j) iff (j, i) is present — [A land A^T], the sparse
+      {!Graph.bidirectional_core}.  Two sharded passes (survivor counts,
+      then disjoint-range fill). *)
+
+  val count_triangles : t -> int
+  (** Triangles of a symmetric adjacency, each once as [i < j < l]: per
+      forward edge (i, j), merge row i's suffix past j with row j's
+      forward list.  Same count as {!Graph.count_triangles} on the dense
+      rows. *)
+
+  val count_k4 : t -> int
+  (** K4s ([i < j < l < m]) via a reused per-chunk scratch row of the
+      forward common neighbours of each (i, j). *)
 end
 
 (** Exact-enumeration kernels on packed truth tables. *)

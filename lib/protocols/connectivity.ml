@@ -153,13 +153,11 @@ let exact_components graph =
       seen.(v) <- true;
       while not (Queue.is_empty queue) do
         let u = Queue.take queue in
-        Bitvec.iter_set
-          (fun w ->
+        Digraph.iter_out undirected u (fun w ->
             if not seen.(w) then begin
               seen.(w) <- true;
               Queue.add w queue
             end)
-          (Digraph.out_row undirected u)
       done
     end
   done;

@@ -107,18 +107,20 @@ let hits_scalar (stats : float array) ~(threshold : float) =
   done;
   !hits
 
-let advantage_with ~hit_count d ~n ~k ~calibration ~trials g =
-  (* Trials fan out across domains: each trial draws from its own
-     [Prng.split] child (sample first, then the statistic's public coins),
-     so the result is the same whatever the domain count.  [g] itself is
-     never advanced — branches 0/1/2 keep the three stages on disjoint
-     streams. *)
+(* The calibrate/planted/rand protocol, generic in the graph
+   representation: the callers below fix the samplers.  Trials fan out
+   across domains: each trial draws from its own [Prng.split] child
+   (sample first, then the statistic's public coins), so the result is
+   the same whatever the domain count.  [g] itself is never advanced —
+   branches 0/1/2 keep the three stages on disjoint streams. *)
+let advantage_core ~hit_count ~name ~statistic ~sample_rand ~sample_planted
+    ~calibration ~trials g =
   let body () =
     let calib_stats =
       Prof.span "calibrate" (fun () ->
           Par.map_trials (Prng.split g 0) ~trials:calibration (fun ~trial:_ gt ->
-              let graph = Planted.sample_rand gt n in
-              d.statistic gt graph))
+              let graph = sample_rand gt in
+              statistic gt graph))
     in
     let q = 1.0 -. (1.0 /. Float.sqrt (float_of_int (max 2 calibration))) in
     let threshold = Stats.quantile calib_stats q in
@@ -130,19 +132,96 @@ let advantage_with ~hit_count d ~n ~k ~calibration ~trials g =
           let stats =
             Par.map_trials branch ~trials (fun ~trial:_ gt ->
                 let graph = sample_graph gt in
-                d.statistic gt graph)
+                statistic gt graph)
           in
           let hits = hit_count stats ~threshold in
           float_of_int hits /. float_of_int trials)
     in
-    let p_planted =
-      hit_rate "planted" (Prng.split g 1) (fun gt ->
-          fst (Planted.sample_planted gt ~n ~k))
-    in
-    let p_rand = hit_rate "rand" (Prng.split g 2) (fun gt -> Planted.sample_rand gt n) in
+    let p_planted = hit_rate "planted" (Prng.split g 1) sample_planted in
+    let p_rand = hit_rate "rand" (Prng.split g 2) sample_rand in
     p_planted -. p_rand
   in
-  if Prof.enabled () then Prof.span ("advantage:" ^ d.name) body else body ()
+  if Prof.enabled () then Prof.span ("advantage:" ^ name) body else body ()
+
+let advantage_with ~hit_count d ~n ~k ~calibration ~trials g =
+  advantage_core ~hit_count ~name:d.name ~statistic:d.statistic
+    ~sample_rand:(fun gt -> Planted.sample_rand gt n)
+    ~sample_planted:(fun gt -> fst (Planted.sample_planted gt ~n ~k))
+    ~calibration ~trials g
 
 let advantage d = advantage_with ~hit_count:hits_sliced d
 let advantage_scalar d = advantage_with ~hit_count:hits_scalar d
+
+(* Distinguishers over any graph backend — the sparse-regime experiments
+   instantiate this with [Graph_backend.Sparse_backend] and the CSR
+   samplers.  Statistics mirror their dense namesakes above statement for
+   statement; the advantage protocol is [advantage_core], so thresholds,
+   split branches and Prof spans are shared. *)
+module Generic (B : Graph_backend.S) = struct
+  type nonrec t = {
+    name : string;
+    rounds : int;
+    statistic : Prng.t -> B.t -> float;
+  }
+
+  let out_degrees g =
+    Array.init (B.vertex_count g) (fun i -> float_of_int (B.out_degree g i))
+
+  let max_out_degree : t =
+    {
+      name = "max-out-degree";
+      rounds = 1;
+      statistic = (fun _ g -> Array.fold_left Float.max 0.0 (out_degrees g));
+    }
+
+  let total_edges : t =
+    {
+      name = "total-edges";
+      rounds = 1;
+      statistic = (fun _ g -> Array.fold_left ( +. ) 0.0 (out_degrees g));
+    }
+
+  let degree_variance : t =
+    {
+      name = "degree-variance";
+      rounds = 1;
+      statistic = (fun _ g -> Stats.variance (out_degrees g));
+    }
+
+  let triangle_count : t =
+    {
+      name = "triangle-count";
+      rounds = 65;
+      statistic = (fun _ g -> float_of_int (B.count_triangles g));
+    }
+
+  let k4_count : t =
+    {
+      name = "k4-count";
+      rounds = 65;
+      statistic = (fun _ g -> float_of_int (B.count_k4 g));
+    }
+
+  let common_neighbors ~pairs : t =
+    {
+      name = Printf.sprintf "common-neighbors(pairs=%d)" pairs;
+      rounds = max 1 ((2 * pairs) / 64) + 1;
+      statistic =
+        (fun coins g ->
+          let n = B.vertex_count g in
+          let best = ref 0 in
+          for _ = 1 to pairs do
+            let i = Prng.int coins n in
+            let j = Prng.int coins n in
+            if i <> j && B.has_edge g i j && B.has_edge g j i then begin
+              let c = B.count_common_out_neighbors g i j in
+              if c > !best then best := c
+            end
+          done;
+          float_of_int !best);
+    }
+
+  let advantage (d : t) ~sample_rand ~sample_planted ~calibration ~trials g =
+    advantage_core ~hit_count:hits_sliced ~name:d.name ~statistic:d.statistic
+      ~sample_rand ~sample_planted ~calibration ~trials g
+end

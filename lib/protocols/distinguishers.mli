@@ -79,3 +79,37 @@ val advantage_scalar :
 (** {!advantage} with per-trial (unsliced) hit counting — the in-run
     equality oracle for the sliced path; tests pin the two equal on the
     experiment seeds. *)
+
+(** The distinguisher battery over any {!Graph_backend.S} — the sparse
+    experiments instantiate it with [Graph_backend.Sparse_backend] and
+    the CSR samplers.  Statistics mirror their dense namesakes statement
+    for statement, and {!Generic.advantage} runs the exact
+    calibrate/planted/rand protocol of the dense {!advantage} (same
+    [Prng.split] branches, threshold quantile, Prof spans and sliced hit
+    counting), so dense and sparse advantages of the same statistic on
+    stream-identical samplers coincide (test/test_sparse.ml). *)
+module Generic (B : Graph_backend.S) : sig
+  type t = {
+    name : string;
+    rounds : int;  (** BCAST(log n) rounds consumed. *)
+    statistic : Prng.t -> B.t -> float;
+  }
+
+  val max_out_degree : t
+  val total_edges : t
+  val degree_variance : t
+  val triangle_count : t
+  val k4_count : t
+  val common_neighbors : pairs:int -> t
+
+  val advantage :
+    t ->
+    sample_rand:(Prng.t -> B.t) ->
+    sample_planted:(Prng.t -> B.t) ->
+    calibration:int ->
+    trials:int ->
+    Prng.t ->
+    float
+  (** Empirical advantage with caller-supplied samplers (the null model
+      is a parameter in the sparse regime: G(n, p), not G(n, 1/2)). *)
+end

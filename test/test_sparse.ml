@@ -1,0 +1,420 @@
+(* Tests for the CSR sparse backend: structural invariants, stream
+   identity with the dense samplers, dense-vs-sparse kernel equality
+   (the n <= 512 oracle battery), functor-level recovery/distinguisher
+   agreement, and pool-size independence. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_ints = Alcotest.(check (list int))
+
+let with_domains domains f =
+  let old = Par.domain_count () in
+  Par.set_domain_count domains;
+  Fun.protect ~finally:(fun () -> Par.set_domain_count old) f
+
+let spgraph_equal (a : Bcc_kern.Spgraph.t) (b : Bcc_kern.Spgraph.t) =
+  a.Bcc_kern.Spgraph.n = b.Bcc_kern.Spgraph.n
+  && a.Bcc_kern.Spgraph.row_ptr = b.Bcc_kern.Spgraph.row_ptr
+  && Bcc_kern.Buf.int_to_array a.Bcc_kern.Spgraph.cols
+     = Bcc_kern.Buf.int_to_array b.Bcc_kern.Spgraph.cols
+
+let digraph_equal a b =
+  let n = Digraph.vertex_count a in
+  n = Digraph.vertex_count b
+  && begin
+       let ok = ref true in
+       for i = 0 to n - 1 do
+         if not (Bitvec.equal (Digraph.out_row a i) (Digraph.out_row b i)) then
+           ok := false
+       done;
+       !ok
+     end
+
+(* ------------------------------------------------------- structure *)
+
+(* Word-boundary sizes: CSR carries no packing, but the dense twin does,
+   so the round-trip sweep crosses the Bitvec word seams. *)
+let boundary_sizes = [ 1; 63; 64; 65; 127; 128 ]
+
+let test_roundtrip_boundaries () =
+  List.iter
+    (fun n ->
+      let g = Prng.create (1000 + n) in
+      let dg = Gnp.sample_fast g ~n ~p:0.2 in
+      let sg = Sparse.of_digraph dg in
+      check_int (Printf.sprintf "n=%d vertex count" n) n
+        (Sparse.vertex_count sg);
+      check_int
+        (Printf.sprintf "n=%d edge count" n)
+        (Digraph.edge_count dg) (Sparse.edge_count sg);
+      check_bool
+        (Printf.sprintf "n=%d to_digraph inverts of_digraph" n)
+        true
+        (digraph_equal dg (Sparse.to_digraph sg)))
+    boundary_sizes
+
+let test_empty_and_full () =
+  let empty = Sparse.of_digraph (Digraph.create 7) in
+  check_int "empty edges" 0 (Sparse.edge_count empty);
+  check_bool "no edge" false (Sparse.has_edge empty 0 1);
+  let g = Prng.create 5 in
+  let full = Sparse.sample_gnp g ~n:9 ~p:1.0 in
+  check_int "complete graph edges" (9 * 8) (Sparse.edge_count full);
+  for i = 0 to 8 do
+    check_int "degree n-1" 8 (Sparse.out_degree full i)
+  done
+
+let test_accessors_vs_dense () =
+  let n = 96 in
+  let g = Prng.create 7 in
+  let dg = Gnp.sample_fast g ~n ~p:0.1 in
+  let sg = Sparse.of_digraph dg in
+  for i = 0 to n - 1 do
+    check_int "out_degree" (Digraph.out_degree dg i) (Sparse.out_degree sg i);
+    for j = 0 to n - 1 do
+      check_bool "has_edge" (Digraph.has_edge dg i j) (Sparse.has_edge sg i j)
+    done;
+    (* iter_out ascending, matching the dense row. *)
+    let got = ref [] in
+    Sparse.iter_out sg i (fun j -> got := j :: !got);
+    let want = ref [] in
+    Digraph.iter_out dg i (fun j -> want := j :: !want);
+    check_ints "iter_out" (List.rev !want) (List.rev !got)
+  done;
+  for i = 0 to n - 1 do
+    let j = (i * 37) mod n in
+    check_int "common out neighbors"
+      (Digraph.count_common_out_neighbors dg i j)
+      (Sparse.count_common_out_neighbors sg i j)
+  done
+
+let test_degree_sums_vs_dense () =
+  let n = 128 in
+  let g = Prng.create 8 in
+  let dg = Gnp.sample_fast g ~n ~p:0.07 in
+  let sg = Sparse.of_digraph dg in
+  let want =
+    Array.init n (fun i -> Digraph.out_degree dg i + Digraph.in_degree dg i)
+  in
+  check_bool "degree_sums" true (want = Sparse.degree_sums sg)
+
+let test_make_rejects_malformed () =
+  let ints l = Bcc_kern.Buf.int_of_array (Array.of_list l) in
+  let expect_invalid name f =
+    check_bool name true
+      (match f () with
+      | exception Invalid_argument _ -> true
+      | _ -> false)
+  in
+  expect_invalid "descending row" (fun () ->
+      Bcc_kern.Spgraph.make ~n:3 ~row_ptr:[| 0; 2; 2; 2 |] ~cols:(ints [ 2; 1 ]));
+  expect_invalid "duplicate column" (fun () ->
+      Bcc_kern.Spgraph.make ~n:3 ~row_ptr:[| 0; 2; 2; 2 |] ~cols:(ints [ 1; 1 ]));
+  expect_invalid "diagonal" (fun () ->
+      Bcc_kern.Spgraph.make ~n:2 ~row_ptr:[| 0; 1; 1 |] ~cols:(ints [ 0 ]));
+  expect_invalid "column out of range" (fun () ->
+      Bcc_kern.Spgraph.make ~n:2 ~row_ptr:[| 0; 1; 1 |] ~cols:(ints [ 5 ]));
+  expect_invalid "offsets not monotone" (fun () ->
+      Bcc_kern.Spgraph.make ~n:2 ~row_ptr:[| 0; 1; 0 |] ~cols:(ints [ 1 ]))
+
+(* ------------------------------------------------- stream identity *)
+
+(* The tentpole pin: the CSR sampler consumes the PRNG identically to the
+   dense one, so both sides of a shared seed are the same graph. *)
+let test_sample_gnp_stream_identity () =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun (n, p) ->
+          let dense = Gnp.sample_fast (Prng.create seed) ~n ~p in
+          let sparse = Sparse.sample_gnp (Prng.create seed) ~n ~p in
+          check_bool
+            (Printf.sprintf "seed %d n=%d p=%g" seed n p)
+            true
+            (spgraph_equal (Sparse.of_digraph dense) sparse))
+        [ (64, 0.5); (128, 0.1); (256, 0.02); (100, 0.0); (50, 1.0) ])
+    [ 1; 2; 42 ]
+
+let test_sample_gnp_advances_prng_identically () =
+  (* After sampling, both generators must sit at the same stream
+     position: the next draw agrees. *)
+  let gd = Prng.create 9 and gs = Prng.create 9 in
+  ignore (Gnp.sample_fast gd ~n:128 ~p:0.07);
+  ignore (Sparse.sample_gnp gs ~n:128 ~p:0.07);
+  check_bool "next draw equal" true (Prng.float gd = Prng.float gs)
+
+let test_sample_planted_matches_dense_order () =
+  (* Planted.sample_planted at p = 1/2 is the dense special case; the
+     sparse sampler must see the same clique subset for a shared seed. *)
+  List.iter
+    (fun seed ->
+      let n = 96 and k = 24 in
+      let _, dense_clique =
+        Planted.sample_planted (Prng.create seed) ~n ~k
+      in
+      let sparse, sparse_clique =
+        Sparse.sample_planted (Prng.create seed) ~n ~p:0.5 ~k
+      in
+      check_ints
+        (Printf.sprintf "seed %d same clique" seed)
+        (List.sort_uniq Int.compare dense_clique)
+        (List.sort_uniq Int.compare sparse_clique);
+      (* And the clique is actually in the sparse instance. *)
+      let cs = Array.of_list (List.sort_uniq Int.compare sparse_clique) in
+      Array.iter
+        (fun u ->
+          Array.iter
+            (fun v ->
+              if u <> v then
+                check_bool "clique edge present" true (Sparse.has_edge sparse u v))
+            cs)
+        cs)
+    [ 1; 2; 42 ]
+
+(* ------------------------------------------------- kernel equality *)
+
+(* The n <= 512 oracle battery: every sparse kernel against its dense
+   twin on the same sampled graph. *)
+let test_kernels_vs_dense () =
+  List.iter
+    (fun (n, p, seed) ->
+      let dg = Gnp.sample_fast (Prng.create seed) ~n ~p in
+      let sg = Sparse.of_digraph dg in
+      let dcore = Bcc_kern.Graph.bidirectional_core (Digraph.unsafe_rows dg) in
+      let score = Bcc_kern.Spgraph.bidirectional_core sg in
+      (* The core itself must match entry for entry. *)
+      let label = Printf.sprintf "n=%d p=%g seed=%d" n p seed in
+      Array.iteri
+        (fun i row ->
+          check_int
+            (Printf.sprintf "%s core degree %d" label i)
+            (Bitvec.popcount row)
+            (Bcc_kern.Spgraph.degree score i);
+          Bcc_kern.Spgraph.iter_row score i (fun j ->
+              check_bool
+                (Printf.sprintf "%s core edge (%d,%d)" label i j)
+                true (Bitvec.get row j)))
+        dcore;
+      check_int
+        (Printf.sprintf "%s triangles" label)
+        (Bcc_kern.Graph.count_triangles dcore)
+        (Bcc_kern.Spgraph.count_triangles score);
+      check_int
+        (Printf.sprintf "%s k4" label)
+        (Bcc_kern.Graph.count_k4 dcore)
+        (Bcc_kern.Spgraph.count_k4 score))
+    [ (64, 0.3, 1); (128, 0.15, 2); (256, 0.05, 3); (512, 0.02, 42) ]
+
+let test_core_on_asymmetric_input () =
+  (* bidirectional_core's job is dropping one-way edges; the samplers
+     only produce symmetric graphs, so build an asymmetric one by hand. *)
+  let n = 200 in
+  let g = Prng.create 17 in
+  let dg = Digraph.create n in
+  for _ = 1 to 2000 do
+    let i = Prng.int g n and j = Prng.int g n in
+    if i <> j then Digraph.add_edge dg i j
+  done;
+  let sg = Sparse.of_digraph dg in
+  let dcore = Bcc_kern.Graph.bidirectional_core (Digraph.unsafe_rows dg) in
+  let score = Bcc_kern.Spgraph.bidirectional_core sg in
+  Array.iteri
+    (fun i row ->
+      check_int (Printf.sprintf "asym core degree %d" i) (Bitvec.popcount row)
+        (Bcc_kern.Spgraph.degree score i);
+      Bcc_kern.Spgraph.iter_row score i (fun j ->
+          check_bool "asym core edge" true (Bitvec.get row j)))
+    dcore
+
+(* ------------------------------------------------- functor parity *)
+
+module Dense_recover = Clique.Recover (Graph_backend.Dense)
+module Sparse_recover = Clique.Recover (Graph_backend.Sparse_backend)
+module Dense_dist = Distinguishers.Generic (Graph_backend.Dense)
+module Sparse_dist = Distinguishers.Generic (Graph_backend.Sparse_backend)
+
+let test_recover_dense_eq_sparse () =
+  List.iter
+    (fun seed ->
+      let n = 256 and k = 48 in
+      let dg, _ = Planted.sample_planted (Prng.create seed) ~n ~k in
+      let sg = Sparse.of_digraph dg in
+      check_ints
+        (Printf.sprintf "seed %d degree_recover" seed)
+        (Dense_recover.degree_recover dg ~k)
+        (Sparse_recover.degree_recover sg ~k);
+      check_ints
+        (Printf.sprintf "seed %d top_degree" seed)
+        (Dense_recover.top_degree_vertices dg k)
+        (Sparse_recover.top_degree_vertices sg k))
+    [ 1; 2; 42 ]
+
+let test_recover_functor_matches_legacy () =
+  (* Recover(Dense) must be the pre-functor dense implementation. *)
+  let n = 256 and k = 48 in
+  let dg, _ = Planted.sample_planted (Prng.create 3) ~n ~k in
+  check_ints "legacy alias" (Clique.degree_recover dg ~k)
+    (Dense_recover.degree_recover dg ~k)
+
+let test_generic_advantage_dense_eq_sparse () =
+  let n = 128 and k = 32 and p = 0.5 in
+  (* Dense twin of [Sparse.sample_planted]: same draw order (clique
+     subset, then the geometric-skip stream), so a shared generator
+     feeds both backends the same graphs. *)
+  let dense_planted gt =
+    let c = Prng.subset gt ~n ~k in
+    let dg = Gnp.sample_fast gt ~n ~p in
+    List.iter
+      (fun i ->
+        List.iter
+          (fun j ->
+            if i <> j then begin
+              Digraph.add_edge dg i j;
+              Digraph.add_edge dg j i
+            end)
+          c)
+      c;
+    dg
+  in
+  let stats_d =
+    [
+      Dense_dist.max_out_degree;
+      Dense_dist.total_edges;
+      Dense_dist.triangle_count;
+      Dense_dist.common_neighbors ~pairs:4;
+    ]
+  in
+  let stats_s =
+    [
+      Sparse_dist.max_out_degree;
+      Sparse_dist.total_edges;
+      Sparse_dist.triangle_count;
+      Sparse_dist.common_neighbors ~pairs:4;
+    ]
+  in
+  List.iter2
+    (fun (d : Dense_dist.t) (s : Sparse_dist.t) ->
+      let ad =
+        Dense_dist.advantage d
+          ~sample_rand:(fun gt -> Gnp.sample_fast gt ~n ~p)
+          ~sample_planted:dense_planted ~calibration:12 ~trials:12
+          (Prng.create 77)
+      in
+      let as_ =
+        Sparse_dist.advantage s
+          ~sample_rand:(fun gt -> Sparse.sample_gnp gt ~n ~p)
+          ~sample_planted:(fun gt ->
+            fst (Sparse.sample_planted gt ~n ~p ~k))
+          ~calibration:12 ~trials:12 (Prng.create 77)
+      in
+      check_bool
+        (Printf.sprintf "%s advantage dense = sparse" d.Dense_dist.name)
+        true (ad = as_))
+    stats_d stats_s
+
+(* ------------------------------------------------- pool independence *)
+
+let test_kernels_pool_independent () =
+  let sg = Sparse.sample_gnp (Prng.create 11) ~n:1024 ~p:0.02 in
+  let run () =
+    let core = Bcc_kern.Spgraph.bidirectional_core sg in
+    ( Bcc_kern.Spgraph.count_triangles core,
+      Bcc_kern.Spgraph.count_k4 core,
+      Bcc_kern.Buf.int_to_array core.Bcc_kern.Spgraph.cols )
+  in
+  let t1, q1, c1 = with_domains 1 run in
+  let t4, q4, c4 = with_domains 4 run in
+  check_int "triangles at 1 vs 4 domains" t1 t4;
+  check_int "k4 at 1 vs 4 domains" q1 q4;
+  check_bool "core bytes at 1 vs 4 domains" true (c1 = c4)
+
+let test_e30_artifact_pool_independent () =
+  (* The e30 driver itself is seconds-scale; pin pool independence on a
+     same-shape, smaller driver pass: sample + recover + one advantage. *)
+  let run () =
+    let n = 2048 in
+    let p = 1.0 /. Float.sqrt (float_of_int n) in
+    let graph, clique =
+      Sparse.sample_planted (Prng.create 21) ~n ~p ~k:64
+    in
+    let rec_ = Sparse_recover.degree_recover graph ~k:64 in
+    let adv =
+      Sparse_dist.advantage Sparse_dist.max_out_degree
+        ~sample_rand:(fun gt -> Sparse.sample_rand gt ~n:512 ~p:0.05)
+        ~sample_planted:(fun gt ->
+          fst (Sparse.sample_planted gt ~n:512 ~p:0.05 ~k:48))
+        ~calibration:8 ~trials:8 (Prng.create 22)
+    in
+    (List.sort_uniq Int.compare clique, rec_, adv)
+  in
+  let c1, r1, a1 = with_domains 1 run in
+  let c4, r4, a4 = with_domains 4 run in
+  check_ints "clique at 1 vs 4 domains" c1 c4;
+  check_ints "recovery at 1 vs 4 domains" r1 r4;
+  check_bool "advantage at 1 vs 4 domains" true (a1 = a4)
+
+(* ------------------------------------------------------- digraph *)
+
+let test_iter_out_matches_out_row () =
+  let n = 130 in
+  let dg = Gnp.sample_fast (Prng.create 13) ~n ~p:0.1 in
+  for i = 0 to n - 1 do
+    let got = ref [] in
+    Digraph.iter_out dg i (fun j -> got := j :: !got);
+    let want = ref [] in
+    Bitvec.iter_set (fun j -> want := j :: !want) (Digraph.out_row dg i);
+    check_ints (Printf.sprintf "row %d" i) (List.rev !want) (List.rev !got)
+  done
+
+let () =
+  Alcotest.run "sparse"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "roundtrip at word boundaries" `Quick
+            test_roundtrip_boundaries;
+          Alcotest.test_case "empty and complete" `Quick test_empty_and_full;
+          Alcotest.test_case "accessors vs dense" `Quick test_accessors_vs_dense;
+          Alcotest.test_case "degree sums vs dense" `Quick
+            test_degree_sums_vs_dense;
+          Alcotest.test_case "make rejects malformed" `Quick
+            test_make_rejects_malformed;
+        ] );
+      ( "stream identity",
+        [
+          Alcotest.test_case "sample_gnp = dense sampler" `Quick
+            test_sample_gnp_stream_identity;
+          Alcotest.test_case "prng position preserved" `Quick
+            test_sample_gnp_advances_prng_identically;
+          Alcotest.test_case "sample_planted clique order" `Quick
+            test_sample_planted_matches_dense_order;
+        ] );
+      ( "kernel oracle",
+        [
+          Alcotest.test_case "kernels vs dense (n <= 512)" `Quick
+            test_kernels_vs_dense;
+          Alcotest.test_case "core on asymmetric input" `Quick
+            test_core_on_asymmetric_input;
+        ] );
+      ( "functor parity",
+        [
+          Alcotest.test_case "recover dense = sparse" `Quick
+            test_recover_dense_eq_sparse;
+          Alcotest.test_case "Recover(Dense) = legacy" `Quick
+            test_recover_functor_matches_legacy;
+          Alcotest.test_case "Generic advantage dense = sparse" `Quick
+            test_generic_advantage_dense_eq_sparse;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "kernels at 1 vs 4 domains" `Quick
+            test_kernels_pool_independent;
+          Alcotest.test_case "pipeline at 1 vs 4 domains" `Quick
+            test_e30_artifact_pool_independent;
+        ] );
+      ( "digraph",
+        [
+          Alcotest.test_case "iter_out = out_row scan" `Quick
+            test_iter_out_matches_out_row;
+        ] );
+    ]
