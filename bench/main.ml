@@ -25,10 +25,15 @@
    cross-representation oracle (BENCH_sparse.json): sampler, core,
    triangle/K4 counts, degree sums, with in-run agreement required.
 
-   Part 7 ("compare") is the regression gate: it re-measures parts 4-6 in
-   quick mode and diffs the kernel-vs-oracle speedup ratios against the
-   committed BENCH_baseline.json, failing on any kernel whose edge over
-   its own oracle shrank by more than 1.5x.
+   Part 6b sweeps the batched PRNG engine (Prng.Block fills, the block
+   G(n,p) sampler, the sharded sampler) against the scalar draw loops
+   they replace (BENCH_prng.json); the fill and block-sampler rows are
+   exact-stream oracles, the sharded row a 6-sigma edge-count envelope.
+
+   Part 7 ("compare") is the regression gate: it re-measures parts 4-6b
+   in quick mode and diffs the kernel-vs-oracle speedup ratios against
+   the committed BENCH_baseline.json, failing on any kernel whose edge
+   over its own oracle shrank by more than 1.5x.
 
    Whatever ran is also consolidated into one versioned BENCH.json
    envelope (params carry bench_schema_version; payload has one section
@@ -42,6 +47,7 @@
      dune exec bench/main.exe -- kern --quick     # smaller sizes (CI smoke)
      dune exec bench/main.exe -- graph            # only the graph-kernel sweep
      dune exec bench/main.exe -- sparse           # only the sparse-vs-dense sweep
+     dune exec bench/main.exe -- prng             # only the batched-draw sweep
      dune exec bench/main.exe -- compare          # regression gate vs baseline
      dune exec bench/main.exe -- compare --update # regenerate the baseline
 *)
@@ -906,6 +912,157 @@ let run_sparse ~quick () =
   Format.printf "@.";
   (json, all_agree)
 
+(* ------------------------------------------------- batched-draw sweep *)
+
+(* Part 6b: the batched PRNG engine (Prng.Block) against the scalar draw
+   loops it replaces, plus the block/sharded G(n,p) samplers against the
+   frozen scalar sampler.  The fill rows are exact-stream oracles: block
+   and scalar consume the identical xoshiro256++ words, so the outputs
+   must agree byte for byte.  The sharded sampler reads a different
+   (documented) stream, so its oracle is statistical: the edge count must
+   sit within 6 sigma of the G(n,p) mean.  Honest expectations on this
+   class of hardware: fills are memory-streaming (2-4x over scalar),
+   whole-sampler rows include CSR construction and land lower — see
+   docs/PERFORMANCE.md "Batched draws". *)
+let run_prng ~quick () =
+  Format.printf "=====================================================@.";
+  Format.printf " Batched PRNG sweep (Prng.Block vs scalar draws)@.";
+  Format.printf "=====================================================@.";
+  let reps = if quick then 3 else 5 in
+  let rows = ref [] in
+  let add r = rows := r :: !rows in
+  Format.printf "%-16s %-16s %14s %14s %10s@." "group" "case" "scalar ns"
+    "block ns" "speedup";
+  Format.printf "%s@." (String.make 76 '-');
+  let len = if quick then 1 lsl 16 else 1 lsl 20 in
+  let case_len = Printf.sprintf "len=%d" len in
+  (* Two destination buffers per row — the scalar and block closures must
+     not alias or the equality oracle compares a buffer with itself. *)
+  let i64_a = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout len in
+  let i64_b = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout len in
+  add
+    (kern_case ~reps ~group:"prng-fill64" ~case:case_len
+       ~naive:(fun () ->
+         let g = Prng.create 71 in
+         for i = 0 to len - 1 do
+           i64_a.{i} <- Prng.bits64 g
+         done;
+         i64_a)
+       ~kern:(fun () ->
+         let g = Prng.create 71 in
+         Prng.Block.fill_bits64 g i64_b ~pos:0 ~len;
+         i64_b)
+       ~equal:(fun a b ->
+         let ok = ref true in
+         for i = 0 to len - 1 do
+           if not (Int64.equal a.{i} b.{i}) then ok := false
+         done;
+         !ok));
+  let f64_a = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout len in
+  let f64_b = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout len in
+  add
+    (kern_case ~reps ~group:"prng-fillf" ~case:case_len
+       ~naive:(fun () ->
+         let g = Prng.create 72 in
+         for i = 0 to len - 1 do
+           f64_a.{i} <- Prng.float g
+         done;
+         f64_a)
+       ~kern:(fun () ->
+         let g = Prng.create 72 in
+         Prng.Block.fill_float g f64_b ~pos:0 ~len;
+         f64_b)
+       ~equal:(fun a b ->
+         let ok = ref true in
+         for i = 0 to len - 1 do
+           if not (Float.equal a.{i} b.{i}) then ok := false
+         done;
+         !ok));
+  let geo_p = 0.01 in
+  let log1mp = Float.log (1.0 -. geo_p) in
+  let cap = float_of_int (1 lsl 30) in
+  let int_a = Bigarray.Array1.create Bigarray.int Bigarray.c_layout len in
+  let int_b = Bigarray.Array1.create Bigarray.int Bigarray.c_layout len in
+  add
+    (kern_case ~reps ~group:"prng-geom" ~case:(case_len ^ ",p=1/100")
+       ~naive:(fun () ->
+         let g = Prng.create 73 in
+         for i = 0 to len - 1 do
+           let u = Prng.float g in
+           let skip = Float.log (1.0 -. u) /. log1mp in
+           int_a.{i} <- int_of_float (Float.min skip cap)
+         done;
+         int_a)
+       ~kern:(fun () ->
+         let g = Prng.create 73 in
+         Prng.Block.fill_geometric g ~log1mp ~cap int_b ~pos:0 ~len;
+         int_b)
+       ~equal:(fun a b ->
+         let ok = ref true in
+         for i = 0 to len - 1 do
+           if a.{i} <> b.{i} then ok := false
+         done;
+         !ok));
+  (* Whole-sampler rows.  Block vs scalar is an exact oracle (identical
+     stream, identical graph); sharded reads its own documented stream so
+     the oracle is the 6-sigma edge-count envelope. *)
+  let cases =
+    if quick then [ (4096, 0.01) ] else [ (4096, 0.01); (16384, 0.005) ]
+  in
+  List.iter
+    (fun (n, p) ->
+      let case = Printf.sprintf "n=%d,p=1/%d" n (int_of_float (1.0 /. p)) in
+      add
+        (kern_case ~reps ~group:"prng-sample" ~case
+           ~naive:(fun () -> Sparse.sample_gnp_scalar (Prng.create 31) ~n ~p)
+           ~kern:(fun () -> Sparse.sample_gnp (Prng.create 31) ~n ~p)
+           ~equal:spgraph_equal);
+      let pairs = float_of_int n *. float_of_int (n - 1) /. 2.0 in
+      let mean = pairs *. p in
+      let sigma = Float.sqrt (pairs *. p *. (1.0 -. p)) in
+      let in_envelope (g : Bcc_kern.Spgraph.t) =
+        (* [edge_count] is directed (2m). *)
+        let m = float_of_int (Sparse.edge_count g / 2) in
+        Float.abs (m -. mean) <= 6.0 *. sigma
+      in
+      add
+        (kern_case ~reps ~group:"prng-sharded" ~case
+           ~naive:(fun () -> Sparse.sample_gnp_scalar (Prng.create 31) ~n ~p)
+           ~kern:(fun () -> Sparse.sample_gnp_sharded (Prng.create 31) ~n ~p)
+           ~equal:(fun a b -> in_envelope a && in_envelope b)))
+    cases;
+  let rows = List.rev !rows in
+  let all_agree = List.for_all (fun r -> r.agree) rows in
+  let json =
+    Artifact.List
+      (List.map
+         (fun r ->
+           Artifact.Obj
+             [
+               ("group", Artifact.String r.group);
+               ("case", Artifact.String r.case);
+               ("naive_ns", Artifact.Float r.naive_ns);
+               ("kern_ns", Artifact.Float r.kern_ns);
+               ("speedup", Artifact.Float (r.naive_ns /. r.kern_ns));
+               ("agree", Artifact.Bool r.agree);
+             ])
+         rows)
+  in
+  Artifact.write_file
+    ~path:(Filename.concat Artifact.default_dir "BENCH_prng.json")
+    (Artifact.make ~kind:"bench" ~id:"prng"
+       ~params:
+         [
+           ("repetitions", Artifact.Int reps);
+           ("quick", Artifact.Bool quick);
+         ]
+       json);
+  Format.printf "@.artifact written to %s/BENCH_prng.json@." Artifact.default_dir;
+  if not all_agree then
+    Format.printf "SCALAR/BLOCK MISMATCH — see the rows marked MISMATCH@.";
+  Format.printf "@.";
+  (json, all_agree)
+
 (* --------------------------------------------------- regression gate *)
 
 (* The gate compares kernel-vs-oracle *speedup ratios* against the
@@ -944,15 +1101,17 @@ let run_compare ~update () =
     let kern_json, kern_ok = run_kern ~quick:true () in
     let graph_json, graph_ok = run_graph ~quick:true () in
     let sparse_json, sparse_ok = run_sparse ~quick:true () in
+    let prng_json, prng_ok = run_prng ~quick:true () in
     ( speedup_rows kern_json @ speedup_rows graph_json
-      @ speedup_rows sparse_json,
+      @ speedup_rows sparse_json @ speedup_rows prng_json,
       Artifact.Obj
         [
           ("kern", kern_json);
           ("graph", graph_json);
           ("sparse", sparse_json);
+          ("prng", prng_json);
         ],
-      kern_ok && graph_ok && sparse_ok )
+      kern_ok && graph_ok && sparse_ok && prng_ok )
   in
   let s1, fresh_payload, ok1 = measure () in
   let s2, _, ok2 = measure () in
@@ -1131,6 +1290,10 @@ let () =
       let payload, agree = run_sparse ~quick () in
       add "sparse" payload;
       ok := agree
+  | "prng" ->
+      let payload, agree = run_prng ~quick () in
+      add "prng" payload;
+      ok := agree
   | "compare" ->
       let update = Array.exists (String.equal "--update") Sys.argv in
       let payload, pass = run_compare ~update () in
@@ -1148,6 +1311,9 @@ let () =
       ok := !ok && agree;
       let payload, agree = run_sparse ~quick () in
       add "sparse" payload;
+      ok := !ok && agree;
+      let payload, agree = run_prng ~quick () in
+      add "prng" payload;
       ok := !ok && agree);
   (* One stable envelope over whatever ran, for cross-commit tracking. *)
   Artifact.write_file

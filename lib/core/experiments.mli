@@ -85,8 +85,16 @@ val e30_sparse_planted : ?seed:int -> unit -> table
     sparse detectability boundary and in-artifact dense-vs-sparse oracle
     rows. *)
 
+val e31_million_vertex : ?seed:int -> unit -> table
+(** The million-vertex rung: planted clique at [n = 10^6] (override with
+    BCC_E31_N on constrained hosts), [p = n^{-1/2}], [k = 16 n^{1/4}],
+    sampled by the sharded word-level skip sampler
+    ([Sparse.sample_planted_sharded]) and recovered exactly through
+    [Clique.Recover] over the CSR backend, with in-artifact
+    block-vs-scalar and sharded-sampler oracle rows. *)
+
 val all : ?seed:int -> unit -> table list
-(** All thirty, in order. *)
+(** All thirty-one, in order. *)
 
 val by_id : string -> (?seed:int -> unit -> table) option
 (** Look up a driver by its id ("e1" ... "e26"). *)

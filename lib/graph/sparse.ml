@@ -53,10 +53,16 @@ let degree_sums t =
    smaller neighbours from pairs (u, i) with u increasing, then its
    larger ones from pairs (i, v) with v increasing), so no per-row sort
    is ever needed.  The stream lives on a [Buf.ints] and the only plain
-   arrays are O(n) — a 10^7-pair stream adds nothing for the major GC to
-   scan (the earlier [int array] pair buffers made every major slice a
-   multi-hundred-MB walk). *)
-let csr_of_stream ~n ~m fwd_count js =
+   arrays are O(n).
+
+   This direct variant scatters every backward entry (j, i) straight to
+   its final slot — one random write into [cols] per pair.  Fine while
+   [cols] fits in cache; at the 10^6-vertex rung [cols] is ~8 GB and
+   every scatter is a TLB-and-DRAM round trip, which is what
+   [csr_of_stream_bucketed] below fixes.  Kept as the reference
+   implementation (and the builder for the frozen [sample_gnp_scalar]
+   baseline): both builders emit byte-identical CSRs. *)
+let csr_of_stream_direct ~n ~m fwd_count js =
   if m < 0 || m > Buf.int_length js then
     invalid_arg "Sparse: pair stream shorter than m";
   if Array.length fwd_count <> n then
@@ -93,18 +99,110 @@ let csr_of_stream ~n ~m fwd_count js =
   done;
   Spgraph.make ~n ~row_ptr ~cols
 
-(* CSR twin of [Gnp.sample_fast]: the identical geometric-skip decode —
-   same [Prng.float] draws in the same order, same cap, same row-major
-   pair walk — but the decoded skips are appended to a pair stream
-   instead of written into dense rows, so a G(n, p) graph costs
-   O(n + m) memory end to end.  test/test_sparse.ml pins
-   [sample_gnp] == [of_digraph (Gnp.sample_fast ...)] on shared seeds. *)
-let sample_gnp g ~n ~p =
+(* Cache-aware counting sort for the same stream: partition the backward
+   entries (j, i) into row-range buckets first (wide sequential writes),
+   then scatter each bucket into [cols] while its target region and
+   cursor slice are cache-resident.  Each pair is packed into one native
+   int ([j lsl 31 lor i], which is why the caller guarantees
+   n < 2^31), so the partition costs one extra O(m) buffer and every
+   pass is either sequential or confined to ~2^18-entry windows.  At
+   n = 10^6 / m = 5 x 10^8 this takes the build from ~43 ns/pair
+   (DRAM-latency bound) to memory-bandwidth bound.  Output is
+   byte-identical to [csr_of_stream_direct]: bucketing by row range
+   preserves the stream order within each bucket, so every row still
+   receives its entries in ascending order. *)
+let csr_of_stream_bucketed ~n ~m fwd_count js =
+  if m < 0 || m > Buf.int_length js then
+    invalid_arg "Sparse: pair stream shorter than m";
+  if Array.length fwd_count <> n then
+    invalid_arg "Sparse: per-row count length mismatch";
+  (* Bucket width: the smallest power-of-two row range that keeps the
+     bucket count within [target] — a function of n and m only. *)
+  let target = max 1 (min 1024 (m / (1 lsl 18))) in
+  let shift = ref 0 in
+  while ((n - 1) lsr !shift) + 1 > target do incr shift done;
+  let shift = !shift in
+  let nb = ((n - 1) lsr shift) + 1 in
+  let bcount = Array.make nb 0 in
+  let e = ref 0 in
+  for i = 0 to n - 1 do
+    for _ = 1 to fwd_count.(i) do
+      let j = Buf.int_get js !e in
+      bcount.(j lsr shift) <- bcount.(j lsr shift) + 1;
+      incr e
+    done
+  done;
+  if !e <> m then invalid_arg "Sparse: per-row counts do not sum to m";
+  let bptr = Array.make (nb + 1) 0 in
+  for b = 0 to nb - 1 do
+    bptr.(b + 1) <- bptr.(b) + bcount.(b)
+  done;
+  (* Partition pass: pack (j, i) and append to j's bucket, accumulating
+     backward degrees on the way (one pass over the stream instead of a
+     later re-read of [packed]).  Stream order is preserved inside each
+     bucket. *)
+  let packed = Buf.int_create_uninit (max 1 m) in
+  let bcur = Array.init nb (fun b -> bptr.(b)) in
+  let deg = Array.make (max 1 n) 0 in
+  Array.blit fwd_count 0 deg 0 n;
+  let e = ref 0 in
+  for i = 0 to n - 1 do
+    for _ = 1 to fwd_count.(i) do
+      let j = Buf.int_get js !e in
+      let b = j lsr shift in
+      Buf.int_set packed bcur.(b) ((j lsl 31) lor i);
+      bcur.(b) <- bcur.(b) + 1;
+      deg.(j) <- deg.(j) + 1;
+      incr e
+    done
+  done;
+  let row_ptr = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    row_ptr.(i + 1) <- row_ptr.(i) + deg.(i)
+  done;
+  (* Uninitialized is safe: forward entries fill the tail
+     [fwd_count.(i)] slots of each row, backward entries fill the head
+     [deg.(i) - fwd_count.(i)] slots through the cursors, and the two
+     fills write exactly [deg.(i)] entries per row. *)
+  let cols = Buf.int_create_uninit (2 * m) in
+  (* Forward fill: row i's larger neighbours, straight from the stream —
+     sequential read, near-sequential write. *)
+  let e = ref 0 in
+  for i = 0 to n - 1 do
+    let base = row_ptr.(i + 1) - fwd_count.(i) in
+    for d = 0 to fwd_count.(i) - 1 do
+      Buf.int_set cols (base + d) (Buf.int_get js (!e + d))
+    done;
+    e := !e + fwd_count.(i)
+  done;
+  (* Backward fill, bucket by bucket: target rows and cursors stay
+     cache-resident for the whole bucket. *)
+  let cursor = Array.init (max 1 n) (fun i -> row_ptr.(i)) in
+  let mask31 = (1 lsl 31) - 1 in
+  for e = 0 to m - 1 do
+    let w = Buf.int_get packed e in
+    let j = w lsr 31 in
+    Buf.int_set cols cursor.(j) (w land mask31);
+    cursor.(j) <- cursor.(j) + 1
+  done;
+  Spgraph.make ~n ~row_ptr ~cols
+
+(* Under ~2^20 pairs both the scatter target and the cursors fit in
+   cache and the direct scatter is already bandwidth-bound; above it the
+   bucketed two-phase sort wins.  n < 2^31 is the packing limit. *)
+let csr_of_stream ~n ~m fwd_count js =
+  if m < 1 lsl 20 || n >= 1 lsl 31 then csr_of_stream_direct ~n ~m fwd_count js
+  else csr_of_stream_bucketed ~n ~m fwd_count js
+
+(* PR 9's sampler, frozen: the scalar draw-per-skip decode over the
+   direct scatter build.  [sample_gnp] below emits the identical graph
+   from the identical draws (test_sparse pins them equal); this version
+   stays as the reference implementation, the in-run equality oracle and
+   the `bench prng` baseline row. *)
+let sample_gnp_scalar g ~n ~p =
   if n < 0 then invalid_arg "Sparse.sample_gnp: n >= 0";
   if p < 0.0 || p > 1.0 then invalid_arg "Sparse.sample_gnp: p in [0,1]";
   let total = n * (n - 1) / 2 in
-  (* Start the stream at the binomial mean plus six sigma so doubling is
-     an unlikely-tail event, not the steady state. *)
   let mean = p *. float_of_int total in
   let cap =
     ref
@@ -157,9 +255,451 @@ let sample_gnp g ~n ~p =
       end
     done
   end;
+  csr_of_stream_direct ~n ~m:!m fwd_count !js
+
+(* CSR twin of [Gnp.sample_fast]: the identical geometric-skip decode —
+   same [Prng.float] draws in the same order, same cap, same row-major
+   pair walk — but the skips are decoded in blocks by
+   [Prng.Block.fill_geometric] (one fused pass, no per-draw call or
+   box) and the decoded pairs are appended to a pair stream instead of
+   written into dense rows, so a G(n, p) graph costs O(n + m) memory
+   end to end.  Block boundaries never leak into the stream: the final
+   block is speculatively over-filled, then rewound ([Block.save] /
+   [Block.restore]) and replayed for exactly the draws the scalar
+   decode would have consumed, so the generator's end state matches the
+   scalar path draw for draw.  test/test_sparse.ml pins
+   [sample_gnp] == [of_digraph (Gnp.sample_fast ...)] ==
+   [sample_gnp_scalar] on shared seeds.
+
+   [?stream_cap] overrides the initial pair-stream capacity (normally
+   the binomial mean + 6 sigma) so tests can force the geometric-growth
+   path; the sampled graph is identical for any value. *)
+let sample_gnp ?stream_cap g ~n ~p =
+  if n < 0 then invalid_arg "Sparse.sample_gnp: n >= 0";
+  if p < 0.0 || p > 1.0 then invalid_arg "Sparse.sample_gnp: p in [0,1]";
+  let total = n * (n - 1) / 2 in
+  let mean = p *. float_of_int total in
+  let cap0 =
+    match stream_cap with
+    | Some c -> min (max 1 total) (max 1 c)
+    | None ->
+        min (max 1 total)
+          (64 + int_of_float (mean +. (6.0 *. Float.sqrt (mean +. 1.0))))
+  in
+  let js = ref (Buf.int_create_uninit cap0) in
+  let cap = ref cap0 in
+  let fwd_count = Array.make (max 1 n) 0 in
+  let m = ref 0 in
+  let grow () =
+    (* Geometric growth, clamped to the pair count: [m] can never reach
+       [total] at a push (there are at most [total] pushes), so the
+       clamped doubling always yields cap' > m. *)
+    let cap' = min (max 1 total) (max (2 * !cap) (!m + 1)) in
+    let js' = Buf.int_create_uninit cap' in
+    if !m > 0 then
+      Bigarray.Array1.blit
+        (Bigarray.Array1.sub !js 0 !m)
+        (Bigarray.Array1.sub js' 0 !m);
+    js := js';
+    cap := cap'
+  in
+  if p >= 1.0 then
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if !m = !cap then grow ();
+        Buf.int_set !js !m j;
+        fwd_count.(i) <- fwd_count.(i) + 1;
+        incr m
+      done
+    done
+  else if p > 0.0 && total > 0 then begin
+    let log1mp = Float.log (1.0 -. p) in
+    let capf = float_of_int total in
+    let block = max 64 (min 65536 (int_of_float mean + 64)) in
+    let skips = Buf.int_create_uninit block in
+    let row = ref 0 in
+    let row_start = ref 0 in
+    let idx = ref (-1) in
+    let continue = ref true in
+    while !continue do
+      let snap = Prng.Block.save g in
+      Prng.Block.fill_geometric g ~log1mp ~cap:capf skips ~pos:0 ~len:block;
+      let t = ref 0 in
+      while !continue && !t < block do
+        let skip = Buf.int_get skips !t in
+        incr t;
+        idx := !idx + 1 + skip;
+        if !idx >= total then begin
+          continue := false;
+          (* Rewind the speculative block, replay the consumed prefix:
+             the stream position ends exactly where the scalar decode's
+             would. *)
+          Prng.Block.restore g snap;
+          Prng.Block.fill_geometric g ~log1mp ~cap:capf skips ~pos:0 ~len:!t
+        end
+        else begin
+          while !idx >= !row_start + (n - 1 - !row) do
+            row_start := !row_start + (n - 1 - !row);
+            incr row
+          done;
+          if !m = !cap then grow ();
+          Buf.int_set !js !m (!row + 1 + (!idx - !row_start));
+          fwd_count.(!row) <- fwd_count.(!row) + 1;
+          incr m
+        end
+      done
+    done
+  end;
   csr_of_stream ~n ~m:!m fwd_count !js
 
 let sample_rand g ~n ~p = sample_gnp g ~n ~p
+
+(* ---------- Word-level skip decode for the sharded sampler ---------- *)
+
+(* The sharded sampler's skips are decoded from raw 53-bit uniforms by
+   integer threshold inversion instead of the scalar path's
+   [Float.log]: thresholds thr.(k) = round((1 - (1-p)^k) * 2^53) tile
+   [0, 2^53) so that a uniform w lands in [thr.(k), thr.(k+1)) exactly
+   when the geometric skip is k.  A 2^16-entry guide table points each
+   u-window at its starting k, so a decode is one guide load plus a
+   short threshold walk (binary search for the rare crowded windows) —
+   a few ns, entirely in integers, no libm in the hot loop.  The
+   distribution matches the log decode to within one part in 2^53 (the
+   same rounding granularity the float decode carries); the exact
+   per-bit stream is different, which is why the sharded sampler is a
+   separate, documented stream rather than a drop-in for [sample_gnp].
+
+   If p is so small that (1-p)^k is still > 2^-54 at the table cap, the
+   last threshold is a tail sentinel: a uniform landing beyond it adds
+   [kmax] to the skip and decodes another word (geometric
+   memorylessness), so arbitrarily small p stays exact. *)
+
+let skip_gbits = 16
+let two53f = 9007199254740992.0
+let two53 = 1 lsl 53
+
+type skip_table = { thr : Buf.ints; guide : Buf.ints; kmax : int }
+
+let make_skip_table p =
+  let q = 1.0 -. p in
+  let capk = 1 lsl 17 in
+  (* Sizing pass: find the first k whose boundary rounds to 2^53. *)
+  let kmax = ref capk in
+  (try
+     let qk = ref 1.0 in
+     for k = 1 to capk do
+       qk := !qk *. q;
+       if ((1.0 -. !qk) *. two53f) +. 0.5 >= two53f then begin
+         kmax := k;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  let kmax = !kmax in
+  let thr = Buf.int_create (kmax + 1) in
+  Buf.int_set thr 0 0;
+  let qk = ref 1.0 in
+  let prev = ref 0 in
+  for k = 1 to kmax do
+    qk := !qk *. q;
+    let b = int_of_float (Float.round ((1.0 -. !qk) *. two53f)) in
+    let b = min two53 (max !prev b) in
+    Buf.int_set thr k b;
+    prev := b
+  done;
+  let gsize = 1 lsl skip_gbits in
+  let guide = Buf.int_create gsize in
+  let k = ref 0 in
+  for h = 0 to gsize - 1 do
+    let base = h lsl (53 - skip_gbits) in
+    while !k < kmax - 1 && Buf.int_get thr (!k + 1) <= base do
+      incr k
+    done;
+    Buf.int_set guide h !k
+  done;
+  { thr; guide; kmax }
+
+(* Largest k with thr.(k) <= w; k = kmax means the tail sentinel. *)
+(* bcc-lint: allow kern/unsafe-index — callers pass w < 2^53 (the top 53 bits of a draw), so the guide index w lsr 37 < 2^16 = its length; every thr access is at an index <= kmax with length kmax + 1 (make_skip_table builds both) *)
+let[@inline] decode_skip tbl w =
+  let kmax = tbl.kmax in
+  let k = ref (Buf.int_get tbl.guide (w lsr (53 - skip_gbits))) in
+  let steps = ref 0 in
+  while !steps < 6 && !k < kmax && Buf.int_get tbl.thr (!k + 1) <= w do
+    incr k;
+    incr steps
+  done;
+  if !k < kmax && Buf.int_get tbl.thr (!k + 1) <= w then begin
+    (* Crowded window: binary search the remaining thresholds. *)
+    let lo = ref (!k + 1) and hi = ref kmax in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) lsr 1 in
+      if Buf.int_get tbl.thr mid <= w then lo := mid else hi := mid - 1
+    done;
+    k := !lo
+  end;
+  !k
+
+(* Row r of the upper-triangle pair walk starts at pair index
+   S_r = r(n-1) - r(r-1)/2; find the largest r with S_r <= idx by a
+   float sqrt guess plus an exact integer fixup. *)
+let row_of_pair_index n idx =
+  let s_of r = (r * (n - 1)) - (r * (r - 1) / 2) in
+  let nf = float_of_int n in
+  let disc = ((nf -. 0.5) *. (nf -. 0.5)) -. (2.0 *. float_of_int idx) in
+  let guess = int_of_float (nf -. 0.5 -. Float.sqrt (Float.max 0.0 disc)) in
+  let r = ref (max 0 (min (n - 2) guess)) in
+  while !r > 0 && s_of !r > idx do
+    decr r
+  done;
+  while !r < n - 2 && s_of (!r + 1) <= idx do
+    incr r
+  done;
+  !r
+
+(* One shard's slice [lo, hi) of the pair-index walk, on a dedicated
+   child stream: returns (first row, per-row counts over the shard's row
+   span, pair stream, pair count). *)
+let decode_shard ~n ~mean_per_pair tbl child ~lo ~hi =
+  let row0 = row_of_pair_index n lo in
+  let s_of r = (r * (n - 1)) - (r * (r - 1) / 2) in
+  let row_end = row_of_pair_index n (hi - 1) in
+  let span = row_end - row0 + 1 in
+  let counts = Array.make span 0 in
+  let mean = mean_per_pair *. float_of_int (hi - lo) in
+  let cap0 =
+    min (max 1 (hi - lo))
+      (64 + int_of_float (mean +. (6.0 *. Float.sqrt (mean +. 1.0))))
+  in
+  let js = ref (Buf.int_create_uninit cap0) in
+  let cap = ref cap0 in
+  let m = ref 0 in
+  let grow () =
+    let cap' = min (max 1 (hi - lo)) (max (2 * !cap) (!m + 1)) in
+    let js' = Buf.int_create_uninit cap' in
+    if !m > 0 then
+      Bigarray.Array1.blit
+        (Bigarray.Array1.sub !js 0 !m)
+        (Bigarray.Array1.sub js' 0 !m);
+    js := js';
+    cap := cap'
+  in
+  let words_cap = 8192 in
+  let words = Buf.i64_create words_cap in
+  let avail = ref 0 in
+  let wcur = ref 0 in
+  let kmax = tbl.kmax in
+  let row = ref row0 in
+  let row_start = ref (s_of row0) in
+  let idx = ref (lo - 1) in
+  let continue = ref true in
+  while !continue do
+    (* The child stream is dedicated to this shard, so over-fetching a
+       block of words needs no rewind — leftovers are simply dropped. *)
+    if !wcur >= !avail then begin
+      Prng.Block.fill_bits64 child words ~pos:0 ~len:words_cap;
+      avail := words_cap;
+      wcur := 0
+    end;
+    let w =
+      Int64.to_int (Int64.shift_right_logical (Buf.i64_get words !wcur) 11)
+    in
+    incr wcur;
+    let k = ref (decode_skip tbl w) in
+    let skip = ref 0 in
+    while !k = kmax && !idx + 1 + !skip + kmax < hi do
+      (* Tail sentinel: add kmax and decode the excess from a fresh
+         word, until the skip either resolves or walks past the shard. *)
+      skip := !skip + kmax;
+      if !wcur >= !avail then begin
+        Prng.Block.fill_bits64 child words ~pos:0 ~len:words_cap;
+        avail := words_cap;
+        wcur := 0
+      end;
+      let w =
+        Int64.to_int (Int64.shift_right_logical (Buf.i64_get words !wcur) 11)
+      in
+      incr wcur;
+      k := decode_skip tbl w
+    done;
+    let skip = !skip + !k in
+    idx := !idx + 1 + skip;
+    if !idx >= hi then continue := false
+    else begin
+      while !idx >= !row_start + (n - 1 - !row) do
+        row_start := !row_start + (n - 1 - !row);
+        incr row
+      done;
+      if !m = !cap then grow ();
+      Buf.int_set !js !m (!row + 1 + (!idx - !row_start));
+      counts.(!row - row0) <- counts.(!row - row0) + 1;
+      incr m
+    end
+  done;
+  (row0, counts, !js, !m)
+
+(* CSR straight from the per-shard pair streams, taken in shard order —
+   the concatenation in shard order {e is} the global row-major stream,
+   so this is [csr_of_stream_bucketed] with the single stream buffer
+   replaced by a walk over the shard buffers: the merged copy of the
+   stream (4 GB at the 10^6 rung, and this machine pays dearly for every
+   freshly faulted page) never exists.  Small totals just merge and use
+   the direct build. *)
+let csr_of_shards ~n results =
+  let fwd_count = Array.make (max 1 n) 0 in
+  Array.iter
+    (fun (row0, counts, _, _) ->
+      Array.iteri
+        (fun r c -> fwd_count.(row0 + r) <- fwd_count.(row0 + r) + c)
+        counts)
+    results;
+  let m = Array.fold_left (fun acc (_, _, _, ms) -> acc + ms) 0 results in
+  if m < 1 lsl 20 || n >= 1 lsl 31 then begin
+    let js = Buf.int_create_uninit (max 1 m) in
+    let off = ref 0 in
+    Array.iter
+      (fun (_, _, js_s, ms) ->
+        if ms > 0 then
+          Bigarray.Array1.blit
+            (Bigarray.Array1.sub js_s 0 ms)
+            (Bigarray.Array1.sub js !off ms);
+        off := !off + ms)
+      results;
+    csr_of_stream_direct ~n ~m fwd_count js
+  end
+  else begin
+    let target = max 1 (min 1024 (m / (1 lsl 18))) in
+    let shift = ref 0 in
+    while ((n - 1) lsr !shift) + 1 > target do incr shift done;
+    let shift = !shift in
+    let nb = ((n - 1) lsr shift) + 1 in
+    let bcount = Array.make nb 0 in
+    Array.iter
+      (fun (_, _, js_s, ms) ->
+        for e = 0 to ms - 1 do
+          (* bcc-lint: allow kern/unsafe-index — e < ms, the shard's emitted count, which decode_shard bounds by Buf.int_length js_s *)
+          let j = Buf.int_get js_s e in
+          bcount.(j lsr shift) <- bcount.(j lsr shift) + 1
+        done)
+      results;
+    let bptr = Array.make (nb + 1) 0 in
+    for b = 0 to nb - 1 do
+      bptr.(b + 1) <- bptr.(b) + bcount.(b)
+    done;
+    let packed = Buf.int_create_uninit (max 1 m) in
+    let bcur = Array.init nb (fun b -> bptr.(b)) in
+    let deg = Array.make (max 1 n) 0 in
+    Array.blit fwd_count 0 deg 0 n;
+    Array.iter
+      (fun (row0, counts, js_s, _) ->
+        let e = ref 0 in
+        Array.iteri
+          (fun r c ->
+            let i = row0 + r in
+            for _ = 1 to c do
+              let j = Buf.int_get js_s !e in
+              let b = j lsr shift in
+              Buf.int_set packed bcur.(b) ((j lsl 31) lor i);
+              bcur.(b) <- bcur.(b) + 1;
+              deg.(j) <- deg.(j) + 1;
+              incr e
+            done)
+          counts)
+      results;
+    let row_ptr = Array.make (n + 1) 0 in
+    for i = 0 to n - 1 do
+      row_ptr.(i + 1) <- row_ptr.(i) + deg.(i)
+    done;
+    (* Uninitialized is safe: the forward cursors fill the tail
+       [fwd_count.(i)] slots of row i, the backward cursors fill the
+       head, and together they write exactly [deg.(i)] entries per
+       row. *)
+    let cols = Buf.int_create_uninit (2 * m) in
+    (* Forward fill through per-row cursors: a row whose forward walk
+       straddles a shard boundary receives the earlier shard's entries
+       first, preserving ascending order. *)
+    let fcur = Array.init n (fun i -> row_ptr.(i + 1) - fwd_count.(i)) in
+    Array.iter
+      (fun (row0, counts, js_s, _) ->
+        let e = ref 0 in
+        Array.iteri
+          (fun r c ->
+            let i = row0 + r in
+            for _ = 1 to c do
+              Buf.int_set cols fcur.(i) (Buf.int_get js_s !e);
+              fcur.(i) <- fcur.(i) + 1;
+              incr e
+            done)
+          counts)
+      results;
+    let cursor = Array.init n (fun i -> row_ptr.(i)) in
+    let mask31 = (1 lsl 31) - 1 in
+    for e = 0 to m - 1 do
+      let w = Buf.int_get packed e in
+      let j = w lsr 31 in
+      Buf.int_set cols cursor.(j) (w land mask31);
+      cursor.(j) <- cursor.(j) + 1
+    done;
+    Spgraph.make ~n ~row_ptr ~cols
+  end
+
+(* Fixed seed-space salt: the sharded sampler derives its shard streams
+   from [split (split g shard_salt) s], leaving the parent stream
+   position untouched and keeping the per-trial child indices
+   (Par.map_trials splits 0, 1, 2, ...) collision-free. *)
+let shard_salt = 0x5eed
+
+let shard_count total = if total < 65536 then 1 else 64
+
+(* Sharded G(n, p): the pair-index walk is cut into [shard_count]
+   equal slices — a function of n alone, never of the pool size — each
+   decoded on its own [Prng.split] child stream by the word-level skip
+   decode above, in parallel on the [Par] pool.  The per-shard pair
+   streams are concatenated in shard order (the global walk is ascending
+   across slice boundaries) and counting-sorted into CSR, so the result
+   is byte-identical at any [BCC_DOMAINS].  This is a new, documented
+   stream: same-seed results differ from [sample_gnp] by construction
+   (see docs/PERFORMANCE.md "Batched draws"). *)
+let sample_gnp_sharded g ~n ~p =
+  if n < 0 then invalid_arg "Sparse.sample_gnp_sharded: n >= 0";
+  if n >= 1 lsl 30 then invalid_arg "Sparse.sample_gnp_sharded: n < 2^30";
+  if p < 0.0 || p > 1.0 then
+    invalid_arg "Sparse.sample_gnp_sharded: p in [0,1]";
+  let total = n * (n - 1) / 2 in
+  let fwd_count = Array.make (max 1 n) 0 in
+  if p >= 1.0 then begin
+    (* Deterministic complete graph: no draws on any stream. *)
+    let js = Buf.int_create_uninit (max 1 total) in
+    let m = ref 0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        Buf.int_set js !m j;
+        fwd_count.(i) <- fwd_count.(i) + 1;
+        incr m
+      done
+    done;
+    csr_of_stream ~n ~m:!m fwd_count js
+  end
+  else if p <= 0.0 || total = 0 then
+    csr_of_stream ~n ~m:0 fwd_count (Buf.int_create_uninit 1)
+  else begin
+    let tbl = make_skip_table p in
+    let shards = shard_count total in
+    let base = total / shards in
+    let rem = total mod shards in
+    let lo_of s = (base * s) + min s rem in
+    let root = Prng.split g shard_salt in
+    let results =
+      Par.map_array
+        (fun s ->
+          let child = Prng.split root s in
+          let lo = lo_of s and hi = lo_of (s + 1) in
+          if lo >= hi then (0, [||], Buf.int_create_uninit 1, 0)
+          else decode_shard ~n ~mean_per_pair:p tbl child ~lo ~hi)
+        (Array.init shards Fun.id)
+    in
+    csr_of_shards ~n results
+  end
 
 (* Union the rows of [t] with the clique on [cs]: one count pass, one
    sorted-merge fill pass — existing edges inside the clique dedupe
@@ -268,5 +808,15 @@ let overlay_clique t cs =
 let sample_planted g ~n ~p ~k =
   let c = Prng.subset g ~n ~k in
   let base = sample_gnp g ~n ~p in
+  let cs = Array.of_list (List.sort_uniq Int.compare c) in
+  (overlay_clique base cs, c)
+
+(* Sharded twin: subset from the parent stream first (same position as
+   [sample_planted]), then the sharded G(n, p) — whose shard children
+   never touch the parent stream, so after this call the parent sits
+   exactly one [subset] past where it started. *)
+let sample_planted_sharded g ~n ~p ~k =
+  let c = Prng.subset g ~n ~k in
+  let base = sample_gnp_sharded g ~n ~p in
   let cs = Array.of_list (List.sort_uniq Int.compare c) in
   (overlay_clique base cs, c)

@@ -752,7 +752,15 @@ module Spgraph = struct
      dense [Graph] kernels remain the in-run equality oracle at n <= 512
      (test/test_sparse.ml, `bench sparse`). *)
 
-  type t = { n : int; row_ptr : int array; cols : Buf.ints }
+  (* [checked] caches a successful [check_t] pass: the CSR arrays are
+     immutable after construction everywhere in the tree, so once the
+     invariant scan has passed it never needs to run again.  Kernels
+     still call [check_t] at entry; the flag turns the n = 10^6 regime's
+     repeated O(n + m) scans (every [degree_sums] during recovery paid a
+     ~10^9-entry walk) into one scan per graph.  The only write is the
+     monotone [false -> true] after a full pass, so concurrent readers
+     in sharded kernels are safe. *)
+  type t = { n : int; row_ptr : int array; cols : Buf.ints; mutable checked : bool }
 
   let vertex_count t = t.n
 
@@ -767,27 +775,30 @@ module Spgraph = struct
      endpoints, every row strictly ascending, in range, diagonal-free.
      Kernels call this once before entering their unchecked loops. *)
   let check_t t =
-    if t.n < 0 then invalid_arg "Spgraph: negative vertex count";
-    if Array.length t.row_ptr <> t.n + 1 then
-      invalid_arg "Spgraph: row_ptr must have n + 1 offsets";
-    if t.row_ptr.(0) <> 0 then invalid_arg "Spgraph: row_ptr must start at 0";
-    if t.row_ptr.(t.n) <> Buf.int_length t.cols then
-      invalid_arg "Spgraph: row_ptr must end at the column count";
-    for i = 0 to t.n - 1 do
-      if t.row_ptr.(i) > t.row_ptr.(i + 1) then
-        invalid_arg "Spgraph: row_ptr must be monotone";
-      let prev = ref (-1) in
-      for idx = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
-        let j = Buf.int_get t.cols idx in
-        if j <= !prev then invalid_arg "Spgraph: row not strictly ascending";
-        if j < 0 || j >= t.n then invalid_arg "Spgraph: column out of range";
-        if j = i then invalid_arg "Spgraph: diagonal entry";
-        prev := j
-      done
-    done
+    if not t.checked then begin
+      if t.n < 0 then invalid_arg "Spgraph: negative vertex count";
+      if Array.length t.row_ptr <> t.n + 1 then
+        invalid_arg "Spgraph: row_ptr must have n + 1 offsets";
+      if t.row_ptr.(0) <> 0 then invalid_arg "Spgraph: row_ptr must start at 0";
+      if t.row_ptr.(t.n) <> Buf.int_length t.cols then
+        invalid_arg "Spgraph: row_ptr must end at the column count";
+      for i = 0 to t.n - 1 do
+        if t.row_ptr.(i) > t.row_ptr.(i + 1) then
+          invalid_arg "Spgraph: row_ptr must be monotone";
+        let prev = ref (-1) in
+        for idx = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+          let j = Buf.int_get t.cols idx in
+          if j <= !prev then invalid_arg "Spgraph: row not strictly ascending";
+          if j < 0 || j >= t.n then invalid_arg "Spgraph: column out of range";
+          if j = i then invalid_arg "Spgraph: diagonal entry";
+          prev := j
+        done
+      done;
+      t.checked <- true
+    end
 
   let make ~n ~row_ptr ~cols =
-    let t = { n; row_ptr; cols } in
+    let t = { n; row_ptr; cols; checked = false } in
     check_t t;
     t
 
@@ -945,7 +956,9 @@ module Spgraph = struct
       0
     in
     ignore (sum_over_rows n fill_range);
-    { n; row_ptr; cols }
+    (* Valid by construction (each row is an ascending merge output), but
+       let [check_t] certify it on first use like any other instance. *)
+    { n; row_ptr; cols; checked = false }
 
   (* First offset in row i whose column exceeds i — the row's forward
      (upper-triangle) suffix.  On a symmetric graph the forward lists are

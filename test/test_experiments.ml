@@ -13,7 +13,7 @@ let well_formed (t : Experiments.table) =
     t.Experiments.rows
 
 let test_ids_complete () =
-  check_int "thirty experiments" 30 (List.length Experiments.ids);
+  check_int "thirty-one experiments" 31 (List.length Experiments.ids);
   List.iter
     (fun id -> check_bool ("lookup " ^ id) true (Experiments.by_id id <> None))
     Experiments.ids;

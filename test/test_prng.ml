@@ -156,6 +156,144 @@ let test_binomial_mean () =
   let mean = float_of_int !total /. float_of_int trials in
   check_bool "mean near 20" true (Float.abs (mean -. 20.0) < 0.5)
 
+(* ------------------------------------------------------- batched draws *)
+
+(* The Prng.Block contract: a fill of [len] consumes the generator stream
+   exactly as [len] scalar draws would — same words, same end state.  The
+   lengths cross every boundary the unrolled fill loop cares about (block
+   edges at 64, page-ish edges at 4096) and each length is checked at a
+   nonzero [pos] too. *)
+let fill_lengths = [ 1; 63; 64; 65; 4095; 4096; 4097 ]
+
+let test_fill_bits64_matches_scalar () =
+  List.iter
+    (fun len ->
+      List.iter
+        (fun pos ->
+          let buf =
+            Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout (pos + len)
+          in
+          Bigarray.Array1.fill buf 0L;
+          let gb = Prng.create 91 and gs = Prng.create 91 in
+          Prng.Block.fill_bits64 gb buf ~pos ~len;
+          let ok = ref true in
+          for i = 0 to len - 1 do
+            if not (Int64.equal buf.{pos + i} (Prng.bits64 gs)) then ok := false
+          done;
+          check_bool (Printf.sprintf "words len=%d pos=%d" len pos) true !ok;
+          check_bool
+            (Printf.sprintf "end state len=%d pos=%d" len pos)
+            true
+            (Int64.equal (Prng.bits64 gb) (Prng.bits64 gs)))
+        [ 0; 3 ])
+    fill_lengths
+
+let test_fill_float_matches_scalar () =
+  List.iter
+    (fun len ->
+      let buf =
+        Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout len
+      in
+      let gb = Prng.create 92 and gs = Prng.create 92 in
+      Prng.Block.fill_float gb buf ~pos:0 ~len;
+      let ok = ref true in
+      for i = 0 to len - 1 do
+        if not (Float.equal buf.{i} (Prng.float gs)) then ok := false
+      done;
+      check_bool (Printf.sprintf "floats len=%d" len) true !ok;
+      check_bool
+        (Printf.sprintf "end state len=%d" len)
+        true
+        (Int64.equal (Prng.bits64 gb) (Prng.bits64 gs)))
+    fill_lengths
+
+let test_fill_geometric_matches_scalar_decode () =
+  let p = 0.003 in
+  let log1mp = Float.log (1.0 -. p) in
+  let cap = float_of_int (1 lsl 20) in
+  List.iter
+    (fun len ->
+      let buf = Bigarray.Array1.create Bigarray.int Bigarray.c_layout len in
+      let gb = Prng.create 93 and gs = Prng.create 93 in
+      Prng.Block.fill_geometric gb ~log1mp ~cap buf ~pos:0 ~len;
+      let ok = ref true in
+      for i = 0 to len - 1 do
+        let u = Prng.float gs in
+        let skip = int_of_float (Float.min (Float.log (1.0 -. u) /. log1mp) cap) in
+        if buf.{i} <> skip then ok := false
+      done;
+      check_bool (Printf.sprintf "skips len=%d" len) true !ok;
+      check_bool
+        (Printf.sprintf "end state len=%d" len)
+        true
+        (Int64.equal (Prng.bits64 gb) (Prng.bits64 gs)))
+    fill_lengths
+
+let test_fill_invalid () =
+  let g = Prng.create 1 in
+  let buf = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout 8 in
+  Alcotest.check_raises "negative pos"
+    (Invalid_argument "Prng.Block.fill_bits64") (fun () ->
+      Prng.Block.fill_bits64 g buf ~pos:(-1) ~len:1);
+  Alcotest.check_raises "negative len"
+    (Invalid_argument "Prng.Block.fill_bits64") (fun () ->
+      Prng.Block.fill_bits64 g buf ~pos:0 ~len:(-1));
+  Alcotest.check_raises "overrun" (Invalid_argument "Prng.Block.fill_bits64")
+    (fun () -> Prng.Block.fill_bits64 g buf ~pos:4 ~len:5)
+
+let test_save_restore_rewinds () =
+  let g = Prng.create 94 in
+  ignore (Prng.bits64 g);
+  let snap = Prng.Block.save g in
+  let a = Array.init 16 (fun _ -> Prng.bits64 g) in
+  Prng.Block.restore g snap;
+  let b = Array.init 16 (fun _ -> Prng.bits64 g) in
+  check_bool "restore replays the stream" true (a = b);
+  (* The seed (and hence split) is unaffected by restore. *)
+  Prng.Block.restore g snap;
+  let c1 = Prng.bits64 (Prng.split g 5) in
+  ignore (Prng.bits64 g);
+  let c2 = Prng.bits64 (Prng.split g 5) in
+  check_bool "split unaffected" true (Int64.equal c1 c2)
+
+let test_fill_no_alloc () =
+  (* The fill loops are (* bcc-lint: noalloc *): unboxed Bigarray loads
+     and stores only.  Gc.minor_words boxes its float result, so allow a
+     small constant slack over the 10 calls of each fill. *)
+  let len = 4096 in
+  let i64 = Bigarray.Array1.create Bigarray.int64 Bigarray.c_layout len in
+  let f64 = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout len in
+  let ints = Bigarray.Array1.create Bigarray.int Bigarray.c_layout len in
+  let g = Prng.create 95 in
+  let log1mp = Float.log (1.0 -. 0.01) in
+  let cap = float_of_int (1 lsl 20) in
+  (* Warm up (first calls may fault pages / allocate the scratch). *)
+  Prng.Block.fill_bits64 g i64 ~pos:0 ~len;
+  Prng.Block.fill_float g f64 ~pos:0 ~len;
+  Prng.Block.fill_geometric g ~log1mp ~cap ints ~pos:0 ~len;
+  let before = Gc.minor_words () in
+  for _ = 1 to 10 do
+    Prng.Block.fill_bits64 g i64 ~pos:0 ~len;
+    Prng.Block.fill_float g f64 ~pos:0 ~len;
+    Prng.Block.fill_geometric g ~log1mp ~cap ints ~pos:0 ~len
+  done;
+  let delta = Gc.minor_words () -. before in
+  check_bool
+    (Printf.sprintf "fills allocate nothing (delta %.0f words)" delta)
+    true (delta < 256.0)
+
+let test_subset_uses_scalar_stream () =
+  (* subset's batched candidate prefetch must consume the stream exactly
+     as the rejection loop's scalar draws would: same subsets from equal
+     seeds regardless of internal batching, and stable across calls. *)
+  let a = Prng.create 96 and b = Prng.create 96 in
+  for _ = 1 to 50 do
+    let sa = Prng.subset a ~n:1000 ~k:17 in
+    let sb = Prng.subset b ~n:1000 ~k:17 in
+    check_bool "same subset" true (sa = sb)
+  done;
+  check_bool "same end state" true (Int64.equal (Prng.bits64 a) (Prng.bits64 b))
+
 let prop_int_in_bounds =
   QCheck.Test.make ~name:"int always within bound" ~count:500
     QCheck.(pair (int_range 1 1000) small_int)
@@ -195,6 +333,21 @@ let () =
           Alcotest.test_case "shuffle multiset" `Quick test_shuffle_preserves_multiset;
           Alcotest.test_case "bernoulli bias" `Quick test_bernoulli_bias;
           Alcotest.test_case "binomial mean" `Quick test_binomial_mean;
+        ] );
+      ( "block",
+        [
+          Alcotest.test_case "fill_bits64 = scalar" `Quick
+            test_fill_bits64_matches_scalar;
+          Alcotest.test_case "fill_float = scalar" `Quick
+            test_fill_float_matches_scalar;
+          Alcotest.test_case "fill_geometric = scalar decode" `Quick
+            test_fill_geometric_matches_scalar_decode;
+          Alcotest.test_case "fill invalid args" `Quick test_fill_invalid;
+          Alcotest.test_case "save/restore rewinds" `Quick
+            test_save_restore_rewinds;
+          Alcotest.test_case "fills allocate nothing" `Quick test_fill_no_alloc;
+          Alcotest.test_case "subset stream identity" `Quick
+            test_subset_uses_scalar_stream;
         ] );
       ( "properties",
         List.map (fun t -> QCheck_alcotest.to_alcotest t)

@@ -171,6 +171,115 @@ let test_sample_planted_matches_dense_order () =
         cs)
     [ 1; 2; 42 ]
 
+(* ------------------------------------------------- batched sampler *)
+
+(* The block-decode sampler must be bit-identical to the frozen scalar
+   reference: same graph AND same generator end state, for every seed.
+   [~stream_cap:1] forces the edge-stream buffer through its growth path
+   (capacity 1 doubles ~17 times at n = 256) — the regression pin for the
+   capacity-handling bug class. *)
+let test_sample_gnp_block_eq_scalar () =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun (n, p) ->
+          let gb = Prng.create seed and gs = Prng.create seed in
+          let b = Sparse.sample_gnp gb ~n ~p in
+          let s = Sparse.sample_gnp_scalar gs ~n ~p in
+          check_bool (Printf.sprintf "seed %d n=%d p=%g graph" seed n p) true
+            (spgraph_equal b s);
+          check_bool
+            (Printf.sprintf "seed %d n=%d p=%g end state" seed n p)
+            true
+            (Prng.bits64 gb = Prng.bits64 gs))
+        [ (64, 0.5); (256, 0.02); (1024, 0.003); (256, 0.0); (48, 1.0) ])
+    [ 1; 2; 42 ]
+
+let test_sample_gnp_growth_path () =
+  List.iter
+    (fun seed ->
+      let gb = Prng.create seed and gs = Prng.create seed in
+      let b = Sparse.sample_gnp ~stream_cap:1 gb ~n:256 ~p:0.05 in
+      let s = Sparse.sample_gnp_scalar gs ~n:256 ~p:0.05 in
+      check_bool (Printf.sprintf "seed %d grown graph" seed) true
+        (spgraph_equal b s);
+      check_bool (Printf.sprintf "seed %d grown end state" seed) true
+        (Prng.bits64 gb = Prng.bits64 gs))
+    [ 1; 2; 42 ]
+
+(* The sharded sampler reads its own documented stream (split children,
+   one per shard), so its pins are: byte-identity across pool sizes,
+   parent-stream purity, and statistical sanity — not equality with the
+   scalar sampler. *)
+let test_sharded_pool_independent () =
+  List.iter
+    (fun seed ->
+      let sample () =
+        Sparse.sample_gnp_sharded (Prng.create seed) ~n:2048 ~p:0.01
+      in
+      let a = with_domains 1 sample in
+      let b = with_domains 4 sample in
+      check_bool
+        (Printf.sprintf "seed %d sharded bytes at 1 vs 4 domains" seed)
+        true (spgraph_equal a b))
+    [ 1; 2; 42 ]
+
+let test_sharded_parent_untouched () =
+  let g = Prng.create 23 in
+  let probe = Prng.bits64 (Prng.copy g) in
+  ignore (Sparse.sample_gnp_sharded g ~n:2048 ~p:0.01);
+  check_bool "parent stream position unchanged" true (Prng.bits64 g = probe)
+
+let test_sharded_edge_count_sane () =
+  let n = 4096 and p = 0.01 in
+  let g = Sparse.sample_gnp_sharded (Prng.create 29) ~n ~p in
+  let pairs = float_of_int n *. float_of_int (n - 1) /. 2.0 in
+  let mean = pairs *. p in
+  let sigma = Float.sqrt (pairs *. p *. (1.0 -. p)) in
+  let m = float_of_int (Sparse.edge_count g / 2) in
+  check_bool
+    (Printf.sprintf "edges %.0f within 6 sigma of %.0f" m mean)
+    true
+    (Float.abs (m -. mean) <= 6.0 *. sigma);
+  (* Degenerate densities take the deterministic paths. *)
+  check_int "p=0 empty" 0
+    (Sparse.edge_count (Sparse.sample_gnp_sharded (Prng.create 29) ~n:64 ~p:0.0));
+  check_int "p=1 complete" (64 * 63)
+    (Sparse.edge_count (Sparse.sample_gnp_sharded (Prng.create 29) ~n:64 ~p:1.0))
+
+let test_sample_planted_sharded () =
+  List.iter
+    (fun seed ->
+      let n = 2048 and k = 64 in
+      let p = 1.0 /. Float.sqrt (float_of_int n) in
+      let g = Prng.create seed in
+      (* Draw order pin: the clique subset comes first, from the parent,
+         exactly as [sample_planted] / [Planted.sample_planted] draw it;
+         the sharded base sampler then leaves the parent alone. *)
+      let want_clique = Prng.subset (Prng.copy g) ~n ~k in
+      let after = Prng.copy g in
+      ignore (Prng.subset after ~n ~k);
+      let probe = Prng.bits64 after in
+      let graph, clique = Sparse.sample_planted_sharded g ~n ~p ~k in
+      check_ints
+        (Printf.sprintf "seed %d clique subset" seed)
+        want_clique
+        (List.sort_uniq Int.compare clique);
+      check_bool
+        (Printf.sprintf "seed %d parent one subset past start" seed)
+        true
+        (Prng.bits64 g = probe);
+      let cs = Array.of_list want_clique in
+      Array.iter
+        (fun u ->
+          Array.iter
+            (fun v ->
+              if u <> v then
+                check_bool "clique edge present" true (Sparse.has_edge graph u v))
+            cs)
+        cs)
+    [ 1; 2; 42 ]
+
 (* ------------------------------------------------- kernel equality *)
 
 (* The n <= 512 oracle battery: every sparse kernel against its dense
@@ -388,6 +497,21 @@ let () =
             test_sample_gnp_advances_prng_identically;
           Alcotest.test_case "sample_planted clique order" `Quick
             test_sample_planted_matches_dense_order;
+        ] );
+      ( "batched sampler",
+        [
+          Alcotest.test_case "block = scalar reference" `Quick
+            test_sample_gnp_block_eq_scalar;
+          Alcotest.test_case "growth path (stream_cap=1)" `Quick
+            test_sample_gnp_growth_path;
+          Alcotest.test_case "sharded bytes at 1 vs 4 domains" `Quick
+            test_sharded_pool_independent;
+          Alcotest.test_case "sharded parent untouched" `Quick
+            test_sharded_parent_untouched;
+          Alcotest.test_case "sharded edge count sane" `Quick
+            test_sharded_edge_count_sane;
+          Alcotest.test_case "sample_planted_sharded" `Quick
+            test_sample_planted_sharded;
         ] );
       ( "kernel oracle",
         [
